@@ -1,0 +1,337 @@
+package deltanet
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§4), plus ablations for the design choices DESIGN.md
+// calls out. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use the laptop-default dataset scale (internal/datasets);
+// cmd/dnbench runs the same experiments with configurable scale and prints
+// paper-style rows (recorded in EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"deltanet/internal/check"
+	"deltanet/internal/core"
+	"deltanet/internal/datasets"
+	"deltanet/internal/experiments"
+	"deltanet/internal/intervalmap"
+	"deltanet/internal/trace"
+)
+
+// intervalmapAtom converts a bitset element to an atom id for ablation
+// setup.
+func intervalmapAtom(a int) intervalmap.AtomID { return intervalmap.AtomID(a) }
+
+// benchScale keeps the full benchmark suite in the minutes range.
+const benchScale = 0.25
+
+// BenchmarkTable2_DatasetGeneration measures building all eight datasets
+// (Table 2's rows) from their seeded generators.
+func BenchmarkTable2_DatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable2(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatal("missing datasets")
+		}
+	}
+}
+
+// table3Datasets drives one benchmark per Table 3 column group.
+var table3Datasets = datasets.Names()
+
+// BenchmarkTable3 replays each dataset through Delta-net with per-update
+// delta-graph loop checking — Table 3's protocol. The reported per-op
+// metric is the paper's "combined time for processing a rule update and
+// checking for forwarding loops".
+func BenchmarkTable3(b *testing.B) {
+	for _, name := range table3Datasets {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			tr, err := datasets.Build(name, benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			ops := 0
+			for i := 0; i < b.N; i++ {
+				n := core.NewNetwork(tr.Graph.Clone(), core.Options{})
+				var d core.Delta
+				for j := range tr.Ops {
+					if err := trace.Apply(n, tr.Ops[j], &d); err != nil {
+						b.Fatal(err)
+					}
+					check.FindLoopsDelta(n, &d)
+				}
+				ops += len(tr.Ops)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ops)/1e3, "µs/update")
+		})
+	}
+}
+
+// BenchmarkFigure8_CDF measures the full Figure 8 pipeline: replaying every
+// dataset while collecting the per-op latency distribution and bucketing
+// it into the CDF series.
+func BenchmarkFigure8_CDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.RunFigure8(benchScale * 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) != 8 {
+			b.Fatal("missing series")
+		}
+	}
+}
+
+// BenchmarkTable4_WhatIf measures the link-failure what-if query per
+// engine, on the Airtel data plane (Table 4's protocol): Veriflow-RI
+// builds a forwarding graph per affected EC; Delta-net restricts the
+// edge-labelled graph to label[failedLink].
+func BenchmarkTable4_WhatIf(b *testing.B) {
+	for _, name := range []string{"airtel1", "4switch", "rf1755"} {
+		row, err := experiments.RunTable4(name, benchScale, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/veriflow-ri", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunTable4(name, benchScale, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = r
+			}
+			b.ReportMetric(float64(row.VeriflowAvg.Microseconds()), "µs/query(full)")
+		})
+		b.Run(name+"/delta-net", func(b *testing.B) {
+			n, tr, err := experiments.BuildConsistentDataPlane(name, benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			links := experiments.LinksOf(tr)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l := links[i%len(links)]
+				check.AffectedByLinkFailure(n, l)
+			}
+		})
+		b.Run(name+"/delta-net+loops", func(b *testing.B) {
+			n, tr, err := experiments.BuildConsistentDataPlane(name, benchScale)
+			if err != nil {
+				b.Fatal(err)
+			}
+			links := experiments.LinksOf(tr)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l := links[i%len(links)]
+				sub := check.AffectedByLinkFailure(n, l)
+				check.LoopsInSubgraph(n, sub)
+			}
+		})
+	}
+}
+
+// BenchmarkTable5_Memory measures data plane construction in both engines
+// and reports their self-accounted footprints (Appendix D's comparison).
+func BenchmarkTable5_Memory(b *testing.B) {
+	var last experiments.Table5Row
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.RunTable5("rf1755", benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = row
+	}
+	b.ReportMetric(float64(last.DeltanetBytes)/1e6, "deltanet-MB")
+	b.ReportMetric(float64(last.VeriflowBytes)/1e6, "veriflow-MB")
+	b.ReportMetric(last.Ratio, "ratio")
+}
+
+// BenchmarkAppendixC_MaxECs measures Veriflow-RI's EC fan-out tracking
+// during a full insertion replay.
+func BenchmarkAppendixC_MaxECs(b *testing.B) {
+	var maxECs int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAppendixC("rf1755", benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxECs = res.MaxECs
+	}
+	b.ReportMetric(float64(maxECs), "max-ECs")
+}
+
+// BenchmarkScaling_InsertRemove supports Theorem 1 empirically: per-op
+// time across growing workloads (quasi-linear means the metric stays
+// near-flat while ops grow 8×).
+func BenchmarkScaling_InsertRemove(b *testing.B) {
+	for _, s := range []float64{benchScale / 4, benchScale / 2, benchScale, benchScale * 2} {
+		s := s
+		b.Run(fmt.Sprintf("scale-%g", s), func(b *testing.B) {
+			var perOp time.Duration
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.RunTable3("rf1755", s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perOp = row.Average
+			}
+			b.ReportMetric(float64(perOp.Nanoseconds())/1e3, "µs/update")
+		})
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblation_AtomGC compares replay cost with and without the atom
+// garbage collector on a removal-heavy dataset (rf1755 removes every
+// rule): GC pays bookkeeping per op to bound atom growth.
+func BenchmarkAblation_AtomGC(b *testing.B) {
+	tr, err := datasets.Build("rf1755", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, gc := range []bool{false, true} {
+		gc := gc
+		name := "off"
+		if gc {
+			name = "on"
+		}
+		b.Run("gc-"+name, func(b *testing.B) {
+			var atoms int
+			for i := 0; i < b.N; i++ {
+				n := core.NewNetwork(tr.Graph.Clone(), core.Options{GC: gc})
+				var d core.Delta
+				for j := range tr.Ops {
+					if err := trace.Apply(n, tr.Ops[j], &d); err != nil {
+						b.Fatal(err)
+					}
+				}
+				atoms = n.NumAtoms()
+			}
+			b.ReportMetric(float64(atoms), "final-atoms")
+		})
+	}
+}
+
+// BenchmarkAblation_DeltaLoopCheck isolates the per-update loop check's
+// cost: replay with and without FindLoopsDelta.
+func BenchmarkAblation_DeltaLoopCheck(b *testing.B) {
+	tr, err := datasets.Build("airtel1", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, withCheck bool) {
+		for i := 0; i < b.N; i++ {
+			n := core.NewNetwork(tr.Graph.Clone(), core.Options{})
+			var d core.Delta
+			for j := range tr.Ops {
+				if err := trace.Apply(n, tr.Ops[j], &d); err != nil {
+					b.Fatal(err)
+				}
+				if withCheck {
+					check.FindLoopsDelta(n, &d)
+				}
+			}
+		}
+	}
+	b.Run("update-only", func(b *testing.B) { run(b, false) })
+	b.Run("update+loopcheck", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblation_AllPairsParallel compares Algorithm 3 serial versus
+// parallel (the paper's §6 parallelization) on the campus data plane.
+func BenchmarkAblation_AllPairsParallel(b *testing.B) {
+	n, _, err := experiments.BuildConsistentDataPlane("berkeley", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			check.AllPairs(n)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			check.AllPairsParallel(n, 0)
+		}
+	})
+}
+
+// BenchmarkAblation_ParallelDeltaCheck compares the serial per-update
+// loop check against the goroutine-parallel variant on a bulk delta (a
+// link-failure-sized label change touching many atoms): §6's
+// parallelizable atom loops, measured.
+func BenchmarkAblation_ParallelDeltaCheck(b *testing.B) {
+	n, tr, err := experiments.BuildConsistentDataPlane("airtel1", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Synthesize a bulk delta: every (link, atom) pair of the busiest
+	// link's label as Added entries.
+	links := experiments.LinksOf(tr)
+	var bulk core.Delta
+	for _, l := range links {
+		n.Label(l).ForEach(func(a int) bool {
+			bulk.Added = append(bulk.Added, core.LinkAtom{Link: l, Atom: intervalmapAtom(a)})
+			return len(bulk.Added) < 4096
+		})
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			check.FindLoopsDelta(n, &bulk)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			check.FindLoopsDeltaParallel(n, &bulk, 0)
+		}
+	})
+}
+
+// BenchmarkAblation_OwnerCopy quantifies the owner-copy cost of atom
+// splitting (Algorithm 1 lines 3–9), the term that makes the worst case
+// O(RK): each measured insertion splits an atom whose owner table already
+// holds K overlapping rules, so the engine deep-copies a K-entry tree.
+// GC mode keeps the structure steady between iterations (the paired
+// removal merges the split back), isolating the copy cost per update.
+func BenchmarkAblation_OwnerCopy(b *testing.B) {
+	for _, k := range []int{16, 256, 4096} {
+		k := k
+		b.Run(fmt.Sprintf("owners-%d", k), func(b *testing.B) {
+			c := New(WithoutLoopChecking(), WithAtomGC())
+			s := c.AddSwitch("s")
+			l := c.AddLink(s, c.AddSwitch("d"))
+			// K nested rules share the centre point; any split of the
+			// centre atom copies a K-rule owner tree.
+			const centre = uint64(1 << 24)
+			for i := 0; i < k; i++ {
+				w := uint64(1000 + i)
+				if _, err := c.InsertRule(Rule{ID: RuleID(i + 1), Source: s, Link: l,
+					Match: Interval{Lo: centre - w, Hi: centre + w}, Priority: Priority(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := RuleID(1<<31) + RuleID(i)
+				if _, err := c.InsertRule(Rule{ID: id, Source: s, Link: l,
+					Match: Interval{Lo: centre - 1, Hi: centre + 1}, Priority: 9999}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.RemoveRule(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

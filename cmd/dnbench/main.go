@@ -1,0 +1,173 @@
+// Command dnbench regenerates every table and figure of the paper's
+// evaluation (§4) at laptop scale and prints paper-style rows.
+//
+// Usage:
+//
+//	dnbench [-scale f] [-queries n] table2|table3|figure8|table4|table5|appendixC|scaling|all
+//
+// Scale 1.0 is the laptop default (see internal/datasets); pass a larger
+// scale to approach the paper's sizes given enough time and memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"deltanet/internal/datasets"
+	"deltanet/internal/experiments"
+	"deltanet/internal/stats"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = laptop default)")
+	queries := flag.Int("queries", 0, "max what-if queries per dataset for table4 (0 = all links)")
+	flag.Parse()
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	run := func(name string, fn func() error) {
+		if which != "all" && which != name {
+			return
+		}
+		fmt.Printf("==== %s (scale %g) ====\n", name, *scale)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table2", func() error { return table2(*scale) })
+	run("table3", func() error { return table3(*scale) })
+	run("figure8", func() error { return figure8(*scale) })
+	run("table4", func() error { return table4(*scale, *queries) })
+	run("table5", func() error { return table5(*scale) })
+	run("appendixC", func() error { return appendixC(*scale) })
+	run("scaling", func() error { return scaling(*scale) })
+
+	switch which {
+	case "all", "table2", "table3", "figure8", "table4", "table5", "appendixC", "scaling":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+		os.Exit(2)
+	}
+}
+
+func table2(scale float64) error {
+	rows, err := experiments.RunTable2(scale)
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Dataset, strconv.Itoa(r.Nodes),
+			strconv.Itoa(r.MaxLinks), strconv.Itoa(r.Operations)})
+	}
+	fmt.Print(experiments.FormatTable([]string{"Data set", "Nodes", "Max Links", "Operations"}, cells))
+	return nil
+}
+
+func table3(scale float64) error {
+	var cells [][]string
+	for _, name := range datasets.Names() {
+		row, err := experiments.RunTable3(name, scale)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, []string{
+			row.Dataset,
+			strconv.Itoa(row.TotalAtoms),
+			stats.FormatMicros(row.Median),
+			stats.FormatMicros(row.Average),
+			fmt.Sprintf("%.1f%%", row.PctBelow250),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"Data set", "Atoms", "Median", "Average", "< 250µs"}, cells))
+	return nil
+}
+
+func figure8(scale float64) error {
+	series, err := experiments.RunFigure8(scale)
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		fmt.Printf("# dataset: %s\n%s\n", s.Dataset, stats.FormatCDF(s.Points))
+	}
+	return nil
+}
+
+func table4(scale float64, queries int) error {
+	var cells [][]string
+	for _, name := range datasets.Names() {
+		row, err := experiments.RunTable4(name, scale, queries)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, []string{
+			row.Dataset,
+			strconv.Itoa(row.Rules),
+			strconv.Itoa(row.Queries),
+			fmt.Sprintf("%.2fms", ms(row.VeriflowAvg)),
+			fmt.Sprintf("%.3fms", ms(row.DeltanetAvg)),
+			fmt.Sprintf("%.3fms", ms(row.DeltanetLoops)),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"Data plane", "Rules", "Queries", "Veriflow-RI", "Delta-net", "+Loops"}, cells))
+	return nil
+}
+
+func table5(scale float64) error {
+	var cells [][]string
+	for _, name := range datasets.Names() {
+		row, err := experiments.RunTable5(name, scale)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, []string{
+			row.Dataset,
+			fmt.Sprintf("%.2fMB", float64(row.VeriflowBytes)/1e6),
+			fmt.Sprintf("%.2fMB", float64(row.DeltanetBytes)/1e6),
+			fmt.Sprintf("%.1fx", row.Ratio),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"Data set", "Veriflow-RI", "Delta-net", "Ratio"}, cells))
+	return nil
+}
+
+func appendixC(scale float64) error {
+	res, err := experiments.RunAppendixC("rf1755", scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rf1755: max ECs affected by a single rule insertion (Veriflow-RI): %d\n", res.MaxECs)
+	return nil
+}
+
+func scaling(scale float64) error {
+	pts, err := experiments.RunScaling([]float64{scale * 0.25, scale * 0.5, scale, scale * 2})
+	if err != nil {
+		return err
+	}
+	var cells [][]string
+	for _, p := range pts {
+		cells = append(cells, []string{
+			strconv.Itoa(p.Ops),
+			strconv.Itoa(p.Atoms),
+			p.TotalTime.Round(time.Millisecond).String(),
+			stats.FormatMicros(p.PerOp),
+		})
+	}
+	fmt.Print(experiments.FormatTable([]string{"Ops", "Atoms", "Total", "Per-op"}, cells))
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

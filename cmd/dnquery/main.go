@@ -1,0 +1,168 @@
+// Command dnquery answers reachability and "what if" queries against a
+// consistent data plane built from a dataset or trace file — the
+// Datalog-style use cases of the paper's design goal 3 (§2.2, §4.3.2).
+//
+// Usage:
+//
+//	dnquery [-scale f] [-trace file] <dataset> reach <nodeA> <nodeB>
+//	dnquery [-scale f] [-trace file] <dataset> whatif <nodeA> <nodeB>
+//	dnquery [-scale f] [-trace file] <dataset> loops
+//	dnquery [-scale f] [-trace file] <dataset> allpairs
+//
+// Node arguments are node names from the topology (e.g. "s1", "delhi").
+// With -trace, the dataset argument is ignored and the trace file is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deltanet/internal/check"
+	"deltanet/internal/core"
+	"deltanet/internal/experiments"
+	"deltanet/internal/intervalmap"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+	"deltanet/internal/trace"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	traceFile := flag.String("trace", "", "replay this trace file instead of generating a dataset")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+	}
+	dataset, verb := args[0], args[1]
+
+	var n *core.Network
+	var g *netgraph.Graph
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			die(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			die(err)
+		}
+		n = core.NewNetwork(tr.Graph, core.Options{})
+		var d core.Delta
+		for _, op := range tr.Ops {
+			if op.Insert {
+				if err := trace.Apply(n, op, &d); err != nil {
+					die(err)
+				}
+			}
+		}
+		g = tr.Graph
+	} else {
+		var err error
+		var tr *trace.Trace
+		n, tr, err = experiments.BuildConsistentDataPlane(dataset, *scale)
+		if err != nil {
+			die(err)
+		}
+		g = tr.Graph
+	}
+
+	switch verb {
+	case "reach":
+		if len(args) != 4 {
+			usage()
+		}
+		a, b := node(g, args[2]), node(g, args[3])
+		atoms := check.Reachable(n, a, b)
+		fmt.Printf("%d atom(s) can flow %s -> %s:\n", atoms.Len(), args[2], args[3])
+		printRanges(n, atoms)
+	case "whatif":
+		if len(args) != 4 {
+			usage()
+		}
+		a, b := node(g, args[2]), node(g, args[3])
+		l := g.FindLink(a, b)
+		if l == netgraph.NoLink {
+			die(fmt.Errorf("no link %s -> %s", args[2], args[3]))
+		}
+		sub := check.AffectedByLinkFailure(n, l)
+		fmt.Printf("failing %s -> %s affects %d atom(s) across %d labelled edge(s)\n",
+			args[2], args[3], sub.Affected.Len(), sub.NumEdges())
+		loops := check.LoopsInSubgraph(n, sub)
+		fmt.Printf("loops among affected flows: %d\n", len(loops))
+	case "loops":
+		loops := check.FindLoopsAll(n)
+		fmt.Printf("%d forwarding loop(s) in the data plane\n", len(loops))
+		for i, l := range loops {
+			if i >= 10 {
+				fmt.Printf("... and %d more\n", len(loops)-10)
+				break
+			}
+			iv, _ := n.AtomInterval(l.Atom)
+			fmt.Printf("  loop for %v through %d nodes\n", iv, len(l.Nodes)-1)
+		}
+	case "allpairs":
+		r := check.AllPairsParallel(n, 0)
+		pairs, nonEmpty := 0, 0
+		for i := range r {
+			for j := range r[i] {
+				if i == j {
+					continue
+				}
+				pairs++
+				if !r[i][j].Empty() {
+					nonEmpty++
+				}
+			}
+		}
+		fmt.Printf("all-pairs reachability: %d/%d ordered pairs connected\n", nonEmpty, pairs)
+	default:
+		usage()
+	}
+}
+
+func printRanges(n *core.Network, atoms interface {
+	Contains(int) bool
+	Len() int
+}) {
+	count := 0
+	n.ForEachAtom(func(id intervalmap.AtomID, iv ipnet.Interval) bool {
+		if !atoms.Contains(int(id)) {
+			return true
+		}
+		count++
+		if count > 20 {
+			return false
+		}
+		lo := ipnet.FormatAddr(iv.Lo)
+		fmt.Printf("  %v  (%s ...)\n", iv, lo)
+		return true
+	})
+	if count > 20 {
+		fmt.Printf("  ... and %d more\n", atoms.Len()-20)
+	}
+}
+
+func node(g *netgraph.Graph, name string) netgraph.NodeID {
+	id := g.NodeByName(name)
+	if id == netgraph.NoNode {
+		die(fmt.Errorf("unknown node %q", name))
+	}
+	return id
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dnquery [-scale f] [-trace file] <dataset> reach <nodeA> <nodeB>
+  dnquery [-scale f] [-trace file] <dataset> whatif <nodeA> <nodeB>
+  dnquery [-scale f] [-trace file] <dataset> loops
+  dnquery [-scale f] [-trace file] <dataset> allpairs`)
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

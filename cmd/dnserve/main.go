@@ -1,0 +1,76 @@
+// Command dnserve runs the Delta-net checker as a TCP service (the
+// sidecar deployment of the paper's Figure 7): controllers stream rule
+// updates as protocol lines and receive per-update verification verdicts.
+//
+// Usage:
+//
+//	dnserve [-addr host:port] [-gc] [-trace file]
+//
+// With -trace, the topology and insertions of the trace are preloaded
+// before serving. See internal/server for the protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"deltanet/internal/core"
+	"deltanet/internal/netgraph"
+	"deltanet/internal/server"
+	"deltanet/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6633", "listen address")
+	gc := flag.Bool("gc", false, "enable atom garbage collection")
+	traceFile := flag.String("trace", "", "preload this trace's topology and insertions")
+	flag.Parse()
+
+	s := server.New(core.Options{GC: *gc})
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		// Rebuild the topology into the server's graph so protocol ids
+		// match the trace's.
+		for v := netgraph.NodeID(0); int(v) < tr.Graph.NumNodes(); v++ {
+			s.Graph().AddNode(tr.Graph.NodeName(v))
+		}
+		for _, l := range tr.Graph.Links() {
+			s.Graph().AddLink(l.Src, l.Dst)
+		}
+		var d core.Delta
+		for _, op := range tr.Ops {
+			if !op.Insert {
+				continue
+			}
+			if err := trace.Apply(s.Network(), op, &d); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "preloaded %s: %d rules, %d atoms\n",
+			tr.Name, s.Network().NumRules(), s.Network().NumAtoms())
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dnserve listening on %s\n", l.Addr())
+	if err := s.Serve(l); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

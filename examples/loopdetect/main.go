@@ -1,0 +1,87 @@
+// Loopdetect: real-time detection of a forwarding loop the moment the rule
+// that closes it is installed (the paper's per-update invariant, §4.3.1).
+//
+// We build the four-switch network of Figure 2, install benign rules, and
+// then inject a misconfigured high-priority rule that bounces part of the
+// address space back — Delta-net flags the exact update and the exact
+// address range that loops, with no false alarms for the rest.
+//
+// Run with: go run ./examples/loopdetect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deltanet"
+)
+
+func main() {
+	c := deltanet.New()
+	s1 := c.AddSwitch("s1")
+	s2 := c.AddSwitch("s2")
+	s3 := c.AddSwitch("s3")
+	s4 := c.AddSwitch("s4")
+	l12 := c.AddLink(s1, s2)
+	l23 := c.AddLink(s2, s3)
+	l34 := c.AddLink(s3, s4)
+	l21 := c.AddLink(s2, s1) // the link the bad rule will use
+
+	// Benign chain: 10.0.0.0/8 flows s1 -> s2 -> s3 -> s4.
+	mustOK(c, deltanet.Rule{ID: 1, Source: s1, Link: l12, Match: pfx(c, "10.0.0.0/8"), Priority: 10})
+	mustOK(c, deltanet.Rule{ID: 2, Source: s2, Link: l23, Match: pfx(c, "10.0.0.0/8"), Priority: 10})
+	mustOK(c, deltanet.Rule{ID: 3, Source: s3, Link: l34, Match: pfx(c, "10.0.0.0/8"), Priority: 10})
+	fmt.Println("installed benign chain s1->s2->s3->s4 for 10.0.0.0/8: no alarms")
+
+	// Misconfiguration: someone "fixes" a customer issue by bouncing
+	// 10.20.0.0/16 from s2 back to s1 at high priority.
+	rep, err := c.InsertRule(deltanet.Rule{ID: 4, Source: s2, Link: l21,
+		Match: pfx(c, "10.20.0.0/16"), Priority: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Loops) == 0 {
+		log.Fatal("BUG: loop not detected")
+	}
+	fmt.Printf("\nALARM: rule 4 introduced %d forwarding loop(s):\n", len(rep.Loops))
+	for _, l := range rep.Loops {
+		iv, _ := c.AtomRange(l.Atom)
+		fmt.Printf("  packets in %v loop through %d nodes:", iv, len(l.Nodes)-1)
+		for _, v := range l.Nodes {
+			fmt.Printf(" %s", c.Network().Graph().NodeName(v))
+		}
+		fmt.Println()
+	}
+
+	// Only the /16 loops; the rest of the /8 still flows cleanly.
+	fmt.Println("\nunaffected traffic still verified loop-free:")
+	fmt.Printf("  ranges reaching s4: %v\n", c.ReachableRanges(s1, s4))
+
+	// The operator reverts the bad rule; Delta-net confirms the loop is
+	// gone in the same update.
+	if _, err := c.RemoveRule(4); err != nil {
+		log.Fatal(err)
+	}
+	if loops := c.FindLoops(); len(loops) != 0 {
+		log.Fatal("BUG: loop survived revert")
+	}
+	fmt.Println("\nreverted rule 4: data plane loop-free again")
+}
+
+func pfx(c *deltanet.Checker, s string) deltanet.Interval {
+	p, err := deltanet.ParsePrefix(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p.Interval()
+}
+
+func mustOK(c *deltanet.Checker, r deltanet.Rule) {
+	rep, err := c.InsertRule(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Loops) > 0 {
+		log.Fatalf("unexpected loop from %v", r)
+	}
+}

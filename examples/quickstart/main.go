@@ -1,0 +1,72 @@
+// Quickstart: the paper's Table 1 / §3 worked example as a runnable
+// program.
+//
+// A single switch holds two rules: a high-priority drop rule for
+// 0.0.0.10/31 and a low-priority forward rule for 0.0.0.0/28. Delta-net
+// segments the rules into atoms and maintains, per link, exactly the set
+// of packets that flow on it. We then insert the medium-priority rule rM
+// from §3.2.1 and watch the atom [0:10) split.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deltanet"
+)
+
+func main() {
+	c := deltanet.New()
+	s := c.AddSwitch("s")
+	peer := c.AddSwitch("peer")
+	uplink := c.AddLink(s, peer)
+
+	// rH: drop packets to 0.0.0.10/31 (= addresses [10:12)).
+	if _, err := c.InsertPrefixRule(1, s, deltanet.NoLink, "0.0.0.10/31", 30); err != nil {
+		log.Fatal(err)
+	}
+	// rL: forward packets to 0.0.0.0/28 (= addresses [0:16)).
+	if _, err := c.InsertPrefixRule(2, s, uplink, "0.0.0.0/28", 10); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("after rH and rL: %d rules, %d atoms\n", c.NumRules(), c.NumAtoms())
+	showFlows(c, s, peer)
+
+	// rM from §3.2.1: 0.0.0.8/30 (= [8:12)) at medium priority. Its
+	// insertion splits the atom [0:10) into [0:8) and [8:10).
+	rep, err := c.InsertPrefixRule(3, s, uplink, "0.0.0.8/30", 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninserting rM split %d atom(s); now %d atoms\n",
+		len(rep.Delta.NewAtoms), c.NumAtoms())
+	showFlows(c, s, peer)
+
+	// The persistent flow API: what can reach the peer right now?
+	fmt.Println("\nranges reaching peer:")
+	for _, iv := range c.ReachableRanges(s, peer) {
+		fmt.Printf("  %v\n", iv)
+	}
+}
+
+func showFlows(c *deltanet.Checker, s, peer deltanet.SwitchID) {
+	fmt.Println("per-address forwarding at s:")
+	for addr := uint64(0); addr < 18; addr++ {
+		atom := c.AtomOf(addr)
+		link := c.Network().ForwardLink(s, atom)
+		verdict := "no rule (miss)"
+		switch {
+		case link == deltanet.NoLink:
+		case c.Network().Graph().IsDropLink(link):
+			verdict = "DROP (rH)"
+		default:
+			verdict = "forward to peer"
+		}
+		if addr == 0 || addr == 8 || addr == 10 || addr == 12 || addr == 16 {
+			fmt.Printf("  addr %2d (atom %d): %s\n", addr, atom, verdict)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package bgp synthesizes the Route-Views-style IP prefix feeds the
+// paper's datasets are generated from (§4.2.1: "we gather IP prefixes from
+// over half a million real-world BGP updates collected by the Route Views
+// project"). The real dumps are external data, so — per the reproduction's
+// substitution rule — we generate prefix sets whose statistics match what
+// drives Delta-net's complexity: the prefix-length distribution of the
+// global routing table (dominated by /24 and /16, a spread of /8–/23) and
+// a controllable degree of nesting/overlap between prefixes.
+//
+// All generation is deterministic per seed.
+package bgp
+
+import (
+	"math/rand"
+
+	"deltanet/internal/ipnet"
+)
+
+// lengthWeights approximates the global BGP table's prefix-length mix:
+// /24 dominates (~55%), /16 and /22–/23 are common, short prefixes rare.
+var lengthWeights = []struct {
+	length int
+	weight int
+}{
+	{8, 1}, {9, 1}, {10, 1}, {11, 2}, {12, 2}, {13, 3}, {14, 4}, {15, 4},
+	{16, 12}, {17, 4}, {18, 5}, {19, 7}, {20, 8}, {21, 8}, {22, 12},
+	{23, 10}, {24, 55},
+}
+
+var totalWeight = func() int {
+	t := 0
+	for _, lw := range lengthWeights {
+		t += lw.weight
+	}
+	return t
+}()
+
+// Feed generates synthetic BGP-announced prefixes.
+type Feed struct {
+	rng     *rand.Rand
+	nesting float64 // probability a new prefix nests inside a prior one
+	emitted []ipnet.Prefix
+}
+
+// NewFeed returns a deterministic feed. nesting in [0,1] controls how
+// often a generated prefix is a sub-prefix of an earlier one (real tables
+// contain substantial nesting, which is what produces atom splits and
+// overlapping-rule pressure); 0.3 is a realistic default.
+func NewFeed(seed int64, nesting float64) *Feed {
+	if nesting < 0 {
+		nesting = 0
+	}
+	if nesting > 1 {
+		nesting = 1
+	}
+	return &Feed{rng: rand.New(rand.NewSource(seed)), nesting: nesting}
+}
+
+func (f *Feed) sampleLength() int {
+	w := f.rng.Intn(totalWeight)
+	for _, lw := range lengthWeights {
+		w -= lw.weight
+		if w < 0 {
+			return lw.length
+		}
+	}
+	return 24
+}
+
+// Next returns the next prefix in the feed.
+func (f *Feed) Next() ipnet.Prefix {
+	var p ipnet.Prefix
+	if len(f.emitted) > 0 && f.rng.Float64() < f.nesting {
+		// Nest inside a previously emitted prefix: pick a parent and
+		// extend its length.
+		parent := f.emitted[f.rng.Intn(len(f.emitted))]
+		if parent.Len < 24 {
+			extra := 1 + f.rng.Intn(24-parent.Len)
+			sub := parent.Addr | (uint64(f.rng.Intn(1<<uint(extra))) << uint(32-parent.Len-extra))
+			p = ipnet.NewPrefix(sub, parent.Len+extra)
+		}
+	}
+	if p.Bits == 0 { // not nested: fresh prefix in unicast space
+		length := f.sampleLength()
+		// Spread addresses over 1.0.0.0 – 223.255.255.255.
+		addr := uint64(1+f.rng.Intn(223))<<24 | uint64(f.rng.Intn(1<<24))
+		p = ipnet.NewPrefix(addr, length)
+	}
+	f.emitted = append(f.emitted, p)
+	return p
+}
+
+// Prefixes returns n prefixes from the feed. Duplicates are possible, as
+// in real BGP tables where multiple peers announce the same prefix.
+func (f *Feed) Prefixes(n int) []ipnet.Prefix {
+	out := make([]ipnet.Prefix, n)
+	for i := range out {
+		out[i] = f.Next()
+	}
+	return out
+}
+
+// UniquePrefixes returns exactly n distinct prefixes.
+func (f *Feed) UniquePrefixes(n int) []ipnet.Prefix {
+	seen := map[ipnet.Prefix]bool{}
+	out := make([]ipnet.Prefix, 0, n)
+	for len(out) < n {
+		p := f.Next()
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// UpdateKind is the type of one BGP update.
+type UpdateKind uint8
+
+const (
+	// Announce introduces or re-announces a prefix.
+	Announce UpdateKind = iota
+	// Withdraw retracts a previously announced prefix.
+	Withdraw
+)
+
+// Update is one simulated BGP update.
+type Update struct {
+	Kind   UpdateKind
+	Prefix ipnet.Prefix
+}
+
+// Updates generates a stream of n updates over a working set of prefixes:
+// announcements of new prefixes interleaved with withdrawals and
+// re-announcements of live ones, mimicking replayed BGP churn.
+func (f *Feed) Updates(n int) []Update {
+	var live []ipnet.Prefix
+	out := make([]Update, 0, n)
+	for len(out) < n {
+		if len(live) == 0 || f.rng.Intn(100) < 60 {
+			p := f.Next()
+			live = append(live, p)
+			out = append(out, Update{Kind: Announce, Prefix: p})
+		} else {
+			i := f.rng.Intn(len(live))
+			p := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			out = append(out, Update{Kind: Withdraw, Prefix: p})
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package bgp
+
+import (
+	"testing"
+
+	"deltanet/internal/ipnet"
+)
+
+func TestFeedDeterministic(t *testing.T) {
+	a := NewFeed(1, 0.3).Prefixes(100)
+	b := NewFeed(1, 0.3).Prefixes(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prefix %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := NewFeed(2, 0.3).Prefixes(100)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestFeedLengthDistribution(t *testing.T) {
+	ps := NewFeed(3, 0).Prefixes(5000)
+	counts := map[int]int{}
+	for _, p := range ps {
+		if p.Len < 8 || p.Len > 24 {
+			t.Fatalf("prefix length %d out of BGP range", p.Len)
+		}
+		counts[p.Len]++
+	}
+	// /24 dominates; /16 is a clear secondary mode.
+	if counts[24] < counts[16] || counts[16] < counts[8] {
+		t.Fatalf("length distribution shape wrong: /24=%d /16=%d /8=%d",
+			counts[24], counts[16], counts[8])
+	}
+	if float64(counts[24])/float64(len(ps)) < 0.3 {
+		t.Fatalf("/24 share too small: %d/%d", counts[24], len(ps))
+	}
+}
+
+func TestFeedNesting(t *testing.T) {
+	ps := NewFeed(4, 0.8).Prefixes(2000)
+	nested := 0
+	for i, p := range ps {
+		for j := 0; j < i; j++ {
+			q := ps[j]
+			if q.Len < p.Len && p.Interval().CoveredBy(q.Interval()) {
+				nested++
+				break
+			}
+		}
+	}
+	if nested < 200 {
+		t.Fatalf("high-nesting feed produced only %d nested prefixes", nested)
+	}
+	// Zero nesting: overlap still possible by chance but much rarer.
+	ps0 := NewFeed(4, 0).Prefixes(2000)
+	nested0 := 0
+	for i, p := range ps0 {
+		for j := 0; j < i; j++ {
+			q := ps0[j]
+			if q.Len < p.Len && p.Interval().CoveredBy(q.Interval()) {
+				nested0++
+				break
+			}
+		}
+	}
+	if nested0 >= nested {
+		t.Fatalf("nesting knob ineffective: %d vs %d", nested0, nested)
+	}
+	// Clamping.
+	if NewFeed(1, -5) == nil || NewFeed(1, 5) == nil {
+		t.Fatal("clamped feeds nil")
+	}
+}
+
+func TestUniquePrefixes(t *testing.T) {
+	ps := NewFeed(5, 0.5).UniquePrefixes(500)
+	if len(ps) != 500 {
+		t.Fatalf("len=%d", len(ps))
+	}
+	seen := map[ipnet.Prefix]bool{}
+	for _, p := range ps {
+		if seen[p] {
+			t.Fatalf("duplicate %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPrefixesInUnicastSpace(t *testing.T) {
+	for _, p := range NewFeed(6, 0.3).Prefixes(1000) {
+		iv := p.Interval()
+		if iv.Hi > 224<<24 { // below multicast space
+			t.Fatalf("prefix %v reaches into multicast space", p)
+		}
+		if iv.Lo < 1<<24 {
+			t.Fatalf("prefix %v in 0.0.0.0/8", p)
+		}
+	}
+}
+
+func TestUpdates(t *testing.T) {
+	ups := NewFeed(7, 0.3).Updates(1000)
+	if len(ups) != 1000 {
+		t.Fatalf("len=%d", len(ups))
+	}
+	live := map[ipnet.Prefix]int{}
+	for _, u := range ups {
+		switch u.Kind {
+		case Announce:
+			live[u.Prefix]++
+		case Withdraw:
+			if live[u.Prefix] == 0 {
+				t.Fatal("withdraw of non-announced prefix")
+			}
+			live[u.Prefix]--
+		}
+	}
+	// Mixed stream: both kinds present.
+	hasW := false
+	for _, u := range ups {
+		if u.Kind == Withdraw {
+			hasW = true
+		}
+	}
+	if !hasW {
+		t.Fatal("no withdrawals generated")
+	}
+}

@@ -1,0 +1,127 @@
+package check
+
+// Failure-combination analysis — the paper's concluding direction: "Our
+// work therefore opens up interesting new research directions, including
+// testing scenarios under different combinations of failures, which have
+// been shown to be effective for distributed systems" (§6).
+//
+// Because Delta-net keeps every packet's flows in the edge labels, the
+// impact of failing a SET of links is computable without touching the
+// engine: the affected packets are the union of the failed links' labels,
+// and connectivity loss is evaluated by re-running the reachability
+// fixpoint with those links masked out.
+
+import (
+	"deltanet/internal/bitset"
+	"deltanet/internal/core"
+	"deltanet/internal/netgraph"
+)
+
+// FailureImpact summarizes one failure combination.
+type FailureImpact struct {
+	Failed   []netgraph.LinkID
+	Affected *bitset.Set // atoms whose current path uses a failed link
+	// Stranded are the atoms that, from the probe source, could reach
+	// the probe destination before the failure but cannot after it
+	// (empty when the network reroutes everything or no probe given).
+	Stranded *bitset.Set
+}
+
+// ReachableAvoiding is Reachable with a set of links masked out: the
+// data plane is evaluated as if the rules on those links vanished and no
+// rerouting happened — the instant after the failure, before the
+// controller reacts.
+func ReachableAvoiding(n *core.Network, from, to netgraph.NodeID, failed map[netgraph.LinkID]bool) *bitset.Set {
+	g := n.Graph()
+	reach := make([]*bitset.Set, g.NumNodes())
+	inQueue := make([]bool, g.NumNodes())
+	queue := []netgraph.NodeID{from}
+	inQueue[from] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		for _, lid := range g.Out(v) {
+			if failed[lid] {
+				continue
+			}
+			label := n.Label(lid)
+			if label.Empty() {
+				continue
+			}
+			var contribution *bitset.Set
+			if v == from {
+				contribution = label
+			} else {
+				contribution = bitset.Intersect(reach[v], label)
+				if contribution.Empty() {
+					continue
+				}
+			}
+			w := g.Link(lid).Dst
+			if reach[w] == nil {
+				reach[w] = bitset.New(n.MaxAtomID())
+			}
+			before := reach[w].Len()
+			reach[w].UnionWith(contribution)
+			if reach[w].Len() != before && !inQueue[w] && w != from {
+				queue = append(queue, w)
+				inQueue[w] = true
+			}
+		}
+	}
+	if reach[to] == nil {
+		return bitset.New(0)
+	}
+	return reach[to]
+}
+
+// AnalyzeFailure computes the impact of failing a combination of links.
+// If probeFrom/probeTo are valid nodes, Stranded reports the traffic that
+// loses from→to connectivity.
+func AnalyzeFailure(n *core.Network, failed []netgraph.LinkID, probeFrom, probeTo netgraph.NodeID) FailureImpact {
+	affected := bitset.New(n.MaxAtomID())
+	mask := map[netgraph.LinkID]bool{}
+	for _, l := range failed {
+		affected.UnionWith(n.Label(l))
+		mask[l] = true
+	}
+	imp := FailureImpact{Failed: failed, Affected: affected, Stranded: bitset.New(0)}
+	if probeFrom != netgraph.NoNode && probeTo != netgraph.NoNode {
+		before := Reachable(n, probeFrom, probeTo)
+		after := ReachableAvoiding(n, probeFrom, probeTo, mask)
+		imp.Stranded = bitset.Difference(before, after)
+	}
+	return imp
+}
+
+// SweepDoubleFailures evaluates every pair from the candidate links and
+// returns the pairs ranked by affected-traffic size (largest first),
+// capped at topK (0 = all). This is the pre-deployment "which two
+// simultaneous failures hurt most" question; on Delta-net it needs only
+// label unions, no per-class graph construction.
+func SweepDoubleFailures(n *core.Network, candidates []netgraph.LinkID, probeFrom, probeTo netgraph.NodeID, topK int) []FailureImpact {
+	var out []FailureImpact
+	for i := 0; i < len(candidates); i++ {
+		for j := i + 1; j < len(candidates); j++ {
+			imp := AnalyzeFailure(n, []netgraph.LinkID{candidates[i], candidates[j]}, probeFrom, probeTo)
+			out = append(out, imp)
+		}
+	}
+	// Selection sort of the top-K by affected size (K is small; the
+	// candidate set dominates cost anyway).
+	for i := 0; i < len(out); i++ {
+		maxAt := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Affected.Len() > out[maxAt].Affected.Len() {
+				maxAt = j
+			}
+		}
+		out[i], out[maxAt] = out[maxAt], out[i]
+		if topK > 0 && i+1 >= topK {
+			out = out[:i+1]
+			break
+		}
+	}
+	return out
+}

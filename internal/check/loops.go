@@ -1,0 +1,142 @@
+// Package check implements the network-wide property checkers that run on
+// Delta-net's edge-labelled graph: forwarding-loop detection per rule
+// update (§4.3.1), single-source reachability, all-pairs reachability via
+// Algorithm 3 (§3.3), black-hole detection, and isolation/waypoint queries
+// in the style of the paper's design goal 3.
+//
+// All checkers operate purely through the engine's read API (Label,
+// ForwardLink, Graph), so they apply equally to a full network or to the
+// restriction induced by a delta-graph.
+package check
+
+import (
+	"deltanet/internal/core"
+	"deltanet/internal/intervalmap"
+	"deltanet/internal/netgraph"
+)
+
+// Loop describes one forwarding loop: a packet in Atom injected at the
+// head of the first link revisits a node. Nodes lists the cycle in
+// traversal order, starting and ending at the repeated node.
+type Loop struct {
+	Atom  intervalmap.AtomID
+	Nodes []netgraph.NodeID
+}
+
+// FindLoopsDelta checks whether a rule update introduced forwarding loops,
+// the per-update invariant of §4.3.1. Only label additions can create a
+// loop (removals only break paths), so the check walks forward from each
+// added (link, atom) pair. Forwarding is deterministic per atom — each
+// node has at most one owning rule per atom — so each walk is linear in
+// path length, as in the paper's iterative depth-first traversal.
+//
+// The returned loops are deduplicated per atom.
+func FindLoopsDelta(n *core.Network, d *core.Delta) []Loop {
+	if d == nil || len(d.Added) == 0 {
+		return nil
+	}
+	var loops []Loop
+	seen := map[intervalmap.AtomID]bool{}
+	for _, la := range d.Added {
+		if seen[la.Atom] {
+			continue
+		}
+		l := n.Graph().Link(la.Link)
+		if loop, ok := traceLoop(n, l.Src, la.Atom); ok {
+			loops = append(loops, loop)
+			seen[la.Atom] = true
+		}
+	}
+	return loops
+}
+
+// traceLoop follows atom's forwarding function from node start. Because
+// each (node, atom) has at most one out-edge, the walk either terminates
+// (delivery, drop, or rule miss) or revisits a node, which is a loop.
+func traceLoop(n *core.Network, start netgraph.NodeID, atom intervalmap.AtomID) (Loop, bool) {
+	g := n.Graph()
+	visited := map[netgraph.NodeID]int{}
+	var path []netgraph.NodeID
+	v := start
+	for {
+		if at, ok := visited[v]; ok {
+			return Loop{Atom: atom, Nodes: append(append([]netgraph.NodeID(nil), path[at:]...), v)}, true
+		}
+		visited[v] = len(path)
+		path = append(path, v)
+		next := n.ForwardLink(v, atom)
+		if next == netgraph.NoLink || g.IsDropLink(next) {
+			return Loop{}, false
+		}
+		v = g.Link(next).Dst
+	}
+}
+
+// FindLoopsAll scans the entire data plane for forwarding loops across all
+// atoms. It is the non-incremental check used to validate the incremental
+// one and to audit consistent snapshots. Per atom the forwarding function
+// is a functional graph (at most one out-edge per node), so one memoized
+// pass over the nodes classifies every node as terminating or looping; the
+// total cost is O(atoms × nodes). At most one loop is reported per atom
+// per distinct cycle entry.
+func FindLoopsAll(n *core.Network) []Loop {
+	g := n.Graph()
+	var loops []Loop
+	const (
+		unknown uint8 = iota
+		safe
+		looping
+	)
+	verdict := make([]uint8, g.NumNodes())
+	var starts []netgraph.NodeID
+	for atom := 0; atom < n.MaxAtomID(); atom++ {
+		a := intervalmap.AtomID(atom)
+		// Start points: sources of links carrying the atom.
+		starts = starts[:0]
+		for _, l := range g.Links() {
+			if n.Label(l.ID).Contains(atom) {
+				starts = append(starts, l.Src)
+			}
+		}
+		if len(starts) == 0 {
+			continue
+		}
+		for i := range verdict {
+			verdict[i] = unknown
+		}
+		for _, start := range starts {
+			if verdict[start] != unknown {
+				continue
+			}
+			pos := map[netgraph.NodeID]int{}
+			var path []netgraph.NodeID
+			v := start
+			result := safe
+			for {
+				if verdict[v] != unknown {
+					result = verdict[v]
+					break
+				}
+				if p, ok := pos[v]; ok {
+					// Cycle: path[p:] revisits v.
+					cycle := append(append([]netgraph.NodeID(nil), path[p:]...), v)
+					loops = append(loops, Loop{Atom: a, Nodes: cycle})
+					result = looping
+					break
+				}
+				pos[v] = len(path)
+				path = append(path, v)
+				next := n.ForwardLink(v, a)
+				if next == netgraph.NoLink || g.IsDropLink(next) {
+					result = safe
+					break
+				}
+				v = g.Link(next).Dst
+			}
+			for _, u := range path {
+				verdict[u] = result
+			}
+		}
+	}
+	return loops
+}

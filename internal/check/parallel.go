@@ -1,0 +1,70 @@
+package check
+
+import (
+	"runtime"
+	"sync"
+
+	"deltanet/internal/core"
+	"deltanet/internal/intervalmap"
+)
+
+// FindLoopsDeltaParallel is FindLoopsDelta with the per-atom walks fanned
+// out over goroutines — the paper's §6 observation that "the main loops
+// over atoms in Algorithm 1 and 2 are highly parallelizable" applies to
+// the delta check too, since each atom's walk only reads engine state.
+// It pays off when a delta touches many atoms (bulk updates, link
+// failures); for the common 1–2 atom delta the serial version is faster.
+// workers ≤ 0 selects GOMAXPROCS.
+func FindLoopsDeltaParallel(n *core.Network, d *core.Delta, workers int) []Loop {
+	if d == nil || len(d.Added) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Deduplicate atoms first; one walk per affected atom.
+	seen := map[intervalmap.AtomID]core.LinkAtom{}
+	for _, la := range d.Added {
+		if _, ok := seen[la.Atom]; !ok {
+			seen[la.Atom] = la
+		}
+	}
+	type job struct {
+		atom intervalmap.AtomID
+		la   core.LinkAtom
+	}
+	jobs := make([]job, 0, len(seen))
+	for atom, la := range seen {
+		jobs = append(jobs, job{atom, la})
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		mu    sync.Mutex
+		loops []Loop
+		wg    sync.WaitGroup
+		next  = make(chan job, len(jobs))
+	)
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	g := n.Graph()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				l := g.Link(j.la.Link)
+				if loop, ok := traceLoop(n, l.Src, j.atom); ok {
+					mu.Lock()
+					loops = append(loops, loop)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return loops
+}

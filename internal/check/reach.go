@@ -1,0 +1,232 @@
+package check
+
+import (
+	"deltanet/internal/bitset"
+	"deltanet/internal/core"
+	"deltanet/internal/intervalmap"
+	"deltanet/internal/netgraph"
+)
+
+// Reachable computes the set of atoms (packets) that can flow from node
+// from to node to along some forwarding path — the paper's design goal 1:
+// "efficiently find all packets that can reach a node B from A" in one
+// query rather than one SAT call per witness.
+//
+// It runs a monotone worklist fixpoint: reach[v] is the set of atoms that
+// can arrive at v starting from from; an atom propagates over link v→w iff
+// it is in reach[v] ∩ label[v→w]. Injection at from is unrestricted (all
+// atoms), so reach[from] is conceptually the full space; the returned set
+// is reach[to] restricted to atoms that exist on some link.
+func Reachable(n *core.Network, from, to netgraph.NodeID) *bitset.Set {
+	g := n.Graph()
+	reach := make([]*bitset.Set, g.NumNodes())
+	inQueue := make([]bool, g.NumNodes())
+	queue := []netgraph.NodeID{from}
+	inQueue[from] = true
+
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		for _, lid := range g.Out(v) {
+			label := n.Label(lid)
+			if label.Empty() {
+				continue
+			}
+			l := g.Link(lid)
+			var contribution *bitset.Set
+			if v == from {
+				// Everything the first hop admits.
+				contribution = label
+			} else {
+				contribution = bitset.Intersect(reach[v], label)
+				if contribution.Empty() {
+					continue
+				}
+			}
+			w := l.Dst
+			if reach[w] == nil {
+				reach[w] = bitset.New(n.MaxAtomID())
+			}
+			before := reach[w].Len()
+			reach[w].UnionWith(contribution)
+			if reach[w].Len() != before && !inQueue[w] && w != from {
+				queue = append(queue, w)
+				inQueue[w] = true
+			}
+		}
+	}
+	if reach[to] == nil {
+		return bitset.New(0)
+	}
+	return reach[to]
+}
+
+// AffectedByLinkFailure answers the paper's exemplar "what if" query
+// (§4.3.2): what is the fate of packets that are using a link that fails?
+// For Delta-net the affected packets are available in constant time as
+// label[link]; the subgraph of all flows involving those packets is the
+// restriction of the edge-labelled graph to edges whose label intersects
+// it. The returned Subgraph represents, via one labelled graph, all
+// forwarding graphs Veriflow would have to construct per affected
+// equivalence class.
+func AffectedByLinkFailure(n *core.Network, link netgraph.LinkID) *Subgraph {
+	affected := n.Label(link)
+	sub := &Subgraph{Affected: affected.Clone()}
+	if affected.Empty() {
+		return sub
+	}
+	g := n.Graph()
+	for _, l := range g.Links() {
+		lbl := n.Label(l.ID)
+		if lbl.Intersects(affected) {
+			sub.Links = append(sub.Links, l.ID)
+			sub.Labels = append(sub.Labels, bitset.Intersect(lbl, affected))
+		}
+	}
+	return sub
+}
+
+// Subgraph is the restriction of the edge-labelled graph to a set of
+// atoms: the compact representation of "all flows of packets through the
+// network that would be affected" by an event (§4.3.2).
+type Subgraph struct {
+	Affected *bitset.Set // the atoms of interest
+	Links    []netgraph.LinkID
+	Labels   []*bitset.Set // parallel to Links: label ∩ Affected
+}
+
+// NumEdges returns the number of labelled edges in the subgraph.
+func (s *Subgraph) NumEdges() int { return len(s.Links) }
+
+// LoopsInSubgraph runs per-atom loop detection restricted to the affected
+// atoms of a subgraph (the "+Loops" column of Table 4).
+func LoopsInSubgraph(n *core.Network, sub *Subgraph) []Loop {
+	var loops []Loop
+	g := n.Graph()
+	sub.Affected.ForEach(func(atom int) bool {
+		a := intervalmap.AtomID(atom)
+		// Walk from the source of each subgraph edge carrying the atom.
+		for i, lid := range sub.Links {
+			if !sub.Labels[i].Contains(atom) {
+				continue
+			}
+			if loop, ok := traceLoop(n, g.Link(lid).Src, a); ok {
+				loops = append(loops, loop)
+				return true // one loop per atom suffices
+			}
+		}
+		return true
+	})
+	return loops
+}
+
+// BlackHole describes packets that arrive at a node with no matching rule:
+// the node receives atoms on some in-link whose forwarding function is
+// undefined there (distinct from an explicit drop, which is intentional).
+type BlackHole struct {
+	Node  netgraph.NodeID
+	Atoms *bitset.Set
+}
+
+// FindBlackHoles reports, for every node, the atoms that some in-link
+// delivers but that no rule at the node matches. Edge nodes that are
+// legitimate traffic sinks can be excluded via the sinks set (nil means no
+// exclusions).
+func FindBlackHoles(n *core.Network, sinks map[netgraph.NodeID]bool) []BlackHole {
+	g := n.Graph()
+	var out []BlackHole
+	for v := netgraph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if sinks[v] || (g.DropNode() != netgraph.NoNode && v == g.DropNode()) {
+			continue
+		}
+		incoming := bitset.New(0)
+		for _, lid := range g.In(v) {
+			incoming.UnionWith(n.Label(lid))
+		}
+		if incoming.Empty() {
+			continue
+		}
+		// Subtract everything v forwards or drops.
+		for _, lid := range g.Out(v) {
+			incoming.DifferenceWith(n.Label(lid))
+		}
+		if !incoming.Empty() {
+			out = append(out, BlackHole{Node: v, Atoms: incoming})
+		}
+	}
+	return out
+}
+
+// Isolated verifies a traffic-isolation property (§3.3: "traffic isolation
+// properties"): no packet in the given atom set can flow from any node in
+// groupA to any node in groupB. It returns the first violating atom set
+// found (nil when isolated).
+func Isolated(n *core.Network, groupA, groupB []netgraph.NodeID, atoms *bitset.Set) *bitset.Set {
+	inB := map[netgraph.NodeID]bool{}
+	for _, b := range groupB {
+		inB[b] = true
+	}
+	for _, a := range groupA {
+		for _, b := range groupB {
+			r := Reachable(n, a, b)
+			if atoms != nil {
+				r.IntersectWith(atoms)
+			}
+			if !r.Empty() {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// Waypoint verifies that every packet flowing from from to to traverses
+// the waypoint node: removing the waypoint's out-links from consideration,
+// nothing must remain reachable. It returns the atoms that bypass the
+// waypoint (empty when the property holds).
+func Waypoint(n *core.Network, from, to, waypoint netgraph.NodeID) *bitset.Set {
+	g := n.Graph()
+	// Fixpoint identical to Reachable but refusing to traverse waypoint.
+	reach := make([]*bitset.Set, g.NumNodes())
+	inQueue := make([]bool, g.NumNodes())
+	queue := []netgraph.NodeID{from}
+	inQueue[from] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		if v == waypoint {
+			continue // flows must not pass through
+		}
+		for _, lid := range g.Out(v) {
+			label := n.Label(lid)
+			if label.Empty() {
+				continue
+			}
+			var contribution *bitset.Set
+			if v == from {
+				contribution = label
+			} else {
+				contribution = bitset.Intersect(reach[v], label)
+				if contribution.Empty() {
+					continue
+				}
+			}
+			w := g.Link(lid).Dst
+			if reach[w] == nil {
+				reach[w] = bitset.New(n.MaxAtomID())
+			}
+			before := reach[w].Len()
+			reach[w].UnionWith(contribution)
+			if reach[w].Len() != before && !inQueue[w] && w != from {
+				queue = append(queue, w)
+				inQueue[w] = true
+			}
+		}
+	}
+	if reach[to] == nil {
+		return bitset.New(0)
+	}
+	return reach[to]
+}

@@ -1,0 +1,180 @@
+package check
+
+// Stateless packet modification — the paper's §6: "(stateless) packet
+// modification of IP prefixes can be easily supported without substantial
+// changes to the data structures by augmenting the edge-labelled graph
+// with the necessary information on how atoms are transformed along hops."
+//
+// A Rewrite on a link shifts the designated header field from one aligned
+// range onto another of equal size (the NAT-style dst-prefix translation
+// middleboxes perform). Reachability with rewrites propagates atom sets
+// through each hop's transform: an atom entering a rewriting link
+// continues as whatever atoms its translated interval overlaps.
+
+import (
+	"fmt"
+
+	"deltanet/internal/bitset"
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+)
+
+// Rewrite translates addresses in From to the corresponding offset in To.
+// From and To must be equal-sized intervals. Addresses outside From pass
+// through unchanged.
+type Rewrite struct {
+	From, To ipnet.Interval
+}
+
+// Valid reports whether the rewrite is well-formed.
+func (rw Rewrite) Valid() bool {
+	return !rw.From.Empty() && rw.From.Size() == rw.To.Size()
+}
+
+// Apply maps one address through the rewrite.
+func (rw Rewrite) Apply(addr uint64) uint64 {
+	if rw.From.Contains(addr) {
+		return rw.To.Lo + (addr - rw.From.Lo)
+	}
+	return addr
+}
+
+// ApplyInterval maps an interval through the rewrite, returning the pieces
+// of its image (the part inside From is shifted; parts outside pass
+// through). The result is a set of at most three disjoint intervals.
+func (rw Rewrite) ApplyInterval(iv ipnet.Interval) []ipnet.Interval {
+	var out []ipnet.Interval
+	add := func(p ipnet.Interval) {
+		if !p.Empty() {
+			out = append(out, p)
+		}
+	}
+	// Below From.
+	add(ipnet.Interval{Lo: iv.Lo, Hi: min64(iv.Hi, rw.From.Lo)})
+	// Inside From: shifted.
+	in := iv.Intersect(rw.From)
+	if !in.Empty() {
+		off := in.Lo - rw.From.Lo
+		add(ipnet.Interval{Lo: rw.To.Lo + off, Hi: rw.To.Lo + off + in.Size()})
+	}
+	// Above From.
+	add(ipnet.Interval{Lo: max64(iv.Lo, rw.From.Hi), Hi: iv.Hi})
+	return out
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Transforms associates rewrites with links of a network. Links without an
+// entry forward packets unmodified.
+type Transforms struct {
+	byLink map[netgraph.LinkID]Rewrite
+}
+
+// NewTransforms returns an empty transform table.
+func NewTransforms() *Transforms {
+	return &Transforms{byLink: map[netgraph.LinkID]Rewrite{}}
+}
+
+// Set attaches a rewrite to a link.
+func (t *Transforms) Set(l netgraph.LinkID, rw Rewrite) error {
+	if !rw.Valid() {
+		return fmt.Errorf("check: invalid rewrite %v -> %v", rw.From, rw.To)
+	}
+	t.byLink[l] = rw
+	return nil
+}
+
+// Get returns the link's rewrite, if any.
+func (t *Transforms) Get(l netgraph.LinkID) (Rewrite, bool) {
+	rw, ok := t.byLink[l]
+	return rw, ok
+}
+
+// transformAtomSet maps an atom set through a link's rewrite: each atom's
+// interval is translated and the result re-expressed in atoms. Atoms whose
+// intervals the rewrite leaves untouched stay as-is.
+func transformAtomSet(n *core.Network, atoms *bitset.Set, rw Rewrite) *bitset.Set {
+	out := bitset.New(n.MaxAtomID())
+	atoms.ForEach(func(a int) bool {
+		iv, ok := n.AtomInterval(intervalmapAtomIDOf(a))
+		if !ok {
+			return true
+		}
+		if !iv.Overlaps(rw.From) {
+			out.Add(a)
+			return true
+		}
+		for _, piece := range rw.ApplyInterval(iv) {
+			for _, id := range n.AtomsOverlapping(piece) {
+				out.Add(int(id))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ReachableWithTransforms computes the atoms arriving at `to` for traffic
+// injected at `from`, where links may rewrite addresses. The returned set
+// is expressed in arrival-time atoms (i.e. post-rewrite address space).
+//
+// The fixpoint matches Reachable when no transforms are present. With
+// transforms the iteration is still monotone — each step only adds atoms —
+// so it terminates.
+func ReachableWithTransforms(n *core.Network, tf *Transforms, from, to netgraph.NodeID) *bitset.Set {
+	g := n.Graph()
+	reach := make([]*bitset.Set, g.NumNodes())
+	inQueue := make([]bool, g.NumNodes())
+	queue := []netgraph.NodeID{from}
+	inQueue[from] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		for _, lid := range g.Out(v) {
+			label := n.Label(lid)
+			if label.Empty() {
+				continue
+			}
+			var crossing *bitset.Set
+			if v == from {
+				crossing = label.Clone()
+			} else {
+				crossing = bitset.Intersect(reach[v], label)
+				if crossing.Empty() {
+					continue
+				}
+			}
+			if rw, ok := tf.Get(lid); ok {
+				crossing = transformAtomSet(n, crossing, rw)
+			}
+			w := g.Link(lid).Dst
+			if reach[w] == nil {
+				reach[w] = bitset.New(n.MaxAtomID())
+			}
+			before := reach[w].Len()
+			reach[w].UnionWith(crossing)
+			if reach[w].Len() != before && !inQueue[w] && w != from {
+				queue = append(queue, w)
+				inQueue[w] = true
+			}
+		}
+	}
+	if reach[to] == nil {
+		return bitset.New(0)
+	}
+	return reach[to]
+}

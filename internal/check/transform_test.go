@@ -1,0 +1,204 @@
+package check
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deltanet/internal/core"
+	"deltanet/internal/intervalmap"
+	"deltanet/internal/netgraph"
+)
+
+func TestRewriteApply(t *testing.T) {
+	rw := Rewrite{From: iv(100, 200), To: iv(500, 600)}
+	if !rw.Valid() {
+		t.Fatal("valid rewrite rejected")
+	}
+	cases := []struct{ in, out uint64 }{
+		{100, 500}, {150, 550}, {199, 599}, // inside: shifted
+		{99, 99}, {200, 200}, {0, 0}, // outside: unchanged
+	}
+	for _, c := range cases {
+		if got := rw.Apply(c.in); got != c.out {
+			t.Errorf("Apply(%d)=%d want %d", c.in, got, c.out)
+		}
+	}
+	if (Rewrite{From: iv(0, 10), To: iv(0, 20)}).Valid() {
+		t.Fatal("size-mismatched rewrite accepted")
+	}
+	if (Rewrite{From: iv(5, 5), To: iv(5, 5)}).Valid() {
+		t.Fatal("empty rewrite accepted")
+	}
+}
+
+func TestRewriteApplyInterval(t *testing.T) {
+	rw := Rewrite{From: iv(100, 200), To: iv(500, 600)}
+	// Straddling both edges: three pieces.
+	pieces := rw.ApplyInterval(iv(50, 250))
+	if len(pieces) != 3 {
+		t.Fatalf("pieces=%v", pieces)
+	}
+	wantTotal := uint64(0)
+	for _, p := range pieces {
+		wantTotal += p.Size()
+	}
+	if wantTotal != 200 {
+		t.Fatalf("size not preserved: %d", wantTotal)
+	}
+	// Fully inside.
+	pieces = rw.ApplyInterval(iv(120, 130))
+	if len(pieces) != 1 || pieces[0] != iv(520, 530) {
+		t.Fatalf("inside: %v", pieces)
+	}
+	// Fully outside.
+	pieces = rw.ApplyInterval(iv(300, 400))
+	if len(pieces) != 1 || pieces[0] != iv(300, 400) {
+		t.Fatalf("outside: %v", pieces)
+	}
+}
+
+// Property: ApplyInterval pieces are exactly {Apply(a) : a in iv}.
+func TestPropertyApplyIntervalPointwise(t *testing.T) {
+	rw := Rewrite{From: iv(1000, 2000), To: iv(9000, 10000)}
+	f := func(a, b uint16) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		hi += 2500 // ensure straddling cases occur
+		pieces := rw.ApplyInterval(iv(lo, hi))
+		covered := map[uint64]bool{}
+		var total uint64
+		for _, p := range pieces {
+			total += p.Size()
+			for x := p.Lo; x < p.Hi && x < p.Lo+50; x++ {
+				covered[x] = true
+			}
+		}
+		if total != hi-lo {
+			return false
+		}
+		// Spot-check pointwise membership.
+		for x := lo; x < hi && x < lo+50; x++ {
+			y := rw.Apply(x)
+			in := false
+			for _, p := range pieces {
+				if p.Contains(y) {
+					in = true
+				}
+			}
+			if !in {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReachableWithTransforms(t *testing.T) {
+	// a -(rewrites [0:100) to [1000:1100))-> b -> c where b only
+	// forwards [1000:1100). Without the rewrite nothing reaches c.
+	g := netgraph.New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	ab := g.AddLink(a, b)
+	bc := g.AddLink(b, c)
+	n := core.NewNetwork(g, core.Options{})
+	mustInsert(t, n, core.Rule{ID: 1, Source: a, Link: ab, Match: iv(0, 100), Priority: 1})
+	mustInsert(t, n, core.Rule{ID: 2, Source: b, Link: bc, Match: iv(1000, 1100), Priority: 1})
+
+	// Without transforms: dead end at b.
+	tf := NewTransforms()
+	if got := ReachableWithTransforms(n, tf, a, c); !got.Empty() {
+		t.Fatalf("untransformed traffic reached c: %v", got)
+	}
+	// Identity with plain Reachable.
+	if !ReachableWithTransforms(n, tf, a, b).Equal(Reachable(n, a, b)) {
+		t.Fatal("no-transform fixpoint differs from Reachable")
+	}
+
+	// With the NAT rewrite on ab the traffic continues.
+	if err := tf.Set(ab, Rewrite{From: iv(0, 100), To: iv(1000, 1100)}); err != nil {
+		t.Fatal(err)
+	}
+	got := ReachableWithTransforms(n, tf, a, c)
+	if got.Empty() {
+		t.Fatal("rewritten traffic did not reach c")
+	}
+	got.ForEach(func(atom int) bool {
+		in, _ := n.AtomInterval(intervalmap.AtomID(atom))
+		if !in.Overlaps(iv(1000, 1100)) {
+			t.Fatalf("arrival atom %v outside the rewritten range", in)
+		}
+		return true
+	})
+	// Invalid rewrites rejected.
+	if err := tf.Set(bc, Rewrite{From: iv(0, 10), To: iv(0, 5)}); err == nil {
+		t.Fatal("invalid rewrite accepted")
+	}
+	if _, ok := tf.Get(bc); ok {
+		t.Fatal("invalid rewrite stored")
+	}
+}
+
+func TestMinimalECs(t *testing.T) {
+	g := netgraph.New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	ab := g.AddLink(a, b)
+	n := core.NewNetwork(g, core.Options{})
+	// Two adjacent rules on the SAME link: their atoms behave
+	// identically network-wide, so the minimal partition merges them.
+	mustInsert(t, n, core.Rule{ID: 1, Source: a, Link: ab, Match: iv(0, 100), Priority: 1})
+	mustInsert(t, n, core.Rule{ID: 2, Source: a, Link: ab, Match: iv(100, 200), Priority: 1})
+
+	if n.NumAtoms() < 3 {
+		t.Fatalf("atoms=%d", n.NumAtoms())
+	}
+	classes := MinimalECs(n)
+	// Expect: one class {[0:100),[100:200)} on ab, one unused class for
+	// the rest of the space.
+	if len(classes) != 2 {
+		t.Fatalf("classes=%d: %+v", len(classes), classes)
+	}
+	if len(classes[0].Atoms) != 2 {
+		t.Fatalf("carried class has %d atoms", len(classes[0].Atoms))
+	}
+	if r := CompressionRatio(n); r <= 1 {
+		t.Fatalf("ratio=%v, atoms should exceed minimal classes", r)
+	}
+}
+
+func TestMinimalECsDistinguishesBehaviour(t *testing.T) {
+	g := netgraph.New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	ab := g.AddLink(a, b)
+	ac := g.AddLink(a, c)
+	n := core.NewNetwork(g, core.Options{})
+	mustInsert(t, n, core.Rule{ID: 1, Source: a, Link: ab, Match: iv(0, 100), Priority: 1})
+	mustInsert(t, n, core.Rule{ID: 2, Source: a, Link: ac, Match: iv(100, 200), Priority: 1})
+	classes := MinimalECs(n)
+	// Three classes: ab-traffic, ac-traffic, unused.
+	if len(classes) != 3 {
+		t.Fatalf("classes=%d", len(classes))
+	}
+	// Behaviour signatures must differ.
+	if len(classes[0].Links) == len(classes[1].Links) && len(classes[0].Links) > 0 &&
+		classes[0].Links[0] == classes[1].Links[0] {
+		t.Fatal("distinct behaviours merged")
+	}
+}
+
+func TestMinimalECsEmptyNetwork(t *testing.T) {
+	g := netgraph.New()
+	g.AddNode("a")
+	n := core.NewNetwork(g, core.Options{})
+	classes := MinimalECs(n)
+	if len(classes) != 1 || len(classes[0].Atoms) != 1 {
+		t.Fatalf("empty network classes: %+v", classes)
+	}
+	if CompressionRatio(n) != 1 {
+		t.Fatal("ratio of empty network")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"deltanet/internal/intervalmap"
+	"deltanet/internal/netgraph"
+)
+
+// Op distinguishes rule insertions from removals in a Delta.
+type Op uint8
+
+const (
+	// OpInsert records a rule insertion (Algorithm 1).
+	OpInsert Op = iota
+	// OpRemove records a rule removal (Algorithm 2).
+	OpRemove
+)
+
+func (o Op) String() string {
+	if o == OpInsert {
+		return "insert"
+	}
+	return "remove"
+}
+
+// LinkAtom is one edge-label change: atom Atom was added to or removed from
+// label[Link].
+type LinkAtom struct {
+	Link netgraph.LinkID
+	Atom intervalmap.AtomID
+}
+
+// Delta is the delta-graph of §3.3: the by-product of Algorithm 1 or 2
+// restricted to the atoms whose owner changed. Added lists label bits that
+// were set because the new owner forwards along that link; Removed lists
+// bits cleared because a previous owner lost the atom.
+//
+// Property checkers consume Deltas to verify invariants incrementally: a
+// new forwarding loop can only appear through an Added entry, and a new
+// black hole only through a Removed entry. Multiple rule updates may be
+// aggregated into one delta-graph via Merge.
+type Delta struct {
+	Rule RuleID
+	Op   Op
+
+	// NewAtoms records atom splits performed by CREATE_ATOMS+ during an
+	// insertion (at most two). Splits alone change no forwarding
+	// behaviour — the new atom inherits the old atom's flows — so they
+	// appear here for observability, not as label changes.
+	NewAtoms []intervalmap.SplitPair
+
+	// Added and Removed are the ownership-driven label changes, in the
+	// order the algorithm applied them.
+	Added   []LinkAtom
+	Removed []LinkAtom
+}
+
+// Empty reports whether the update changed no forwarding behaviour.
+func (d *Delta) Empty() bool { return len(d.Added) == 0 && len(d.Removed) == 0 }
+
+// AffectedAtoms returns the distinct atoms whose forwarding changed.
+func (d *Delta) AffectedAtoms() []intervalmap.AtomID {
+	seen := map[intervalmap.AtomID]bool{}
+	var out []intervalmap.AtomID
+	for _, la := range d.Added {
+		if !seen[la.Atom] {
+			seen[la.Atom] = true
+			out = append(out, la.Atom)
+		}
+	}
+	for _, la := range d.Removed {
+		if !seen[la.Atom] {
+			seen[la.Atom] = true
+			out = append(out, la.Atom)
+		}
+	}
+	return out
+}
+
+// Merge appends o's changes into d, producing an aggregated delta-graph
+// (§3.3: "multiple rule updates may be aggregated into a delta-graph").
+// The per-entry order is preserved; Rule/Op keep d's original values.
+func (d *Delta) Merge(o *Delta) {
+	d.NewAtoms = append(d.NewAtoms, o.NewAtoms...)
+	d.Added = append(d.Added, o.Added...)
+	d.Removed = append(d.Removed, o.Removed...)
+}
+
+// reset clears the delta for reuse, retaining capacity.
+func (d *Delta) reset(rule RuleID, op Op) {
+	d.Rule = rule
+	d.Op = op
+	d.NewAtoms = d.NewAtoms[:0]
+	d.Added = d.Added[:0]
+	d.Removed = d.Removed[:0]
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+)
+
+// TestFullSpaceRule: a 0.0.0.0/0 rule touches the initial atom only and
+// never splits anything.
+func TestFullSpaceRule(t *testing.T) {
+	g := netgraph.New()
+	s := g.AddNode("s")
+	l := g.AddLink(s, g.AddNode("d"))
+	n := NewNetwork(g, Options{})
+	d, err := n.InsertRule(Rule{ID: 1, Source: s, Link: l, Match: iv(0, 1<<32), Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.NewAtoms) != 0 {
+		t.Fatalf("full-space rule split atoms: %+v", d.NewAtoms)
+	}
+	if n.NumAtoms() != 1 {
+		t.Fatalf("atoms=%d", n.NumAtoms())
+	}
+	if n.Label(l).Len() != 1 {
+		t.Fatalf("label=%v", n.Label(l))
+	}
+}
+
+// TestBoundaryAdjacentRules: rules that touch at a boundary share exactly
+// one key and never overlap in atoms.
+func TestBoundaryAdjacentRules(t *testing.T) {
+	g := netgraph.New()
+	s := g.AddNode("s")
+	la := g.AddLink(s, g.AddNode("a"))
+	lb := g.AddLink(s, g.AddNode("b"))
+	n := NewNetwork(g, Options{})
+	n.InsertRule(Rule{ID: 1, Source: s, Link: la, Match: iv(0, 100), Priority: 1})
+	n.InsertRule(Rule{ID: 2, Source: s, Link: lb, Match: iv(100, 200), Priority: 1})
+	if n.Label(la).Intersects(n.Label(lb)) {
+		t.Fatal("adjacent rules share atoms")
+	}
+	if got := n.ForwardLink(s, n.AtomOf(99)); got != la {
+		t.Fatalf("99 -> %d", got)
+	}
+	if got := n.ForwardLink(s, n.AtomOf(100)); got != lb {
+		t.Fatalf("100 -> %d", got)
+	}
+}
+
+// TestSingleAddressRules: /32-style one-address intervals work and split
+// correctly at both ends.
+func TestSingleAddressRules(t *testing.T) {
+	g := netgraph.New()
+	s := g.AddNode("s")
+	l := g.AddLink(s, g.AddNode("d"))
+	n := NewNetwork(g, Options{})
+	for i := uint64(0); i < 20; i += 2 {
+		if _, err := n.InsertRule(Rule{ID: RuleID(i + 1), Source: s, Link: l,
+			Match: iv(i, i+1), Priority: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for addr := uint64(0); addr < 20; addr++ {
+		want := netgraph.NoLink
+		if addr%2 == 0 {
+			want = l
+		}
+		if got := n.ForwardLink(s, n.AtomOf(addr)); got != want {
+			t.Fatalf("addr %d -> %d want %d", addr, got, want)
+		}
+	}
+	if msg := n.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+// TestGCDoubleBoundSharing: two rules sharing both bounds; GC must only
+// reclaim after the second removal.
+func TestGCDoubleBoundSharing(t *testing.T) {
+	g := netgraph.New()
+	s := g.AddNode("s")
+	l := g.AddLink(s, g.AddNode("d"))
+	n := NewNetwork(g, Options{GC: true})
+	n.InsertRule(Rule{ID: 1, Source: s, Link: l, Match: iv(10, 20), Priority: 1})
+	n.InsertRule(Rule{ID: 2, Source: s, Link: l, Match: iv(10, 20), Priority: 2})
+	atoms := n.NumAtoms()
+	n.RemoveRule(1)
+	if n.NumAtoms() != atoms {
+		t.Fatal("GC reclaimed shared bounds too early")
+	}
+	if msg := n.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	n.RemoveRule(2)
+	if n.NumAtoms() != 1 {
+		t.Fatalf("atoms=%d after removing both", n.NumAtoms())
+	}
+}
+
+// TestGCPartialBoundSharing: rules share one bound; removing one reclaims
+// only its exclusive bound.
+func TestGCPartialBoundSharing(t *testing.T) {
+	g := netgraph.New()
+	s := g.AddNode("s")
+	l := g.AddLink(s, g.AddNode("d"))
+	n := NewNetwork(g, Options{GC: true})
+	n.InsertRule(Rule{ID: 1, Source: s, Link: l, Match: iv(10, 20), Priority: 1})
+	n.InsertRule(Rule{ID: 2, Source: s, Link: l, Match: iv(20, 30), Priority: 1})
+	// Keys: 0, 10, 20, 30, MAX -> 4 atoms.
+	if n.NumAtoms() != 4 {
+		t.Fatalf("atoms=%d", n.NumAtoms())
+	}
+	n.RemoveRule(1) // bound 10 exclusive, bound 20 shared
+	if n.NumAtoms() != 3 {
+		t.Fatalf("atoms=%d after partial reclaim", n.NumAtoms())
+	}
+	if got := n.ForwardLink(s, n.AtomOf(25)); got != l {
+		t.Fatal("survivor rule broken")
+	}
+	if msg := n.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+// TestHighChurnSamePoint: repeated insert/remove of rules centred on one
+// address stresses split-copy and GC merge paths together.
+func TestHighChurnSamePoint(t *testing.T) {
+	g := netgraph.New()
+	s := g.AddNode("s")
+	l := g.AddLink(s, g.AddNode("d"))
+	n := NewNetwork(g, Options{GC: true})
+	rng := rand.New(rand.NewSource(13))
+	const centre = 1 << 20
+	id := RuleID(1)
+	var live []RuleID
+	for i := 0; i < 2000; i++ {
+		if len(live) == 0 || rng.Intn(10) < 6 {
+			w := uint64(1 + rng.Intn(1000))
+			if _, err := n.InsertRule(Rule{ID: id, Source: s, Link: l,
+				Match: iv(centre-w, centre+w), Priority: Priority(rng.Intn(100))}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, id)
+			id++
+		} else {
+			k := rng.Intn(len(live))
+			if _, err := n.RemoveRule(live[k]); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if msg := n.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	// Atom count is bounded by live rules' bounds (+ initial atom).
+	if n.NumAtoms() > 2*len(live)+1 {
+		t.Fatalf("atoms=%d live=%d: GC not bounding growth", n.NumAtoms(), len(live))
+	}
+}
+
+// TestPriorityMonotoneShadowing: inserting ever-higher priorities on the
+// same range produces exactly one ownership handover per insert.
+func TestPriorityMonotoneShadowing(t *testing.T) {
+	g := netgraph.New()
+	s := g.AddNode("s")
+	links := []netgraph.LinkID{
+		g.AddLink(s, g.AddNode("a")),
+		g.AddLink(s, g.AddNode("b")),
+	}
+	n := NewNetwork(g, Options{})
+	for i := 0; i < 20; i++ {
+		d, err := n.InsertRule(Rule{ID: RuleID(i + 1), Source: s, Link: links[i%2],
+			Match: iv(0, 1000), Priority: Priority(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if len(d.Added) != 1 || len(d.Removed) != 0 {
+				t.Fatalf("first insert delta: %+v", d)
+			}
+			continue
+		}
+		if len(d.Added) != 1 || len(d.Removed) != 1 {
+			t.Fatalf("insert %d delta: added=%d removed=%d", i, len(d.Added), len(d.Removed))
+		}
+	}
+	// And descending priorities afterwards are fully shadowed: no delta.
+	d, err := n.InsertRule(Rule{ID: 999, Source: s, Link: links[0],
+		Match: iv(0, 1000), Priority: -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("shadowed insert delta: %+v", d)
+	}
+}
+
+// TestSpaceOption: a network over a narrow space rejects wide rules and
+// works within it.
+func TestSpaceOption(t *testing.T) {
+	g := netgraph.New()
+	s := g.AddNode("s")
+	l := g.AddLink(s, g.AddNode("d"))
+	n := NewNetwork(g, Options{Space: ipnet.Space{Bits: 8}})
+	if _, err := n.InsertRule(Rule{ID: 1, Source: s, Link: l, Match: iv(0, 300), Priority: 1}); err == nil {
+		t.Fatal("rule beyond 8-bit space accepted")
+	}
+	if _, err := n.InsertRule(Rule{ID: 1, Source: s, Link: l, Match: iv(0, 256), Priority: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Space().Bits != 8 {
+		t.Fatal("space accessor")
+	}
+}

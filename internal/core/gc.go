@@ -1,0 +1,47 @@
+package core
+
+// Atom garbage collection: the optional extension the paper sketches in
+// §3.2.2 ("akin to garbage collection, we could reclaim the unused atom
+// identifier(s). This 'garbage collection' mechanism is omitted from
+// Algorithm 2."). We implement it behind Options.GC.
+//
+// The engine refcounts every interval boundary by the number of live rules
+// using it as a lower or upper bound. When a removal drops a boundary's
+// count to zero, the boundary key is deleted from M and the atom that
+// started at it merges into its predecessor atom.
+//
+// Correctness of the merge: once no rule has a bound at b, every live rule
+// whose interval intersects the atom [b:c) fully covers both [a:b) and
+// [b:c) (rule bounds are always keys of M), so the owner state of the two
+// atoms is identical as a set of rules. Dropping the upper atom therefore
+// loses no information: the predecessor atom's labels already describe the
+// merged interval. We only need to clear the dropped atom's label bits and
+// owner trees, and recycle its id.
+
+// collectBound decrements the refcount of bound and merges atoms if it hits
+// zero. MIN and MAX are permanent (they are not refcounted above zero by
+// construction: intervalmap refuses to release them).
+func (n *Network) collectBound(bound uint64) {
+	c := n.bounds[bound] - 1
+	if c > 0 {
+		n.bounds[bound] = c
+		return
+	}
+	delete(n.bounds, bound)
+	id, ok := n.m.ReleaseBound(bound)
+	if !ok {
+		return // MIN or MAX
+	}
+	n.merges++
+	// Clear the dead atom's label bits: for each source with rules
+	// containing the atom, the owner's link carried the bit.
+	if int(id) < len(n.owner) && n.owner[id] != nil {
+		for _, bst := range n.owner[id] {
+			if !bst.Empty() {
+				top := bst.Max().Value
+				n.labelOf(top.Link).Remove(int(id))
+			}
+		}
+		n.owner[id] = nil
+	}
+}

@@ -1,0 +1,452 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"deltanet/internal/bitset"
+	"deltanet/internal/intervalmap"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+	"deltanet/internal/rbtree"
+)
+
+// prioTree is one owner BST: the rules at a single source node whose
+// interval contains a particular atom, ordered by priority.
+type prioTree = rbtree.Tree[prioKey, *Rule]
+
+func newPrioTree() *prioTree { return rbtree.New[prioKey, *Rule](cmpPrioKey) }
+
+// Options configure a Network.
+type Options struct {
+	// Space is the match-field space; the zero value selects 32-bit IPv4.
+	Space ipnet.Space
+
+	// GC enables the atom garbage-collection extension sketched in
+	// §3.2.2: when a rule removal leaves an interval boundary unused by
+	// any live rule, the boundary is deleted from M, the two adjacent
+	// atoms merge, and the freed atom id is recycled. This bounds atom
+	// growth under long insert/remove churn at a small bookkeeping cost.
+	GC bool
+}
+
+// Network is the Delta-net engine for one data plane. It is not safe for
+// concurrent mutation; concurrent read-only queries are safe between
+// mutations.
+type Network struct {
+	graph *netgraph.Graph
+	space ipnet.Space
+	gc    bool
+
+	m      *intervalmap.Map
+	labels []*bitset.Set                   // indexed by LinkID
+	owner  []map[netgraph.NodeID]*prioTree // indexed by AtomID
+	rules  map[RuleID]*Rule
+	bounds map[uint64]int // boundary refcounts, only populated when gc
+
+	atomBuf []intervalmap.AtomID // scratch for ⟦interval(r)⟧ expansions
+
+	// statistics
+	splits int64 // total atom splits performed
+	merges int64 // total atom merges performed (GC)
+}
+
+// NewNetwork returns an engine over the given topology graph. The graph may
+// keep growing (new nodes/links) while the engine is in use; rules must
+// reference nodes and links that exist at insertion time.
+func NewNetwork(g *netgraph.Graph, opts Options) *Network {
+	space := opts.Space
+	if space.Bits == 0 {
+		space = ipnet.IPv4
+	}
+	n := &Network{
+		graph: g,
+		space: space,
+		gc:    opts.GC,
+		m:     intervalmap.New(space),
+		rules: map[RuleID]*Rule{},
+	}
+	if n.gc {
+		n.bounds = map[uint64]int{}
+	}
+	// Atom 0 (the full space) exists from the start.
+	n.owner = append(n.owner, nil)
+	return n
+}
+
+// Graph returns the topology graph the engine labels.
+func (n *Network) Graph() *netgraph.Graph { return n.graph }
+
+// Space returns the match-field space.
+func (n *Network) Space() ipnet.Space { return n.space }
+
+// NumRules returns the number of live rules.
+func (n *Network) NumRules() int { return len(n.rules) }
+
+// NumAtoms returns the current number of atoms.
+func (n *Network) NumAtoms() int { return n.m.NumAtoms() }
+
+// MaxAtomID returns one past the largest atom id in use; bitsets returned
+// by Label are meaningful for ids below this.
+func (n *Network) MaxAtomID() int { return n.m.MaxID() }
+
+// Splits returns the cumulative number of atom splits performed.
+func (n *Network) Splits() int64 { return n.splits }
+
+// Merges returns the cumulative number of atom merges performed by GC.
+func (n *Network) Merges() int64 { return n.merges }
+
+// Rule returns the live rule with the given id.
+func (n *Network) Rule(id RuleID) (*Rule, bool) {
+	r, ok := n.rules[id]
+	return r, ok
+}
+
+// Rules calls fn for every live rule until fn returns false. Iteration
+// order is unspecified.
+func (n *Network) Rules(fn func(r *Rule) bool) {
+	for _, r := range n.rules {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Label returns the atom set of a link: the packets (as atoms) that the
+// data plane currently forwards along it. This is the constant-time,
+// network-wide flow API of §3.3. The returned set is live and owned by the
+// engine; callers must treat it as read-only and must not retain it across
+// mutations. Links with no rules yet return an empty set.
+func (n *Network) Label(link netgraph.LinkID) *bitset.Set {
+	if int(link) < len(n.labels) && n.labels[link] != nil {
+		return n.labels[link]
+	}
+	return emptySet
+}
+
+var emptySet = bitset.New(0)
+
+func (n *Network) labelOf(link netgraph.LinkID) *bitset.Set {
+	for int(link) >= len(n.labels) {
+		n.labels = append(n.labels, nil)
+	}
+	if n.labels[link] == nil {
+		n.labels[link] = bitset.New(64)
+	}
+	return n.labels[link]
+}
+
+func (n *Network) ownerOf(atom intervalmap.AtomID) map[netgraph.NodeID]*prioTree {
+	for int(atom) >= len(n.owner) {
+		n.owner = append(n.owner, nil)
+	}
+	if n.owner[atom] == nil {
+		n.owner[atom] = map[netgraph.NodeID]*prioTree{}
+	}
+	return n.owner[atom]
+}
+
+// AtomInterval returns the half-closed interval currently denoted by an
+// atom (linear in the number of atoms; for reporting and tests).
+func (n *Network) AtomInterval(id intervalmap.AtomID) (ipnet.Interval, bool) {
+	return n.m.IntervalOf(id)
+}
+
+// AtomOf returns the atom containing the given address.
+func (n *Network) AtomOf(addr uint64) intervalmap.AtomID { return n.m.AtomOf(addr) }
+
+// AtomsOverlapping returns the atoms intersecting iv without mutating the
+// partition; for read-only queries.
+func (n *Network) AtomsOverlapping(iv ipnet.Interval) []intervalmap.AtomID {
+	return n.m.AtomsOverlapping(iv, nil)
+}
+
+// ForEachAtom iterates the current atom partition in address order.
+func (n *Network) ForEachAtom(fn func(id intervalmap.AtomID, iv ipnet.Interval) bool) {
+	n.m.ForEachAtom(fn)
+}
+
+// ForwardLink returns the link along which a packet in atom α is forwarded
+// from node v — the link of the highest-priority rule owning α at v — or
+// netgraph.NoLink if no rule at v matches. Forwarding is deterministic:
+// there is at most one such link per (node, atom).
+func (n *Network) ForwardLink(v netgraph.NodeID, atom intervalmap.AtomID) netgraph.LinkID {
+	if int(atom) >= len(n.owner) || n.owner[atom] == nil {
+		return netgraph.NoLink
+	}
+	bst := n.owner[atom][v]
+	if bst == nil || bst.Empty() {
+		return netgraph.NoLink
+	}
+	return bst.Max().Value.Link
+}
+
+// OwnerRule returns the rule owning atom α at node v, if any.
+func (n *Network) OwnerRule(v netgraph.NodeID, atom intervalmap.AtomID) (*Rule, bool) {
+	if int(atom) >= len(n.owner) || n.owner[atom] == nil {
+		return nil, false
+	}
+	bst := n.owner[atom][v]
+	if bst == nil || bst.Empty() {
+		return nil, false
+	}
+	return bst.Max().Value, true
+}
+
+// Errors returned by the mutation API.
+var (
+	ErrDuplicateRule = errors.New("core: rule id already present")
+	ErrUnknownRule   = errors.New("core: no rule with that id")
+	ErrEmptyMatch    = errors.New("core: rule match interval is empty")
+	ErrOutOfSpace    = errors.New("core: rule match interval outside address space")
+	ErrBadLink       = errors.New("core: rule link does not originate at rule source")
+)
+
+// InsertRule applies Algorithm 1: it creates any needed atoms (splitting at
+// most two existing ones), copies owner state for split atoms, then
+// reassigns ownership of every atom in ⟦interval(r)⟧ by priority, updating
+// edge labels. It returns the delta-graph of the update.
+//
+// The amortized cost is O(A log M) where A = |⟦interval(r)⟧| and M is the
+// maximum number of overlapping rules at the source node (Theorem 1).
+func (n *Network) InsertRule(r Rule) (*Delta, error) {
+	d := &Delta{}
+	if err := n.insertRule(r, d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// InsertRuleInto is InsertRule reusing a caller-provided Delta to avoid
+// allocation on hot replay paths.
+func (n *Network) InsertRuleInto(r Rule, d *Delta) error {
+	return n.insertRule(r, d)
+}
+
+func (n *Network) insertRule(r Rule, d *Delta) error {
+	d.reset(r.ID, OpInsert)
+	if _, dup := n.rules[r.ID]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateRule, r.ID)
+	}
+	if r.Match.Empty() {
+		return ErrEmptyMatch
+	}
+	if !n.space.Contains(r.Match) {
+		return fmt.Errorf("%w: %v", ErrOutOfSpace, r.Match)
+	}
+	if r.Link == netgraph.NoLink {
+		r.Link = n.graph.DropLink(r.Source)
+	} else if n.graph.Link(r.Link).Src != r.Source {
+		return fmt.Errorf("%w: rule %d source %d link %d", ErrBadLink, r.ID, r.Source, r.Link)
+	}
+	rp := &r
+
+	// Step 1: CREATE_ATOMS+ (Algorithm 1, line 2). |Δ| ≤ 2.
+	split := n.m.CreateAtoms(r.Match)
+	d.NewAtoms = append(d.NewAtoms, split...)
+	n.splits += int64(len(split))
+
+	// Step 2: atom splitting (lines 3–9). The new atom α′ inherits α's
+	// owner state; every link that carried α also carries α′.
+	for _, sp := range split {
+		oldOwner := n.owner[sp.Old] // may be nil: atom with no rules yet
+		newOwner := n.ownerOf(sp.New)
+		for source, bst := range oldOwner {
+			newOwner[source] = bst.Clone()
+			top := bst.Max().Value
+			n.labelOf(top.Link).Add(int(sp.New))
+		}
+	}
+
+	// Step 3: ownership reassignment over ⟦interval(r)⟧ (lines 10–23).
+	n.atomBuf = n.m.Atoms(r.Match, n.atomBuf[:0])
+	newLabel := n.labelOf(r.Link)
+	for _, alpha := range n.atomBuf {
+		ow := n.ownerOf(alpha)
+		bst := ow[r.Source]
+		if bst == nil {
+			bst = newPrioTree()
+			ow[r.Source] = bst
+		}
+		var prev *Rule
+		if !bst.Empty() {
+			prev = bst.Max().Value
+		}
+		if prev == nil || cmpPrioKey(prev.key(), rp.key()) < 0 {
+			newLabel.Add(int(alpha))
+			d.Added = append(d.Added, LinkAtom{Link: r.Link, Atom: alpha})
+			if prev != nil && prev.Link != r.Link {
+				n.labelOf(prev.Link).Remove(int(alpha))
+				d.Removed = append(d.Removed, LinkAtom{Link: prev.Link, Atom: alpha})
+			}
+		}
+		bst.Insert(rp.key(), rp)
+	}
+
+	n.rules[r.ID] = rp
+	if n.gc {
+		n.bounds[r.Match.Lo]++
+		n.bounds[r.Match.Hi]++
+	}
+	return nil
+}
+
+// RemoveRule applies Algorithm 2: for every atom of the rule's interval it
+// removes the rule from the owner BST and, if the rule owned the atom,
+// transfers ownership (and the edge label) to the next-highest-priority
+// rule. It returns the delta-graph of the update.
+func (n *Network) RemoveRule(id RuleID) (*Delta, error) {
+	d := &Delta{}
+	if err := n.removeRule(id, d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// RemoveRuleInto is RemoveRule reusing a caller-provided Delta.
+func (n *Network) RemoveRuleInto(id RuleID, d *Delta) error {
+	return n.removeRule(id, d)
+}
+
+func (n *Network) removeRule(id RuleID, d *Delta) error {
+	d.reset(id, OpRemove)
+	r, ok := n.rules[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownRule, id)
+	}
+
+	n.atomBuf = n.m.Atoms(r.Match, n.atomBuf[:0])
+	ownLabel := n.labelOf(r.Link)
+	for _, alpha := range n.atomBuf {
+		ow := n.owner[alpha]
+		bst := ow[r.Source]
+		top := bst.Max().Value
+		bst.Delete(r.key())
+		if top == r {
+			ownLabel.Remove(int(alpha))
+			d.Removed = append(d.Removed, LinkAtom{Link: r.Link, Atom: alpha})
+			if !bst.Empty() {
+				next := bst.Max().Value
+				n.labelOf(next.Link).Add(int(alpha))
+				d.Added = append(d.Added, LinkAtom{Link: next.Link, Atom: alpha})
+			}
+		}
+		if bst.Empty() {
+			delete(ow, r.Source)
+		}
+	}
+
+	delete(n.rules, id)
+	if n.gc {
+		n.collectBound(r.Match.Lo)
+		n.collectBound(r.Match.Hi)
+	}
+	return nil
+}
+
+// CheckInvariants validates the engine's internal invariants (§3.2): the
+// owner invariant, label consistency with owners, and atom-partition
+// integrity. It is O(atoms × nodes) and intended for tests. It returns ""
+// when all invariants hold, else a description of the first violation.
+func (n *Network) CheckInvariants() string {
+	// Every live rule is in the owner BST of every atom of its interval.
+	for _, r := range n.rules {
+		for _, alpha := range n.m.Atoms(r.Match, nil) {
+			if int(alpha) >= len(n.owner) || n.owner[alpha] == nil {
+				return fmt.Sprintf("atom %d of %v has no owner map", alpha, r)
+			}
+			bst := n.owner[alpha][r.Source]
+			if bst == nil {
+				return fmt.Sprintf("atom %d of %v has no owner tree", alpha, r)
+			}
+			if got, ok := bst.Get(r.key()); !ok || got != r {
+				return fmt.Sprintf("owner invariant broken for %v atom %d", r, alpha)
+			}
+		}
+	}
+	// Labels match owners exactly: bit (link, α) is set iff the owner of
+	// α at src(link) forwards along link.
+	want := map[LinkAtom]bool{}
+	total := 0
+	n.m.ForEachAtom(func(alpha intervalmap.AtomID, _ ipnet.Interval) bool {
+		if int(alpha) >= len(n.owner) || n.owner[alpha] == nil {
+			return true
+		}
+		for src, bst := range n.owner[alpha] {
+			if bst.Empty() {
+				return true
+			}
+			top := bst.Max().Value
+			if top.Source != src {
+				panic("owner tree holds foreign rule")
+			}
+			want[LinkAtom{Link: top.Link, Atom: alpha}] = true
+			total++
+		}
+		return true
+	})
+	got := 0
+	for link := range n.labels {
+		if n.labels[link] == nil {
+			continue
+		}
+		ok := true
+		n.labels[link].ForEach(func(a int) bool {
+			if !want[LinkAtom{Link: netgraph.LinkID(link), Atom: intervalmap.AtomID(a)}] {
+				ok = false
+				return false
+			}
+			got++
+			return true
+		})
+		if !ok {
+			return fmt.Sprintf("label bit set on link %d without matching owner", link)
+		}
+	}
+	if got != total {
+		return fmt.Sprintf("label bits %d != owner-derived bits %d", got, total)
+	}
+	// Dead atoms (when GC enabled) hold no owner state.
+	if n.gc {
+		live := map[intervalmap.AtomID]bool{}
+		n.m.ForEachAtom(func(id intervalmap.AtomID, _ ipnet.Interval) bool {
+			live[id] = true
+			return true
+		})
+		for id, ow := range n.owner {
+			if ow != nil && len(ow) > 0 && !live[intervalmap.AtomID(id)] {
+				return fmt.Sprintf("dead atom %d still owns rules", id)
+			}
+		}
+	}
+	return ""
+}
+
+// MemoryBytes estimates the engine's heap footprint in bytes: label words,
+// owner tree nodes, rule records and the boundary map. It is the
+// self-accounting used by the Appendix D memory experiment; the harness
+// additionally reports runtime.MemStats deltas.
+func (n *Network) MemoryBytes() int64 {
+	var b int64
+	for _, l := range n.labels {
+		if l != nil {
+			b += int64(l.WordBytes()) + 24
+		}
+	}
+	const nodeSize = 64 // key+value+3 pointers+color, rounded
+	for _, ow := range n.owner {
+		if ow == nil {
+			continue
+		}
+		b += 48 // map header
+		for _, bst := range ow {
+			b += 32 + int64(bst.Len())*nodeSize
+		}
+	}
+	b += int64(len(n.rules)) * (48 + 8)
+	b += int64(n.m.NumAtoms()+1) * nodeSize // boundary tree
+	if n.bounds != nil {
+		b += int64(len(n.bounds)) * 24
+	}
+	return b
+}

@@ -1,0 +1,182 @@
+package core
+
+// Property-based tests (testing/quick) on the engine's central invariants,
+// complementing the seeded randomized differential tests in brute_test.go:
+// quick generates the shapes, the engine must hold its invariants for all
+// of them.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"deltanet/internal/netgraph"
+)
+
+// opSpec is a quick-generatable rule operation.
+type opSpec struct {
+	Insert   bool
+	Lo       uint16 // small space provokes overlap
+	Size     uint16
+	Node     uint8
+	Prio     int16
+	LivePick uint16 // which live rule a removal targets
+}
+
+// Generate lets quick build op sequences with a bias toward insertion.
+func (opSpec) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(opSpec{
+		Insert:   r.Intn(100) < 65,
+		Lo:       uint16(r.Intn(1 << 12)),
+		Size:     uint16(1 + r.Intn(1<<10)),
+		Node:     uint8(r.Intn(4)),
+		Prio:     int16(r.Intn(64)),
+		LivePick: uint16(r.Intn(1 << 16)),
+	})
+}
+
+// applySpecs drives an engine with generated operations and returns it.
+func applySpecs(t *testing.T, specs []opSpec, gc bool) (*Network, bool) {
+	g := netgraph.New()
+	var nodes []netgraph.NodeID
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, g.AddNode(string(rune('a'+i))))
+	}
+	var links []netgraph.LinkID
+	for i := range nodes {
+		links = append(links, g.AddLink(nodes[i], nodes[(i+1)%len(nodes)]))
+	}
+	n := NewNetwork(g, Options{GC: gc})
+	var live []RuleID
+	nextID := RuleID(1)
+	var d Delta
+	for _, s := range specs {
+		if s.Insert || len(live) == 0 {
+			src := nodes[int(s.Node)%len(nodes)]
+			r := Rule{ID: nextID, Source: src, Link: links[int(s.Node)%len(links)],
+				Match:    iv(uint64(s.Lo), uint64(s.Lo)+uint64(s.Size)),
+				Priority: Priority(s.Prio)}
+			// Link must originate at source: links[i] starts at nodes[i].
+			nextID++
+			if err := n.InsertRuleInto(r, &d); err != nil {
+				t.Logf("insert error: %v", err)
+				return n, false
+			}
+			if len(d.NewAtoms) > 2 {
+				t.Logf("delta cap violated: %d", len(d.NewAtoms))
+				return n, false
+			}
+			live = append(live, r.ID)
+		} else {
+			k := int(s.LivePick) % len(live)
+			id := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := n.RemoveRuleInto(id, &d); err != nil {
+				t.Logf("remove error: %v", err)
+				return n, false
+			}
+		}
+	}
+	return n, true
+}
+
+// TestQuickInvariantsHold: for arbitrary op sequences, the engine
+// invariants hold afterwards (owner invariant, label/owner consistency,
+// partition integrity), with and without GC.
+func TestQuickInvariantsHold(t *testing.T) {
+	for _, gc := range []bool{false, true} {
+		gc := gc
+		f := func(specs []opSpec) bool {
+			n, ok := applySpecs(t, specs, gc)
+			if !ok {
+				return false
+			}
+			return n.CheckInvariants() == ""
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("gc=%v: %v", gc, err)
+		}
+	}
+}
+
+// TestQuickGCNeverChangesBehaviour: the same generated sequence applied
+// with and without GC yields identical forwarding behaviour.
+func TestQuickGCNeverChangesBehaviour(t *testing.T) {
+	f := func(specs []opSpec) bool {
+		a, ok := applySpecs(t, specs, false)
+		if !ok {
+			return false
+		}
+		b, ok := applySpecs(t, specs, true)
+		if !ok {
+			return false
+		}
+		return BehaviourEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSnapshotRoundTrip: restoring a snapshot of any generated data
+// plane reproduces its behaviour digest.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(specs []opSpec) bool {
+		n, ok := applySpecs(t, specs, false)
+		if !ok {
+			return false
+		}
+		m := NewNetwork(n.Graph(), Options{})
+		if err := m.Restore(n.Snapshot()); err != nil {
+			return false
+		}
+		return m.BehaviourDigest() == n.BehaviourDigest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRemovalIsInverse: inserting any generated batch on top of a
+// base data plane and then removing it restores the base behaviour.
+func TestQuickRemovalIsInverse(t *testing.T) {
+	f := func(base, extra []opSpec) bool {
+		// Build base from inserts only.
+		for i := range base {
+			base[i].Insert = true
+		}
+		n, ok := applySpecs(t, base, false)
+		if !ok {
+			return false
+		}
+		before := n.BehaviourDigest()
+		// Apply extras as pure inserts with fresh high ids, then remove.
+		g := n.Graph()
+		var added []RuleID
+		id := RuleID(1 << 20)
+		var d Delta
+		for _, s := range extra {
+			src := netgraph.NodeID(int(s.Node) % 4)
+			link := g.Out(src)[0]
+			r := Rule{ID: id, Source: src, Link: link,
+				Match:    iv(uint64(s.Lo), uint64(s.Lo)+uint64(s.Size)),
+				Priority: Priority(s.Prio)}
+			if err := n.InsertRuleInto(r, &d); err != nil {
+				return false
+			}
+			added = append(added, id)
+			id++
+		}
+		for _, rid := range added {
+			if err := n.RemoveRuleInto(rid, &d); err != nil {
+				return false
+			}
+		}
+		return n.BehaviourDigest() == before && n.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package datasets
+
+import (
+	"testing"
+
+	"deltanet/internal/core"
+	"deltanet/internal/trace"
+)
+
+func TestBuildAllNamesSmall(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr, err := Build(name, 0.02)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Name != name {
+				t.Fatalf("name=%q", tr.Name)
+			}
+			if len(tr.Ops) == 0 {
+				t.Fatal("no operations")
+			}
+			info := Describe(tr)
+			if info.Nodes == 0 || info.Links == 0 || info.Operations != len(tr.Ops) {
+				t.Fatalf("info=%+v", info)
+			}
+			// Replay validity: every op applies cleanly.
+			n := core.NewNetwork(tr.Graph, core.Options{})
+			var d core.Delta
+			for i, op := range tr.Ops {
+				if err := trace.Apply(n, op, &d); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+			if msg := n.CheckInvariants(); msg != "" {
+				t.Fatal(msg)
+			}
+		})
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := Build("nope", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestSyntheticInsertThenRemoveAll(t *testing.T) {
+	tr, err := Build("rf1755", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserts := tr.NumInserts()
+	if inserts*2 != len(tr.Ops) {
+		t.Fatalf("ops=%d inserts=%d: synthetic sets remove every rule", len(tr.Ops), inserts)
+	}
+	// Full replay drains the rule table.
+	n := core.NewNetwork(tr.Graph, core.Options{})
+	var d core.Delta
+	for _, op := range tr.Ops {
+		if err := trace.Apply(n, op, &d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.NumRules() != 0 {
+		t.Fatalf("rules left: %d", n.NumRules())
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	a, err := Build("berkeley", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("berkeley", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatalf("op counts differ: %d vs %d", len(a.Ops), len(b.Ops))
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+func TestScaleGrowsDatasets(t *testing.T) {
+	small, _ := Build("berkeley", 0.02)
+	big, _ := Build("berkeley", 0.05)
+	if len(big.Ops) <= len(small.Ops) {
+		t.Fatalf("scale ineffective: %d <= %d", len(big.Ops), len(small.Ops))
+	}
+	// Zero/negative scale falls back to 1.0.
+	def, err := Build("4switch", -1)
+	if err != nil || len(def.Ops) == 0 {
+		t.Fatal("default scale broken")
+	}
+}

@@ -1,0 +1,231 @@
+// Package integration ties the full pipeline together: dataset generation
+// → trace serialization → replay through both engines → cross-engine
+// behavioural agreement and invariant checks. These are the end-to-end
+// guarantees a user of the repository relies on.
+package integration
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"deltanet/internal/check"
+	"deltanet/internal/core"
+	"deltanet/internal/datasets"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+	"deltanet/internal/trace"
+	"deltanet/internal/veriflow"
+)
+
+// TestTraceFileRoundTripAllDatasets generates each dataset, serializes it
+// to the text format, reads it back, and verifies the replayed behaviour
+// is identical to replaying the in-memory trace.
+func TestTraceFileRoundTripAllDatasets(t *testing.T) {
+	for _, name := range datasets.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			orig, err := datasets.Build(name, 0.02)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := orig.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := trace.Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(parsed.Ops) != len(orig.Ops) {
+				t.Fatalf("ops %d != %d", len(parsed.Ops), len(orig.Ops))
+			}
+			nA := replay(t, orig)
+			nB := replay(t, parsed)
+			if nA.BehaviourDigest() != nB.BehaviourDigest() {
+				t.Fatal("behaviour differs after file round trip")
+			}
+		})
+	}
+}
+
+func replay(t *testing.T, tr *trace.Trace) *core.Network {
+	t.Helper()
+	n := core.NewNetwork(tr.Graph, core.Options{})
+	var d core.Delta
+	for i, op := range tr.Ops {
+		if err := trace.Apply(n, op, &d); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	return n
+}
+
+// TestEnginesAgreeOnDatasets replays dataset insertions through Delta-net
+// and Veriflow-RI and compares forwarding behaviour at sampled addresses
+// on every switch, plus what-if loop verdicts per link.
+func TestEnginesAgreeOnDatasets(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, name := range []string{"airtel1", "4switch", "berkeley"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr, err := datasets.Build(name, 0.02)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dn := core.NewNetwork(tr.Graph, core.Options{})
+			vf := veriflow.NewEngine(tr.Graph)
+			var d core.Delta
+			for _, op := range tr.Ops {
+				if !op.Insert {
+					continue
+				}
+				if err := trace.Apply(dn, op, &d); err != nil {
+					t.Fatal(err)
+				}
+				p, ok := ipnet.PrefixFromInterval(ipnet.IPv4, op.Rule.Match)
+				if !ok {
+					t.Fatalf("non-prefix rule %v", op.Rule)
+				}
+				if _, err := vf.InsertRule(veriflow.Rule{ID: op.Rule.ID, Source: op.Rule.Source,
+					Link: op.Rule.Link, Prefix: p, Priority: op.Rule.Priority}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Sampled forwarding agreement.
+			g := tr.Graph
+			for probe := 0; probe < 200; probe++ {
+				addr := uint64(rng.Intn(1 << 32))
+				fg := vf.ForwardingGraph(ipnet.Interval{Lo: addr, Hi: addr + 1})
+				atom := dn.AtomOf(addr)
+				for v := netgraph.NodeID(0); int(v) < g.NumNodes(); v++ {
+					want, ok := fg[v]
+					got := dn.ForwardLink(v, atom)
+					if !ok {
+						if got != netgraph.NoLink && !g.IsDropLink(got) {
+							t.Fatalf("addr %d node %d: delta-net %d, veriflow none", addr, v, got)
+						}
+					} else if got != want {
+						t.Fatalf("addr %d node %d: delta-net %d veriflow %d", addr, v, got, want)
+					}
+				}
+			}
+			// Loop verdict agreement: the converged data plane.
+			dnLoops := len(check.FindLoopsAll(dn)) > 0
+			vfLoops := false
+			for _, l := range g.Links() {
+				if res := vf.WhatIfLinkFailure(l.ID, true); len(res.Loops) > 0 {
+					vfLoops = true
+					break
+				}
+			}
+			if dnLoops != vfLoops {
+				t.Fatalf("loop verdicts differ: delta-net=%v veriflow=%v", dnLoops, vfLoops)
+			}
+		})
+	}
+}
+
+// TestGCBehaviourPreserved replays a full dataset (inserts AND removals)
+// with and without atom GC and verifies identical behaviour digests at
+// the end and at intermediate checkpoints.
+func TestGCBehaviourPreserved(t *testing.T) {
+	tr, err := datasets.Build("rf1755", 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := core.NewNetwork(tr.Graph, core.Options{})
+	gc := core.NewNetwork(tr.Graph, core.Options{GC: true})
+	var d core.Delta
+	for i, op := range tr.Ops {
+		if err := trace.Apply(plain, op, &d); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Apply(gc, op, &d); err != nil {
+			t.Fatal(err)
+		}
+		if i%1000 == 0 && !core.BehaviourEqual(plain, gc) {
+			t.Fatalf("op %d: GC changed behaviour", i)
+		}
+	}
+	if !core.BehaviourEqual(plain, gc) {
+		t.Fatal("final behaviour differs under GC")
+	}
+	if gc.NumAtoms() != 1 {
+		t.Fatalf("GC left %d atoms after full removal", gc.NumAtoms())
+	}
+	if plain.NumAtoms() == 1 {
+		t.Fatal("non-GC engine unexpectedly compacted")
+	}
+}
+
+// TestSoakRandomChurn is a longer randomized differential soak across
+// both engines and the GC/no-GC variants. Skipped with -short.
+func TestSoakRandomChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	g := netgraph.New()
+	var nodes []netgraph.NodeID
+	for i := 0; i < 8; i++ {
+		nodes = append(nodes, g.AddNode(string(rune('a'+i))))
+	}
+	var links []netgraph.LinkID
+	for i := range nodes {
+		for j := range nodes {
+			if i != j && rng.Intn(2) == 0 {
+				links = append(links, g.AddLink(nodes[i], nodes[j]))
+			}
+		}
+	}
+	dn := core.NewNetwork(g, core.Options{})
+	dnGC := core.NewNetwork(g, core.Options{GC: true})
+	var live []core.RuleID
+	nextID := core.RuleID(1)
+	var d core.Delta
+	for op := 0; op < 20000; op++ {
+		if len(live) == 0 || rng.Intn(100) < 55 {
+			l := links[rng.Intn(len(links))]
+			length := 4 + rng.Intn(24)
+			p := ipnet.NewPrefix(uint64(rng.Intn(1<<30))<<2, length)
+			r := core.Rule{ID: nextID, Source: g.Link(l).Src, Link: l,
+				Match: p.Interval(), Priority: core.Priority(rng.Intn(1 << 10))}
+			nextID++
+			if err := dn.InsertRuleInto(r, &d); err != nil {
+				t.Fatal(err)
+			}
+			if err := dnGC.InsertRuleInto(r, &d); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, r.ID)
+		} else {
+			k := rng.Intn(len(live))
+			id := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := dn.RemoveRuleInto(id, &d); err != nil {
+				t.Fatal(err)
+			}
+			if err := dnGC.RemoveRuleInto(id, &d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if op%4000 == 0 {
+			if msg := dn.CheckInvariants(); msg != "" {
+				t.Fatalf("op %d: %s", op, msg)
+			}
+			if msg := dnGC.CheckInvariants(); msg != "" {
+				t.Fatalf("op %d (gc): %s", op, msg)
+			}
+			if !core.BehaviourEqual(dn, dnGC) {
+				t.Fatalf("op %d: behaviour divergence", op)
+			}
+		}
+	}
+	if dnGC.NumAtoms() > dn.NumAtoms() {
+		t.Fatal("GC engine has more atoms than plain engine")
+	}
+	t.Logf("soak done: %d live rules, atoms plain=%d gc=%d merges=%d",
+		dn.NumRules(), dn.NumAtoms(), dnGC.NumAtoms(), dnGC.Merges())
+}

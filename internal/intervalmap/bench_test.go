@@ -1,0 +1,58 @@
+package intervalmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltanet/internal/ipnet"
+)
+
+func BenchmarkCreateAtoms(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(ipnet.IPv4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(rng.Intn(1 << 28))
+		m.CreateAtoms(ipnet.Interval{Lo: lo, Hi: lo + 1 + uint64(rng.Intn(1<<20))})
+	}
+}
+
+func BenchmarkAtomsExpansion(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := New(ipnet.IPv4)
+	ivs := make([]ipnet.Interval, 10000)
+	for i := range ivs {
+		lo := uint64(rng.Intn(1 << 28))
+		ivs[i] = ipnet.Interval{Lo: lo, Hi: lo + 1 + uint64(rng.Intn(1<<20))}
+		m.CreateAtoms(ivs[i])
+	}
+	buf := make([]AtomID, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.Atoms(ivs[i%len(ivs)], buf[:0])
+	}
+}
+
+func BenchmarkAtomOf(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := New(ipnet.IPv4)
+	for i := 0; i < 50000; i++ {
+		lo := uint64(rng.Intn(1 << 28))
+		m.CreateAtoms(ipnet.Interval{Lo: lo, Hi: lo + 1 + uint64(rng.Intn(1<<16))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AtomOf(uint64(i) & (1<<28 - 1))
+	}
+}
+
+func BenchmarkSplitAndRelease(b *testing.B) {
+	m := New(ipnet.IPv4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bound := uint64(i&0xFFFF)*64 + 32
+		m.CreateAtoms(ipnet.Interval{Lo: bound, Hi: bound + 16})
+		m.ReleaseBound(bound)
+		m.ReleaseBound(bound + 16)
+	}
+}

@@ -1,0 +1,205 @@
+// Package intervalmap implements M, Delta-net's ordered map from interval
+// boundaries to atom identifiers (paper §3.1, Figure 6).
+//
+// M contains key/value pairs n ↦ αᵢ where n is a lower or upper bound of
+// some rule's IP-prefix interval and αᵢ is an atom identifier. The pair
+// n ↦ αᵢ (for n < MAX) means the atom αᵢ denotes the half-closed interval
+// [n : n′) where n′ is the next greater key. M is initialized with
+// MIN ↦ α₀ and MAX ↦ α∞, so the number of atoms equals len(M) − 1.
+//
+// Atom identifiers are dense ints handed out by a consecutively increasing
+// counter (with an optional free-list for the garbage-collection extension),
+// so callers can index slices and bitsets by atom id.
+package intervalmap
+
+import (
+	"deltanet/internal/ipnet"
+	"deltanet/internal/rbtree"
+)
+
+// AtomID identifies one atom: a half-closed interval in the current
+// partition of the address space. Ids are dense and start at 0.
+type AtomID int32
+
+// Infinity is the sentinel value α∞ stored under the MAX key; it denotes no
+// interval and never appears in interval expansions.
+const Infinity AtomID = -1
+
+// SplitPair records that an existing atom's interval was split: Old now
+// denotes only the lower part and New denotes the upper part. Algorithm 1
+// consumes these as its Δ set; |Δ| ≤ 2 per rule insertion.
+type SplitPair struct {
+	Old, New AtomID
+}
+
+// Map is the boundary map M. It is not safe for concurrent mutation.
+type Map struct {
+	space ipnet.Space
+	tree  *rbtree.Tree[uint64, AtomID]
+	next  AtomID
+	free  []AtomID // recycled ids when garbage collection is enabled
+}
+
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// New returns a Map over the given space, pre-seeded with MIN ↦ α₀ and
+// MAX ↦ α∞ as §3.1 prescribes.
+func New(space ipnet.Space) *Map {
+	m := &Map{space: space, tree: rbtree.New[uint64, AtomID](cmpU64)}
+	m.tree.Insert(0, m.alloc())
+	m.tree.Insert(space.Max(), Infinity)
+	return m
+}
+
+func (m *Map) alloc() AtomID {
+	if n := len(m.free); n > 0 {
+		id := m.free[n-1]
+		m.free = m.free[:n-1]
+		return id
+	}
+	id := m.next
+	m.next++
+	return id
+}
+
+// Space returns the address space the map partitions.
+func (m *Map) Space() ipnet.Space { return m.space }
+
+// NumAtoms returns the current number of atoms (len(M) − 1).
+func (m *Map) NumAtoms() int { return m.tree.Len() - 1 }
+
+// MaxID returns one past the largest atom id ever allocated; slices indexed
+// by AtomID need this capacity. With GC enabled this can exceed NumAtoms.
+func (m *Map) MaxID() int { return int(m.next) }
+
+// CreateAtoms ensures both bounds of iv are keys of M, splitting at most two
+// existing atoms. It returns the split pairs (the paper's Δ from
+// CREATE_ATOMS+); the caller must copy owner state from Old to New for each
+// pair. The set of atoms that results is independent of insertion order,
+// though the identifier values are not (§3.1).
+func (m *Map) CreateAtoms(iv ipnet.Interval) []SplitPair {
+	var delta []SplitPair
+	for _, bound := range [2]uint64{iv.Lo, iv.Hi} {
+		if m.tree.Has(bound) {
+			continue
+		}
+		prev := m.tree.Lower(bound)
+		// prev always exists: MIN=0 is a key and bound > 0 here
+		// (bound == 0 would have hit the Has check).
+		old := prev.Value
+		id := m.alloc()
+		m.tree.Insert(bound, id)
+		delta = append(delta, SplitPair{Old: old, New: id})
+	}
+	return delta
+}
+
+// ReleaseBound removes the boundary key at bound, merging the atom that
+// starts at bound into its predecessor. It returns the id of the removed
+// atom so the caller can clear labels/owner state, and recycles the id.
+// The bound must not be MIN or MAX and must currently be a key.
+// This implements the garbage-collection mechanism the paper sketches but
+// omits from Algorithm 2 (§3.2.2).
+func (m *Map) ReleaseBound(bound uint64) (AtomID, bool) {
+	if bound == 0 || bound == m.space.Max() {
+		return 0, false
+	}
+	v, ok := m.tree.Get(bound)
+	if !ok {
+		return 0, false
+	}
+	m.tree.Delete(bound)
+	m.free = append(m.free, v)
+	return v, true
+}
+
+// Atoms appends to dst the atom ids whose intervals compose iv — the
+// paper's ⟦interval(r)⟧ — assuming both bounds of iv are keys (call
+// CreateAtoms first). Atoms are produced in ascending address order.
+func (m *Map) Atoms(iv ipnet.Interval, dst []AtomID) []AtomID {
+	m.tree.AscendRange(iv.Lo, iv.Hi, func(_ uint64, id AtomID) bool {
+		dst = append(dst, id)
+		return true
+	})
+	return dst
+}
+
+// AtomsOverlapping appends the atom ids whose intervals intersect iv, even
+// when iv's bounds are not keys of M. Used by query paths that must not
+// mutate the partition.
+func (m *Map) AtomsOverlapping(iv ipnet.Interval, dst []AtomID) []AtomID {
+	if iv.Empty() {
+		return dst
+	}
+	if n := m.tree.Floor(iv.Lo); n != nil && n.Value != Infinity && n.Key < iv.Lo {
+		dst = append(dst, n.Value)
+	}
+	m.tree.AscendRange(iv.Lo, iv.Hi, func(k uint64, id AtomID) bool {
+		if id != Infinity {
+			dst = append(dst, id)
+		}
+		return true
+	})
+	return dst
+}
+
+// AtomOf returns the atom containing the address, which always exists.
+func (m *Map) AtomOf(addr uint64) AtomID {
+	n := m.tree.Floor(addr)
+	return n.Value
+}
+
+// IntervalOf returns the half-closed interval currently denoted by the atom.
+// It is a linear scan and intended for tests, tooling and reporting, not the
+// hot path (the engine never needs the reverse mapping).
+func (m *Map) IntervalOf(id AtomID) (ipnet.Interval, bool) {
+	var out ipnet.Interval
+	found := false
+	var prevKey uint64
+	var prevID AtomID = Infinity
+	first := true
+	m.tree.Ascend(func(k uint64, v AtomID) bool {
+		if !first && prevID == id {
+			out = ipnet.Interval{Lo: prevKey, Hi: k}
+			found = true
+			return false
+		}
+		first = false
+		prevKey, prevID = k, v
+		return true
+	})
+	return out, found
+}
+
+// Bounds returns all boundary keys in ascending order (including MIN and
+// MAX). Intended for tests and reporting.
+func (m *Map) Bounds() []uint64 { return m.tree.Keys() }
+
+// ForEachAtom calls fn for every atom with its interval, in address order.
+func (m *Map) ForEachAtom(fn func(id AtomID, iv ipnet.Interval) bool) {
+	var prevKey uint64
+	var prevID AtomID = Infinity
+	first := true
+	m.tree.Ascend(func(k uint64, v AtomID) bool {
+		if !first {
+			if !fn(prevID, ipnet.Interval{Lo: prevKey, Hi: k}) {
+				return false
+			}
+		}
+		first = false
+		prevKey, prevID = k, v
+		return true
+	})
+}
+
+// HasBound reports whether n is currently a boundary key.
+func (m *Map) HasBound(n uint64) bool { return m.tree.Has(n) }

@@ -1,0 +1,316 @@
+package intervalmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltanet/internal/ipnet"
+)
+
+func iv(lo, hi uint64) ipnet.Interval { return ipnet.Interval{Lo: lo, Hi: hi} }
+
+func TestInitialState(t *testing.T) {
+	m := New(ipnet.IPv4)
+	if m.NumAtoms() != 1 {
+		t.Fatalf("NumAtoms=%d want 1", m.NumAtoms())
+	}
+	if m.MaxID() != 1 {
+		t.Fatalf("MaxID=%d want 1", m.MaxID())
+	}
+	// The single atom covers the whole space.
+	full, ok := m.IntervalOf(0)
+	if !ok || full != iv(0, 1<<32) {
+		t.Fatalf("atom 0 = %v, %v", full, ok)
+	}
+	if m.AtomOf(0) != 0 || m.AtomOf(1<<32-1) != 0 {
+		t.Fatal("AtomOf initial space")
+	}
+}
+
+// TestPaperFigure5And6 reproduces §3.1: inserting rH=[10:12) then rL=[0:16)
+// yields atoms α0=[0:10), α1=[10:12), α2=[12:16), α3=[16:MAX) — four atoms,
+// five keys (Figure 6 without the later rM split).
+func TestPaperFigure5And6(t *testing.T) {
+	m := New(ipnet.IPv4)
+	d1 := m.CreateAtoms(iv(10, 12)) // rH
+	if len(d1) != 2 {
+		t.Fatalf("rH delta len=%d want 2", len(d1))
+	}
+	d2 := m.CreateAtoms(iv(0, 16)) // rL: lower bound 0 already exists
+	if len(d2) != 1 {
+		t.Fatalf("rL delta len=%d want 1", len(d2))
+	}
+	if m.NumAtoms() != 4 {
+		t.Fatalf("NumAtoms=%d want 4", m.NumAtoms())
+	}
+	// Check the partition intervals.
+	wantBounds := []uint64{0, 10, 12, 16, 1 << 32}
+	bounds := m.Bounds()
+	if len(bounds) != len(wantBounds) {
+		t.Fatalf("bounds=%v", bounds)
+	}
+	for i := range wantBounds {
+		if bounds[i] != wantBounds[i] {
+			t.Fatalf("bounds=%v want %v", bounds, wantBounds)
+		}
+	}
+	// ⟦interval(rH)⟧ is a single atom; ⟦interval(rL)⟧ is three atoms.
+	if got := m.Atoms(iv(10, 12), nil); len(got) != 1 {
+		t.Fatalf("rH atoms=%v", got)
+	}
+	if got := m.Atoms(iv(0, 16), nil); len(got) != 3 {
+		t.Fatalf("rL atoms=%v", got)
+	}
+}
+
+// TestPaperRMSplit continues the worked example (§3.2.1): inserting
+// rM=[8:12) into the Figure 6 tree splits [0:10) and returns exactly the
+// delta-pair α0 ↦ α4.
+func TestPaperRMSplit(t *testing.T) {
+	m := New(ipnet.IPv4)
+	m.CreateAtoms(iv(10, 12))
+	m.CreateAtoms(iv(0, 16))
+	alpha0 := m.AtomOf(0)
+	delta := m.CreateAtoms(iv(8, 12))
+	if len(delta) != 1 {
+		t.Fatalf("delta=%v want 1 pair", delta)
+	}
+	if delta[0].Old != alpha0 {
+		t.Fatalf("split old=%d want α0=%d", delta[0].Old, alpha0)
+	}
+	// α0 now denotes [0:8), the new atom denotes [8:10).
+	if got, _ := m.IntervalOf(alpha0); got != iv(0, 8) {
+		t.Fatalf("α0 interval=%v", got)
+	}
+	if got, _ := m.IntervalOf(delta[0].New); got != iv(8, 10) {
+		t.Fatalf("new atom interval=%v", got)
+	}
+	// rM's interval is two atoms: [8:10) and [10:12).
+	if got := m.Atoms(iv(8, 12), nil); len(got) != 2 {
+		t.Fatalf("rM atoms=%v", got)
+	}
+}
+
+func TestCreateAtomsIdempotent(t *testing.T) {
+	m := New(ipnet.IPv4)
+	m.CreateAtoms(iv(100, 200))
+	if d := m.CreateAtoms(iv(100, 200)); len(d) != 0 {
+		t.Fatalf("repeat CreateAtoms delta=%v", d)
+	}
+	if m.NumAtoms() != 3 {
+		t.Fatalf("NumAtoms=%d", m.NumAtoms())
+	}
+}
+
+func TestSameLowerBoundDifferentLength(t *testing.T) {
+	// §3.1: "IP prefixes such as 1.2.0.0/16 and 1.2.0.0/24 ... together
+	// yield only three and not four atoms."
+	m := New(ipnet.IPv4)
+	p16 := ipnet.MustParsePrefix("1.2.0.0/16").Interval()
+	p24 := ipnet.MustParsePrefix("1.2.0.0/24").Interval()
+	m.CreateAtoms(p16)
+	m.CreateAtoms(p24)
+	if m.NumAtoms() != 4 { // [0:lo), [lo:lo+2^8...), ... plus trailing
+		// keys: 0, 1.2.0.0, 1.2.1.0, 1.3.0.0, MAX -> 4 atoms
+		t.Fatalf("NumAtoms=%d want 4", m.NumAtoms())
+	}
+}
+
+func TestAtomOf(t *testing.T) {
+	m := New(ipnet.IPv4)
+	m.CreateAtoms(iv(10, 20))
+	a := m.AtomOf(5)
+	b := m.AtomOf(10)
+	c := m.AtomOf(19)
+	d := m.AtomOf(20)
+	if a == b || b != c || c == d {
+		t.Fatalf("AtomOf boundaries: %d %d %d %d", a, b, c, d)
+	}
+}
+
+func TestAtomsOverlapping(t *testing.T) {
+	m := New(ipnet.IPv4)
+	m.CreateAtoms(iv(10, 20))
+	m.CreateAtoms(iv(30, 40))
+	// Query with non-key bounds straddling several atoms.
+	got := m.AtomsOverlapping(iv(15, 35), nil)
+	// Atoms: [10:20), [20:30), [30:40) — all three overlap [15:35).
+	if len(got) != 3 {
+		t.Fatalf("overlapping atoms=%v", got)
+	}
+	if got := m.AtomsOverlapping(iv(5, 5), nil); len(got) != 0 {
+		t.Fatalf("empty query returned %v", got)
+	}
+	// A query inside a single atom returns exactly it.
+	got = m.AtomsOverlapping(iv(21, 22), nil)
+	if len(got) != 1 {
+		t.Fatalf("single-atom query=%v", got)
+	}
+	// Query starting exactly at a key must not duplicate the atom.
+	got = m.AtomsOverlapping(iv(10, 12), nil)
+	if len(got) != 1 {
+		t.Fatalf("key-aligned query=%v", got)
+	}
+	// Query reaching MAX must not include Infinity.
+	got = m.AtomsOverlapping(iv(50, 1<<32), nil)
+	for _, id := range got {
+		if id == Infinity {
+			t.Fatal("Infinity leaked into overlap query")
+		}
+	}
+}
+
+func TestReleaseBound(t *testing.T) {
+	m := New(ipnet.IPv4)
+	m.CreateAtoms(iv(10, 20))
+	nAtoms := m.NumAtoms()
+	id, ok := m.ReleaseBound(10)
+	if !ok {
+		t.Fatal("ReleaseBound(10) failed")
+	}
+	if m.NumAtoms() != nAtoms-1 {
+		t.Fatalf("NumAtoms=%d", m.NumAtoms())
+	}
+	// The released id is recycled by the next allocation.
+	d := m.CreateAtoms(iv(100, 200))
+	found := false
+	for _, p := range d {
+		if p.New == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("released id %d not recycled in %v", id, d)
+	}
+	// MIN/MAX and non-keys cannot be released.
+	if _, ok := m.ReleaseBound(0); ok {
+		t.Fatal("released MIN")
+	}
+	if _, ok := m.ReleaseBound(1 << 32); ok {
+		t.Fatal("released MAX")
+	}
+	if _, ok := m.ReleaseBound(12345); ok {
+		t.Fatal("released non-key")
+	}
+}
+
+func TestForEachAtomPartition(t *testing.T) {
+	m := New(ipnet.IPv4)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		lo := uint64(rng.Intn(1 << 20))
+		hi := lo + 1 + uint64(rng.Intn(1<<20))
+		m.CreateAtoms(iv(lo, hi))
+	}
+	// The atoms tile [0, MAX) exactly, with distinct ids.
+	var pos uint64
+	seen := map[AtomID]bool{}
+	count := 0
+	m.ForEachAtom(func(id AtomID, in ipnet.Interval) bool {
+		if in.Lo != pos {
+			t.Fatalf("gap at %d", pos)
+		}
+		if in.Empty() {
+			t.Fatalf("empty atom %d", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate atom id %d", id)
+		}
+		seen[id] = true
+		pos = in.Hi
+		count++
+		return true
+	})
+	if pos != 1<<32 {
+		t.Fatalf("partition ends at %d", pos)
+	}
+	if count != m.NumAtoms() {
+		t.Fatalf("ForEachAtom count=%d NumAtoms=%d", count, m.NumAtoms())
+	}
+}
+
+// TestOrderIndependence checks §3.1's invariant: "the set of generated atoms
+// at the end is invariant under the order in which CREATE_ATOMS is called."
+func TestOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ivs := make([]ipnet.Interval, 50)
+	for i := range ivs {
+		lo := uint64(rng.Intn(1000))
+		ivs[i] = iv(lo, lo+1+uint64(rng.Intn(1000)))
+	}
+	build := func(order []int) []uint64 {
+		m := New(ipnet.IPv4)
+		for _, j := range order {
+			m.CreateAtoms(ivs[j])
+		}
+		return m.Bounds()
+	}
+	base := build(rng.Perm(len(ivs)))
+	for trial := 0; trial < 5; trial++ {
+		got := build(rng.Perm(len(ivs)))
+		if len(got) != len(base) {
+			t.Fatalf("bound count differs: %d vs %d", len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("bounds differ at %d", i)
+			}
+		}
+	}
+}
+
+func TestAtomsAscendingOrder(t *testing.T) {
+	m := New(ipnet.IPv4)
+	m.CreateAtoms(iv(0, 1000))
+	m.CreateAtoms(iv(100, 900))
+	m.CreateAtoms(iv(200, 800))
+	ids := m.Atoms(iv(0, 1000), nil)
+	if len(ids) != 5 {
+		t.Fatalf("atoms=%v", ids)
+	}
+	var pos uint64
+	for _, id := range ids {
+		in, ok := m.IntervalOf(id)
+		if !ok {
+			t.Fatalf("no interval for %d", id)
+		}
+		if in.Lo < pos {
+			t.Fatal("atoms not in ascending order")
+		}
+		pos = in.Hi
+	}
+}
+
+func TestDeltaCap(t *testing.T) {
+	// |Δ| ≤ 2 always (§3.2.1).
+	m := New(ipnet.IPv4)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		lo := uint64(rng.Intn(1 << 16))
+		d := m.CreateAtoms(iv(lo, lo+1+uint64(rng.Intn(1<<16))))
+		if len(d) > 2 {
+			t.Fatalf("delta len=%d", len(d))
+		}
+	}
+}
+
+func TestHasBound(t *testing.T) {
+	m := New(ipnet.IPv4)
+	m.CreateAtoms(iv(7, 9))
+	if !m.HasBound(7) || !m.HasBound(9) || m.HasBound(8) {
+		t.Fatal("HasBound wrong")
+	}
+	if !m.HasBound(0) || !m.HasBound(1<<32) {
+		t.Fatal("MIN/MAX should be bounds")
+	}
+}
+
+func TestIntervalOfUnknown(t *testing.T) {
+	m := New(ipnet.IPv4)
+	if _, ok := m.IntervalOf(99); ok {
+		t.Fatal("IntervalOf unknown id succeeded")
+	}
+	if _, ok := m.IntervalOf(Infinity); ok {
+		t.Fatal("IntervalOf Infinity succeeded")
+	}
+}

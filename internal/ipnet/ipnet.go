@@ -1,0 +1,229 @@
+// Package ipnet converts IP prefixes to and from the half-closed integer
+// intervals that Delta-net's atoms partition (paper §3.1).
+//
+// An IPv4 CIDR prefix a.b.c.d/len denotes the half-closed interval
+// [base : base + 2^(32-len)) over 32-bit destination addresses; e.g.
+// 0.0.0.10/31 = [10 : 12) and 0.0.0.0/28 = [0 : 16), the paper's Table 1.
+// Bounds are held in uint64 so the exclusive upper bound 2^32 (the paper's
+// MAX) is representable. The same machinery generalizes to any fixed header
+// width up to 63 bits via the Space type; the evaluation uses the 32-bit
+// IPv4 space throughout, as the paper does.
+package ipnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Space describes a k-bit match field: destination addresses are integers in
+// [0, 2^k). The paper fixes MIN = 0 and MAX = 2^k (§3.1).
+type Space struct {
+	Bits int
+}
+
+// IPv4 is the 32-bit destination-IP space used by all of the paper's
+// experiments.
+var IPv4 = Space{Bits: 32}
+
+// Max returns the exclusive upper bound 2^k of the space.
+func (s Space) Max() uint64 { return 1 << uint(s.Bits) }
+
+// Contains reports whether the interval lies within the space.
+func (s Space) Contains(iv Interval) bool {
+	return iv.Lo < iv.Hi && iv.Hi <= s.Max()
+}
+
+// Interval is a half-closed interval [Lo : Hi) of destination addresses.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Empty reports whether the interval contains no addresses.
+func (iv Interval) Empty() bool { return iv.Lo >= iv.Hi }
+
+// Size returns the number of addresses in the interval.
+func (iv Interval) Size() uint64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Contains reports whether addr lies in the interval.
+func (iv Interval) Contains(addr uint64) bool { return iv.Lo <= addr && addr < iv.Hi }
+
+// Overlaps reports whether the two intervals share at least one address.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Lo < o.Hi && o.Lo < iv.Hi
+}
+
+// Intersect returns the overlap of the two intervals (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	if lo > hi {
+		hi = lo
+	}
+	return Interval{lo, hi}
+}
+
+// CoveredBy reports whether iv is fully inside o.
+func (iv Interval) CoveredBy(o Interval) bool {
+	return o.Lo <= iv.Lo && iv.Hi <= o.Hi
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%d:%d)", iv.Lo, iv.Hi)
+}
+
+// Prefix is a CIDR prefix in a k-bit space. Addr holds the network address
+// in the low k bits; bits above Len are zero.
+type Prefix struct {
+	Addr uint64
+	Len  int
+	Bits int // width of the space; 32 for IPv4
+}
+
+// NewPrefix constructs a prefix in the IPv4 space, masking Addr to the
+// prefix length.
+func NewPrefix(addr uint64, length int) Prefix {
+	return NewPrefixIn(IPv4, addr, length)
+}
+
+// NewPrefixIn constructs a prefix in the given space, masking addr down to
+// the prefix length so that host bits are ignored.
+func NewPrefixIn(s Space, addr uint64, length int) Prefix {
+	if length < 0 {
+		length = 0
+	}
+	if length > s.Bits {
+		length = s.Bits
+	}
+	shift := uint(s.Bits - length)
+	addr = (addr >> shift) << shift
+	return Prefix{Addr: addr, Len: length, Bits: s.Bits}
+}
+
+// Interval returns the half-closed interval of addresses the prefix matches.
+func (p Prefix) Interval() Interval {
+	size := uint64(1) << uint(p.Bits-p.Len)
+	return Interval{Lo: p.Addr, Hi: p.Addr + size}
+}
+
+// Contains reports whether addr matches the prefix.
+func (p Prefix) Contains(addr uint64) bool { return p.Interval().Contains(addr) }
+
+// Overlaps reports whether two prefixes share addresses; for CIDR prefixes
+// this holds exactly when one contains the other.
+func (p Prefix) Overlaps(o Prefix) bool { return p.Interval().Overlaps(o.Interval()) }
+
+// String renders an IPv4-space prefix in dotted-quad CIDR form, and any
+// other space as "addr/len".
+func (p Prefix) String() string {
+	if p.Bits == 32 {
+		a := uint32(p.Addr)
+		return fmt.Sprintf("%d.%d.%d.%d/%d", a>>24, a>>16&0xff, a>>8&0xff, a&0xff, p.Len)
+	}
+	return fmt.Sprintf("%d/%d", p.Addr, p.Len)
+}
+
+// ParsePrefix parses "a.b.c.d/len" (IPv4 CIDR) or "a.b.c.d" (host /32) into
+// a Prefix in the IPv4 space. Host bits below the prefix length are masked
+// off, matching router behaviour.
+func ParsePrefix(s string) (Prefix, error) {
+	addrPart := s
+	length := 32
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		addrPart = s[:i]
+		var err error
+		length, err = strconv.Atoi(s[i+1:])
+		if err != nil {
+			return Prefix{}, fmt.Errorf("ipnet: bad prefix length in %q: %v", s, err)
+		}
+		if length < 0 || length > 32 {
+			return Prefix{}, fmt.Errorf("ipnet: prefix length %d out of range in %q", length, s)
+		}
+	}
+	parts := strings.Split(addrPart, ".")
+	if len(parts) != 4 {
+		return Prefix{}, fmt.Errorf("ipnet: bad IPv4 address %q", addrPart)
+	}
+	var addr uint64
+	for _, part := range parts {
+		o, err := strconv.Atoi(part)
+		if err != nil || o < 0 || o > 255 {
+			return Prefix{}, fmt.Errorf("ipnet: bad octet %q in %q", part, s)
+		}
+		addr = addr<<8 | uint64(o)
+	}
+	return NewPrefix(addr, length), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error; for tests, examples
+// and table-driven literals.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PrefixFromInterval recovers the CIDR prefix denoting iv, if iv is
+// exactly a prefix-aligned block (size a power of two, base aligned to the
+// size). Rules generated from prefixes round-trip through intervals
+// losslessly; arbitrary intervals return ok == false.
+func PrefixFromInterval(s Space, iv Interval) (Prefix, bool) {
+	size := iv.Size()
+	if size == 0 || size&(size-1) != 0 || iv.Lo%size != 0 || iv.Hi > s.Max() {
+		return Prefix{}, false
+	}
+	length := s.Bits
+	for b := uint64(1); b < size; b <<= 1 {
+		length--
+	}
+	return Prefix{Addr: iv.Lo, Len: length, Bits: s.Bits}, true
+}
+
+// IntervalToPrefixes decomposes an arbitrary half-closed interval into the
+// minimal list of CIDR prefixes covering it exactly, in ascending address
+// order. This is the inverse direction of Prefix.Interval and demonstrates
+// the paper's §5 observation that an atom such as [0:10) is generally *not*
+// a single prefix (it needs at least two).
+func IntervalToPrefixes(s Space, iv Interval) []Prefix {
+	var out []Prefix
+	lo, hi := iv.Lo, iv.Hi
+	if hi > s.Max() {
+		hi = s.Max()
+	}
+	for lo < hi {
+		// Largest block size that is aligned at lo...
+		size := lo & (^lo + 1) // lowest set bit of lo; 0 means unconstrained
+		if size == 0 {
+			size = s.Max()
+		}
+		// ...and that does not overshoot hi.
+		for size > hi-lo {
+			size >>= 1
+		}
+		length := s.Bits
+		for b := uint64(1); b < size; b <<= 1 {
+			length--
+		}
+		out = append(out, Prefix{Addr: lo, Len: length, Bits: s.Bits})
+		lo += size
+	}
+	return out
+}
+
+// FormatAddr renders a 32-bit address in dotted-quad form.
+func FormatAddr(addr uint64) string {
+	a := uint32(addr)
+	return fmt.Sprintf("%d.%d.%d.%d", a>>24, a>>16&0xff, a>>8&0xff, a&0xff)
+}

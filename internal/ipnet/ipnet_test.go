@@ -1,0 +1,282 @@
+package ipnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTable1Intervals(t *testing.T) {
+	// rH: 0.0.0.10/31 = [10:12), rL: 0.0.0.0/28 = [0:16)  (paper §3, Table 1)
+	rH := MustParsePrefix("0.0.0.10/31")
+	if iv := rH.Interval(); iv != (Interval{10, 12}) {
+		t.Fatalf("rH interval = %v, want [10:12)", iv)
+	}
+	rL := MustParsePrefix("0.0.0.0/28")
+	if iv := rL.Interval(); iv != (Interval{0, 16}) {
+		t.Fatalf("rL interval = %v, want [0:16)", iv)
+	}
+	// rM: 0.0.0.8/30 = [8:12)  (paper §3.2.1)
+	rM := MustParsePrefix("0.0.0.8/30")
+	if iv := rM.Interval(); iv != (Interval{8, 12}) {
+		t.Fatalf("rM interval = %v, want [8:12)", iv)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	cases := []struct {
+		in   string
+		addr uint64
+		len  int
+		ok   bool
+	}{
+		{"0.0.0.0/0", 0, 0, true},
+		{"255.255.255.255/32", 0xffffffff, 32, true},
+		{"10.0.0.0/8", 10 << 24, 8, true},
+		{"192.168.1.0/24", 192<<24 | 168<<16 | 1<<8, 24, true},
+		{"1.2.3.4", 1<<24 | 2<<16 | 3<<8 | 4, 32, true},
+		{"1.2.3.255/24", 1<<24 | 2<<16 | 3<<8, 24, true}, // host bits masked
+		{"1.2.3/24", 0, 0, false},
+		{"1.2.3.4/33", 0, 0, false},
+		{"1.2.3.4/-1", 0, 0, false},
+		{"1.2.3.x/8", 0, 0, false},
+		{"256.0.0.0/8", 0, 0, false},
+		{"1.2.3.4/x", 0, 0, false},
+	}
+	for _, c := range cases {
+		p, err := ParsePrefix(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParsePrefix(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && (p.Addr != c.addr || p.Len != c.len) {
+			t.Errorf("ParsePrefix(%q) = %d/%d, want %d/%d", c.in, p.Addr, p.Len, c.addr, c.len)
+		}
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	for _, s := range []string{"0.0.0.0/0", "10.1.2.0/24", "255.255.255.255/32"} {
+		if got := MustParsePrefix(s).String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParsePrefix did not panic")
+		}
+	}()
+	MustParsePrefix("not-a-prefix")
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := Interval{10, 20}
+	b := Interval{15, 30}
+	c := Interval{20, 25}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("overlap false negative")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("touching intervals must not overlap (half-closed)")
+	}
+	if got := a.Intersect(b); got != (Interval{15, 20}) {
+		t.Fatalf("Intersect=%v", got)
+	}
+	if got := a.Intersect(c); !got.Empty() {
+		t.Fatalf("Intersect of disjoint = %v", got)
+	}
+	if !a.Contains(10) || a.Contains(20) || !a.Contains(19) {
+		t.Fatal("Contains boundary semantics wrong")
+	}
+	if a.Size() != 10 {
+		t.Fatalf("Size=%d", a.Size())
+	}
+	if (Interval{5, 5}).Size() != 0 || !(Interval{5, 5}).Empty() {
+		t.Fatal("empty interval")
+	}
+	if !(Interval{12, 18}).CoveredBy(a) || (Interval{12, 21}).CoveredBy(a) {
+		t.Fatal("CoveredBy wrong")
+	}
+	if (Interval{10, 20}).String() != "[10:20)" {
+		t.Fatal("Interval String")
+	}
+}
+
+func TestSpace(t *testing.T) {
+	if IPv4.Max() != 1<<32 {
+		t.Fatalf("IPv4 max = %d", IPv4.Max())
+	}
+	if !IPv4.Contains(Interval{0, 1 << 32}) {
+		t.Fatal("full space not contained")
+	}
+	if IPv4.Contains(Interval{0, 1<<32 + 1}) {
+		t.Fatal("over-wide interval contained")
+	}
+	if IPv4.Contains(Interval{5, 5}) {
+		t.Fatal("empty interval contained")
+	}
+	s8 := Space{Bits: 8}
+	if s8.Max() != 256 {
+		t.Fatalf("8-bit max = %d", s8.Max())
+	}
+}
+
+func TestNewPrefixMasksHostBits(t *testing.T) {
+	p := NewPrefix(0xdeadbeef, 16)
+	if p.Addr != 0xdead0000 {
+		t.Fatalf("Addr=%x", p.Addr)
+	}
+	if p.Interval() != (Interval{0xdead0000, 0xdeae0000}) {
+		t.Fatalf("Interval=%v", p.Interval())
+	}
+	// Length clamping.
+	if NewPrefix(0, -5).Len != 0 || NewPrefix(0, 99).Len != 32 {
+		t.Fatal("length clamping")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	p8 := MustParsePrefix("10.0.0.0/8")
+	p16 := MustParsePrefix("10.1.0.0/16")
+	q16 := MustParsePrefix("11.1.0.0/16")
+	if !p8.Overlaps(p16) || !p16.Overlaps(p8) {
+		t.Fatal("nested prefixes must overlap")
+	}
+	if p8.Overlaps(q16) {
+		t.Fatal("disjoint prefixes must not overlap")
+	}
+}
+
+func TestIntervalToPrefixesPaperExample(t *testing.T) {
+	// Paper §5: atom [0:10) "can only be represented by the union of at
+	// least two IP prefixes".
+	ps := IntervalToPrefixes(IPv4, Interval{0, 10})
+	if len(ps) < 2 {
+		t.Fatalf("[0:10) decomposed into %d prefixes, want >= 2: %v", len(ps), ps)
+	}
+	checkCover(t, Interval{0, 10}, ps)
+}
+
+func TestIntervalToPrefixesExact(t *testing.T) {
+	// A single aligned block stays a single prefix.
+	ps := IntervalToPrefixes(IPv4, Interval{16, 32})
+	if len(ps) != 1 || ps[0].Len != 28 || ps[0].Addr != 16 {
+		t.Fatalf("aligned block: %v", ps)
+	}
+	// Full space is one /0.
+	ps = IntervalToPrefixes(IPv4, Interval{0, 1 << 32})
+	if len(ps) != 1 || ps[0].Len != 0 {
+		t.Fatalf("full space: %v", ps)
+	}
+	// Empty interval yields nothing.
+	if ps := IntervalToPrefixes(IPv4, Interval{5, 5}); len(ps) != 0 {
+		t.Fatalf("empty: %v", ps)
+	}
+}
+
+func checkCover(t *testing.T, iv Interval, ps []Prefix) {
+	t.Helper()
+	pos := iv.Lo
+	for _, p := range ps {
+		piv := p.Interval()
+		if piv.Lo != pos {
+			t.Fatalf("gap or overlap at %d: %v", pos, ps)
+		}
+		pos = piv.Hi
+	}
+	if pos != iv.Hi {
+		t.Fatalf("cover ends at %d, want %d", pos, iv.Hi)
+	}
+}
+
+// Property: decomposition exactly tiles the interval, for random intervals.
+func TestPropertyIntervalToPrefixesTiles(t *testing.T) {
+	f := func(a, b uint32) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		iv := Interval{lo, hi}
+		ps := IntervalToPrefixes(IPv4, iv)
+		pos := lo
+		for _, p := range ps {
+			piv := p.Interval()
+			if piv.Lo != pos {
+				return false
+			}
+			pos = piv.Hi
+		}
+		return pos == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: prefix parse/format round-trips and Interval size is 2^(32-len).
+func TestPropertyPrefixInterval(t *testing.T) {
+	f := func(addr uint32, l uint8) bool {
+		length := int(l % 33)
+		p := NewPrefix(uint64(addr), length)
+		iv := p.Interval()
+		if iv.Size() != 1<<uint(32-length) {
+			return false
+		}
+		q, err := ParsePrefix(p.String())
+		return err == nil && q == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixFromInterval(t *testing.T) {
+	for _, s := range []string{"0.0.0.0/0", "10.0.0.0/8", "1.2.3.4/32", "128.0.0.0/1"} {
+		p := MustParsePrefix(s)
+		got, ok := PrefixFromInterval(IPv4, p.Interval())
+		if !ok || got != p {
+			t.Errorf("round trip %v -> %v, %v", p, got, ok)
+		}
+	}
+	bad := []Interval{
+		{0, 10},        // size not a power of two
+		{8, 24},        // misaligned
+		{5, 5},         // empty
+		{0, 1<<32 + 2}, // out of space
+	}
+	for _, iv := range bad {
+		if _, ok := PrefixFromInterval(IPv4, iv); ok {
+			t.Errorf("accepted %v", iv)
+		}
+	}
+}
+
+// Property: every prefix's interval round-trips.
+func TestPropertyPrefixFromIntervalRoundTrip(t *testing.T) {
+	f := func(addr uint32, l uint8) bool {
+		p := NewPrefix(uint64(addr), int(l%33))
+		got, ok := PrefixFromInterval(IPv4, p.Interval())
+		return ok && got == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatAddr(t *testing.T) {
+	if got := FormatAddr(192<<24 | 168<<16 | 5); got != "192.168.0.5" {
+		t.Fatalf("FormatAddr=%q", got)
+	}
+}
+
+func TestNonIPv4SpaceString(t *testing.T) {
+	p := NewPrefixIn(Space{Bits: 8}, 0x80, 1)
+	if got := p.String(); got != "128/1" {
+		t.Fatalf("String=%q", got)
+	}
+	if p.Interval() != (Interval{128, 256}) {
+		t.Fatalf("Interval=%v", p.Interval())
+	}
+}

@@ -1,0 +1,252 @@
+package multidim
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+)
+
+func iv(lo, hi uint64) ipnet.Interval { return ipnet.Interval{Lo: lo, Hi: hi} }
+
+// twoDim builds a 2-field network: 16-bit dstIP-like field × 8-bit
+// port-like field, over a 3-node line.
+func twoDim() (*Network, *netgraph.Graph, []netgraph.NodeID, []netgraph.LinkID) {
+	g := netgraph.New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	ab := g.AddLink(a, b)
+	ac := g.AddLink(a, c)
+	bc := g.AddLink(b, c)
+	n := NewNetwork(g, []ipnet.Space{{Bits: 16}, {Bits: 8}})
+	return n, g, []netgraph.NodeID{a, b, c}, []netgraph.LinkID{ab, ac, bc}
+}
+
+func TestTwoFieldBasics(t *testing.T) {
+	n, _, nodes, links := twoDim()
+	// Rule 1: dst [0:1000) × port [0:50) -> ab.
+	if err := n.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: []ipnet.Interval{iv(0, 1000), iv(0, 50)}, Priority: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Rule 2 (higher prio): dst [500:2000) × port [25:75) -> ac.
+	if err := n.InsertRule(Rule{ID: 2, Source: nodes[0], Link: links[1],
+		Match: []ipnet.Interval{iv(500, 2000), iv(25, 75)}, Priority: 5}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dst, port uint64
+		want      netgraph.LinkID
+	}{
+		{0, 0, links[0]},     // only rule 1
+		{600, 30, links[1]},  // overlap: rule 2 wins
+		{600, 10, links[0]},  // dst overlaps, port only rule 1
+		{1500, 30, links[1]}, // only rule 2
+		{1500, 80, netgraph.NoLink},
+		{3000, 30, netgraph.NoLink},
+	}
+	for _, c := range cases {
+		if got := n.ForwardLink(nodes[0], []uint64{c.dst, c.port}); got != c.want {
+			t.Fatalf("(%d,%d): got link %d want %d", c.dst, c.port, got, c.want)
+		}
+	}
+	if n.Dims() != 2 || n.NumRules() != 2 {
+		t.Fatal("accessors")
+	}
+	apd := n.AtomsPerDim()
+	if len(apd) != 2 || apd[0] < 3 || apd[1] < 3 {
+		t.Fatalf("atoms per dim %v", apd)
+	}
+	if n.TupleCount() == 0 || n.LabelSize(links[0]) == 0 {
+		t.Fatal("tuple state missing")
+	}
+}
+
+func TestInsertErrorsAndRemove(t *testing.T) {
+	n, _, nodes, links := twoDim()
+	if err := n.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: []ipnet.Interval{iv(0, 10)}, Priority: 1}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := n.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: []ipnet.Interval{iv(0, 10), iv(0, 1<<20)}, Priority: 1}); err == nil {
+		t.Fatal("out-of-space dimension accepted")
+	}
+	if err := n.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: []ipnet.Interval{iv(0, 10), iv(0, 10)}, Priority: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: []ipnet.Interval{iv(0, 10), iv(0, 10)}, Priority: 1}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := n.RemoveRule(9); err == nil {
+		t.Fatal("unknown removal accepted")
+	}
+	if err := n.RemoveRule(1); err != nil {
+		t.Fatal(err)
+	}
+	if n.NumRules() != 0 || n.TupleCount() != 0 {
+		t.Fatalf("state left: rules=%d tuples=%d", n.NumRules(), n.TupleCount())
+	}
+}
+
+func TestDropRule2D(t *testing.T) {
+	n, g, nodes, links := twoDim()
+	n.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: []ipnet.Interval{iv(0, 100), iv(0, 100)}, Priority: 1})
+	n.InsertRule(Rule{ID: 2, Source: nodes[0], Link: netgraph.NoLink,
+		Match: []ipnet.Interval{iv(50, 60), iv(50, 60)}, Priority: 9})
+	got := n.ForwardLink(nodes[0], []uint64{55, 55})
+	if !g.IsDropLink(got) {
+		t.Fatalf("expected drop link, got %d", got)
+	}
+	if n.ForwardLink(nodes[0], []uint64{55, 10}) != links[0] {
+		t.Fatal("non-dropped coordinates misrouted")
+	}
+}
+
+func TestOverlapDegree(t *testing.T) {
+	n, _, nodes, links := twoDim()
+	n.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: []ipnet.Interval{iv(0, 100), iv(0, 100)}, Priority: 1})
+	n.InsertRule(Rule{ID: 2, Source: nodes[0], Link: links[0],
+		Match: []ipnet.Interval{iv(50, 150), iv(50, 150)}, Priority: 2})
+	// Overlaps dim 0 but not dim 1: no full overlap.
+	n.InsertRule(Rule{ID: 3, Source: nodes[0], Link: links[0],
+		Match: []ipnet.Interval{iv(0, 100), iv(200, 250)}, Priority: 3})
+	probe := Rule{ID: 99, Source: nodes[0],
+		Match: []ipnet.Interval{iv(0, 60), iv(0, 60)}}
+	if got := n.OverlapDegree(probe); got != 2 {
+		t.Fatalf("OverlapDegree=%d want 2", got)
+	}
+}
+
+// brute2d is the reference: linear scan over rules, per concrete value
+// vector.
+type brute2d struct{ rules map[core.RuleID]Rule }
+
+func (b *brute2d) forward(v netgraph.NodeID, vals []uint64) netgraph.LinkID {
+	var best *Rule
+	for id := range b.rules {
+		r := b.rules[id]
+		if r.Source != v {
+			continue
+		}
+		ok := true
+		for d := range vals {
+			if !r.Match[d].Contains(vals[d]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if best == nil || best.Priority < r.Priority ||
+			(best.Priority == r.Priority && best.ID < r.ID) {
+			cp := r
+			best = &cp
+		}
+	}
+	if best == nil {
+		return netgraph.NoLink
+	}
+	return best.Link
+}
+
+func TestRandomized2DVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n, g, nodes, links := twoDim()
+	b := &brute2d{rules: map[core.RuleID]Rule{}}
+	live := []core.RuleID{}
+	nextID := core.RuleID(1)
+	for op := 0; op < 250; op++ {
+		if len(live) == 0 || rng.Intn(100) < 60 {
+			l := links[rng.Intn(len(links))]
+			src := g.Link(l).Src
+			lo0 := uint64(rng.Intn(1 << 14))
+			lo1 := uint64(rng.Intn(200))
+			r := Rule{ID: nextID, Source: src, Link: l,
+				Match: []ipnet.Interval{
+					iv(lo0, lo0+1+uint64(rng.Intn(1<<14))),
+					iv(lo1, lo1+1+uint64(rng.Intn(55))),
+				},
+				Priority: core.Priority(rng.Intn(20))}
+			nextID++
+			if err := n.InsertRule(r); err != nil {
+				t.Fatal(err)
+			}
+			rr := r
+			if rr.Link == netgraph.NoLink {
+				rr.Link = g.DropLink(src)
+			}
+			b.rules[r.ID] = rr
+			live = append(live, r.ID)
+		} else {
+			k := rng.Intn(len(live))
+			id := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := n.RemoveRule(id); err != nil {
+				t.Fatal(err)
+			}
+			delete(b.rules, id)
+		}
+		if op%17 != 0 {
+			continue
+		}
+		for probe := 0; probe < 60; probe++ {
+			vals := []uint64{uint64(rng.Intn(1 << 16)), uint64(rng.Intn(256))}
+			for _, v := range nodes {
+				want := b.forward(v, vals)
+				got := n.ForwardLink(v, vals)
+				if got != want {
+					t.Fatalf("op %d node %d vals %v: got %d want %d", op, v, vals, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTupleGrowth demonstrates the naive approach's cross-product cost
+// the paper warns about: atoms multiply across dimensions.
+func TestTupleGrowth(t *testing.T) {
+	n, _, nodes, links := twoDim()
+	for i := 0; i < 10; i++ {
+		if err := n.InsertRule(Rule{ID: core.RuleID(i + 1), Source: nodes[0], Link: links[0],
+			Match: []ipnet.Interval{
+				iv(uint64(i*100), uint64(i*100+150)), // overlapping in dim 0
+				iv(uint64(i*10), uint64(i*10+15)),    // overlapping in dim 1
+			},
+			Priority: core.Priority(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apd := n.AtomsPerDim()
+	if n.TupleCount() <= apd[0] && n.TupleCount() <= apd[1] {
+		t.Fatalf("expected cross-product growth: tuples=%d atoms=%v", n.TupleCount(), apd)
+	}
+}
+
+func BenchmarkInsert2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := netgraph.New()
+	s := g.AddNode("s")
+	l := g.AddLink(s, g.AddNode("d"))
+	n := NewNetwork(g, []ipnet.Space{{Bits: 16}, {Bits: 8}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo0 := uint64(rng.Intn(1 << 14))
+		lo1 := uint64(rng.Intn(200))
+		if err := n.InsertRule(Rule{ID: core.RuleID(i + 1), Source: s, Link: l,
+			Match: []ipnet.Interval{
+				iv(lo0, lo0+1+uint64(rng.Intn(1<<10))),
+				iv(lo1, lo1+1+uint64(rng.Intn(20))),
+			},
+			Priority: core.Priority(rng.Intn(100))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,578 @@
+// Package rbtree provides a generic left-leaning-free, classic red-black
+// tree with ordered iteration, arbitrary deletion, min/max access, and deep
+// cloning.
+//
+// Delta-net uses balanced binary search trees in two roles (paper §3.1–3.2):
+// the ordered boundary map M, and the per-(atom, source) priority trees held
+// in the owner structure. Both need logarithmic insert, delete and lookup;
+// the owner trees additionally need Max (the highest-priority rule) and
+// Clone (the owner[α′] ← owner[α] copy in Algorithm 1, line 4). A single
+// generic implementation serves both.
+package rbtree
+
+// color of a node. The zero value is red, which is what freshly inserted
+// nodes must be, so newNode needs no explicit color assignment.
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+// Node is a single element of the tree. Nodes are owned by the tree; callers
+// must not retain them across mutations.
+type Node[K any, V any] struct {
+	Key   K
+	Value V
+
+	left, right, parent *Node[K, V]
+	color               color
+}
+
+// Tree is a red-black tree ordered by a comparison function.
+// The zero Tree is not usable; construct with New.
+type Tree[K any, V any] struct {
+	root *Node[K, V]
+	size int
+	cmp  func(a, b K) int
+}
+
+// New returns an empty tree ordered by cmp, which must return a negative
+// number, zero, or a positive number as a < b, a == b, a > b.
+func New[K any, V any](cmp func(a, b K) int) *Tree[K, V] {
+	return &Tree[K, V]{cmp: cmp}
+}
+
+// Len reports the number of nodes in the tree.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Empty reports whether the tree has no nodes.
+func (t *Tree[K, V]) Empty() bool { return t.size == 0 }
+
+// Get returns the value stored under key and whether it was present.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	if n := t.find(key); n != nil {
+		return n.Value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Has reports whether key is present.
+func (t *Tree[K, V]) Has(key K) bool { return t.find(key) != nil }
+
+func (t *Tree[K, V]) find(key K) *Node[K, V] {
+	n := t.root
+	for n != nil {
+		c := t.cmp(key, n.Key)
+		switch {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return n
+		}
+	}
+	return nil
+}
+
+// Insert stores value under key. If the key already exists its value is
+// replaced and Insert reports false; otherwise a new node is created and
+// Insert reports true.
+func (t *Tree[K, V]) Insert(key K, value V) bool {
+	var parent *Node[K, V]
+	link := &t.root
+	for *link != nil {
+		parent = *link
+		c := t.cmp(key, parent.Key)
+		switch {
+		case c < 0:
+			link = &parent.left
+		case c > 0:
+			link = &parent.right
+		default:
+			parent.Value = value
+			return false
+		}
+	}
+	n := &Node[K, V]{Key: key, Value: value, parent: parent}
+	*link = n
+	t.size++
+	t.insertFixup(n)
+	return true
+}
+
+func (t *Tree[K, V]) insertFixup(n *Node[K, V]) {
+	for n.parent != nil && n.parent.color == red {
+		g := n.parent.parent // grandparent exists: the root is black
+		if n.parent == g.left {
+			u := g.right
+			if u != nil && u.color == red {
+				n.parent.color = black
+				u.color = black
+				g.color = red
+				n = g
+				continue
+			}
+			if n == n.parent.right {
+				n = n.parent
+				t.rotateLeft(n)
+			}
+			n.parent.color = black
+			g.color = red
+			t.rotateRight(g)
+		} else {
+			u := g.left
+			if u != nil && u.color == red {
+				n.parent.color = black
+				u.color = black
+				g.color = red
+				n = g
+				continue
+			}
+			if n == n.parent.left {
+				n = n.parent
+				t.rotateRight(n)
+			}
+			n.parent.color = black
+			g.color = red
+			t.rotateLeft(g)
+		}
+	}
+	t.root.color = black
+}
+
+func (t *Tree[K, V]) rotateLeft(x *Node[K, V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[K, V]) rotateRight(x *Node[K, V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+// Delete removes key from the tree and reports whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	n := t.find(key)
+	if n == nil {
+		return false
+	}
+	t.deleteNode(n)
+	return true
+}
+
+// deleteNode removes n from the tree using the classic CLRS scheme.
+func (t *Tree[K, V]) deleteNode(z *Node[K, V]) {
+	t.size--
+	y := z
+	yOrig := y.color
+	var x, xParent *Node[K, V]
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = minNode(z.right)
+		yOrig = y.color
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yOrig == black {
+		t.deleteFixup(x, xParent)
+	}
+	// Detach z fully so stale pointers cannot keep subtrees alive.
+	z.left, z.right, z.parent = nil, nil, nil
+}
+
+func (t *Tree[K, V]) transplant(u, v *Node[K, V]) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func isBlack[K any, V any](n *Node[K, V]) bool { return n == nil || n.color == black }
+
+func (t *Tree[K, V]) deleteFixup(x, parent *Node[K, V]) {
+	for x != t.root && isBlack(x) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if w.color == red {
+				w.color = black
+				parent.color = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if isBlack(w.left) && isBlack(w.right) {
+				w.color = red
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if isBlack(w.right) {
+				w.left.color = black
+				w.color = red
+				t.rotateRight(w)
+				w = parent.right
+			}
+			w.color = parent.color
+			parent.color = black
+			w.right.color = black
+			t.rotateLeft(parent)
+			x = t.root
+			parent = nil
+		} else {
+			w := parent.left
+			if w.color == red {
+				w.color = black
+				parent.color = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if isBlack(w.right) && isBlack(w.left) {
+				w.color = red
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if isBlack(w.left) {
+				w.right.color = black
+				w.color = red
+				t.rotateLeft(w)
+				w = parent.left
+			}
+			w.color = parent.color
+			parent.color = black
+			w.left.color = black
+			t.rotateRight(parent)
+			x = t.root
+			parent = nil
+		}
+	}
+	if x != nil {
+		x.color = black
+	}
+}
+
+func minNode[K any, V any](n *Node[K, V]) *Node[K, V] {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func maxNode[K any, V any](n *Node[K, V]) *Node[K, V] {
+	for n.right != nil {
+		n = n.right
+	}
+	return n
+}
+
+// Min returns the node with the smallest key, or nil if the tree is empty.
+func (t *Tree[K, V]) Min() *Node[K, V] {
+	if t.root == nil {
+		return nil
+	}
+	return minNode(t.root)
+}
+
+// Max returns the node with the largest key, or nil if the tree is empty.
+// For owner trees keyed by priority this is bst.highest_priority_rule().
+func (t *Tree[K, V]) Max() *Node[K, V] {
+	if t.root == nil {
+		return nil
+	}
+	return maxNode(t.root)
+}
+
+// Floor returns the node with the largest key <= key, or nil.
+func (t *Tree[K, V]) Floor(key K) *Node[K, V] {
+	var best *Node[K, V]
+	n := t.root
+	for n != nil {
+		c := t.cmp(key, n.Key)
+		switch {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			best = n
+			n = n.right
+		default:
+			return n
+		}
+	}
+	return best
+}
+
+// Ceil returns the node with the smallest key >= key, or nil.
+func (t *Tree[K, V]) Ceil(key K) *Node[K, V] {
+	var best *Node[K, V]
+	n := t.root
+	for n != nil {
+		c := t.cmp(key, n.Key)
+		switch {
+		case c < 0:
+			best = n
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return n
+		}
+	}
+	return best
+}
+
+// Lower returns the node with the largest key strictly < key, or nil.
+func (t *Tree[K, V]) Lower(key K) *Node[K, V] {
+	var best *Node[K, V]
+	n := t.root
+	for n != nil {
+		if t.cmp(key, n.Key) > 0 {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	return best
+}
+
+// Higher returns the node with the smallest key strictly > key, or nil.
+func (t *Tree[K, V]) Higher(key K) *Node[K, V] {
+	var best *Node[K, V]
+	n := t.root
+	for n != nil {
+		if t.cmp(key, n.Key) < 0 {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return best
+}
+
+// Next returns the in-order successor of n, or nil.
+func (n *Node[K, V]) Next() *Node[K, V] {
+	if n.right != nil {
+		return minNode(n.right)
+	}
+	p := n.parent
+	for p != nil && n == p.right {
+		n = p
+		p = p.parent
+	}
+	return p
+}
+
+// Prev returns the in-order predecessor of n, or nil.
+func (n *Node[K, V]) Prev() *Node[K, V] {
+	if n.left != nil {
+		return maxNode(n.left)
+	}
+	p := n.parent
+	for p != nil && n == p.left {
+		n = p
+		p = p.parent
+	}
+	return p
+}
+
+// Ascend calls fn for each node in key order until fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(k K, v V) bool) {
+	for n := t.Min(); n != nil; n = n.Next() {
+		if !fn(n.Key, n.Value) {
+			return
+		}
+	}
+}
+
+// AscendRange calls fn for each node with lo <= key < hi, in key order,
+// until fn returns false.
+func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(k K, v V) bool) {
+	for n := t.Ceil(lo); n != nil && t.cmp(n.Key, hi) < 0; n = n.Next() {
+		if !fn(n.Key, n.Value) {
+			return
+		}
+	}
+}
+
+// Descend calls fn for each node in reverse key order until fn returns false.
+func (t *Tree[K, V]) Descend(fn func(k K, v V) bool) {
+	for n := t.Max(); n != nil; n = n.Prev() {
+		if !fn(n.Key, n.Value) {
+			return
+		}
+	}
+}
+
+// Clone returns a deep structural copy of the tree. Keys and values are
+// copied by assignment. The copy shares no nodes with the original, so the
+// two may diverge independently — exactly what Algorithm 1's owner copy
+// (line 4) requires when an atom splits.
+func (t *Tree[K, V]) Clone() *Tree[K, V] {
+	c := &Tree[K, V]{cmp: t.cmp, size: t.size}
+	c.root = cloneNode(t.root, nil)
+	return c
+}
+
+func cloneNode[K any, V any](n, parent *Node[K, V]) *Node[K, V] {
+	if n == nil {
+		return nil
+	}
+	m := &Node[K, V]{Key: n.Key, Value: n.Value, color: n.color, parent: parent}
+	m.left = cloneNode(n.left, m)
+	m.right = cloneNode(n.right, m)
+	return m
+}
+
+// Clear removes all nodes.
+func (t *Tree[K, V]) Clear() {
+	t.root = nil
+	t.size = 0
+}
+
+// Keys returns all keys in ascending order. Intended for tests and tooling.
+func (t *Tree[K, V]) Keys() []K {
+	out := make([]K, 0, t.size)
+	t.Ascend(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Values returns all values in ascending key order. Intended for tests and
+// tooling.
+func (t *Tree[K, V]) Values() []V {
+	out := make([]V, 0, t.size)
+	t.Ascend(func(_ K, v V) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// CheckInvariants verifies the red-black properties and key ordering,
+// returning a descriptive non-nil error message string if violated (empty
+// string when valid). It is exported for use by tests of this package and of
+// packages that embed trees in larger structures.
+func (t *Tree[K, V]) CheckInvariants() string {
+	if t.root == nil {
+		if t.size != 0 {
+			return "empty tree with nonzero size"
+		}
+		return ""
+	}
+	if t.root.color != black {
+		return "root is not black"
+	}
+	if t.root.parent != nil {
+		return "root has a parent"
+	}
+	count := 0
+	msg := ""
+	var walk func(n *Node[K, V]) int // returns black height
+	walk = func(n *Node[K, V]) int {
+		if n == nil {
+			return 1
+		}
+		count++
+		if n.color == red {
+			if !isBlack(n.left) || !isBlack(n.right) {
+				msg = "red node with red child"
+			}
+		}
+		if n.left != nil {
+			if n.left.parent != n {
+				msg = "broken parent pointer (left)"
+			}
+			if t.cmp(n.left.Key, n.Key) >= 0 {
+				msg = "left child key not less than parent"
+			}
+		}
+		if n.right != nil {
+			if n.right.parent != n {
+				msg = "broken parent pointer (right)"
+			}
+			if t.cmp(n.right.Key, n.Key) <= 0 {
+				msg = "right child key not greater than parent"
+			}
+		}
+		lh := walk(n.left)
+		rh := walk(n.right)
+		if lh != rh {
+			msg = "unequal black heights"
+		}
+		h := lh
+		if n.color == black {
+			h++
+		}
+		return h
+	}
+	walk(t.root)
+	if msg != "" {
+		return msg
+	}
+	if count != t.size {
+		return "size does not match node count"
+	}
+	return ""
+}

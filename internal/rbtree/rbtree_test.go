@@ -1,0 +1,496 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intCmp(a, b int) int { return a - b }
+
+func newIntTree() *Tree[int, int] { return New[int, int](intCmp) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := newIntTree()
+	if !tr.Empty() || tr.Len() != 0 {
+		t.Fatalf("new tree not empty: len=%d", tr.Len())
+	}
+	if tr.Min() != nil || tr.Max() != nil {
+		t.Fatal("Min/Max on empty tree should be nil")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants: %s", msg)
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 100; i++ {
+		if !tr.Insert(i, i*10) {
+			t.Fatalf("Insert(%d) reported existing", i)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len=%d want 100", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := tr.Get(i)
+		if !ok || v != i*10 {
+			t.Fatalf("Get(%d)=%d,%v want %d,true", i, v, ok, i*10)
+		}
+	}
+	if _, ok := tr.Get(100); ok {
+		t.Fatal("Get(100) should be absent")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := newIntTree()
+	tr.Insert(5, 1)
+	if tr.Insert(5, 2) {
+		t.Fatal("second Insert of same key reported new")
+	}
+	if v, _ := tr.Get(5); v != 2 {
+		t.Fatalf("value not replaced: %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len=%d want 1", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newIntTree()
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Insert(i, i)
+	}
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) reported absent", i)
+		}
+		if msg := tr.CheckInvariants(); msg != "" {
+			t.Fatalf("after Delete(%d): %s", i, msg)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len=%d want %d", tr.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d)=%v want %v", i, ok, want)
+		}
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := newIntTree()
+	tr.Insert(1, 1)
+	if tr.Delete(2) {
+		t.Fatal("Delete of absent key returned true")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len changed on absent delete: %d", tr.Len())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := newIntTree()
+	perm := rand.New(rand.NewSource(1)).Perm(1000)
+	for _, v := range perm {
+		tr.Insert(v, v)
+	}
+	if tr.Min().Key != 0 {
+		t.Fatalf("Min=%d", tr.Min().Key)
+	}
+	if tr.Max().Key != 999 {
+		t.Fatalf("Max=%d", tr.Max().Key)
+	}
+	tr.Delete(0)
+	tr.Delete(999)
+	if tr.Min().Key != 1 || tr.Max().Key != 998 {
+		t.Fatalf("Min/Max after delete: %d/%d", tr.Min().Key, tr.Max().Key)
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	tr := newIntTree()
+	for _, v := range []int{10, 20, 30, 40} {
+		tr.Insert(v, v)
+	}
+	cases := []struct {
+		q            int
+		floor, ceil  int
+		fNil, cNil   bool
+		lower, upper int // strictly lower / higher
+		lNil, uNil   bool
+	}{
+		{5, 0, 10, true, false, 0, 10, true, false},
+		{10, 10, 10, false, false, 0, 20, true, false},
+		{15, 10, 20, false, false, 10, 20, false, false},
+		{40, 40, 40, false, false, 30, 0, false, true},
+		{45, 40, 0, false, true, 40, 0, false, true},
+	}
+	for _, c := range cases {
+		if n := tr.Floor(c.q); (n == nil) != c.fNil || (n != nil && n.Key != c.floor) {
+			t.Errorf("Floor(%d) = %v", c.q, n)
+		}
+		if n := tr.Ceil(c.q); (n == nil) != c.cNil || (n != nil && n.Key != c.ceil) {
+			t.Errorf("Ceil(%d) = %v", c.q, n)
+		}
+		if n := tr.Lower(c.q); (n == nil) != c.lNil || (n != nil && n.Key != c.lower) {
+			t.Errorf("Lower(%d) = %v", c.q, n)
+		}
+		if n := tr.Higher(c.q); (n == nil) != c.uNil || (n != nil && n.Key != c.upper) {
+			t.Errorf("Higher(%d) = %v", c.q, n)
+		}
+	}
+}
+
+func TestIterationOrder(t *testing.T) {
+	tr := newIntTree()
+	perm := rand.New(rand.NewSource(7)).Perm(300)
+	for _, v := range perm {
+		tr.Insert(v, v)
+	}
+	keys := tr.Keys()
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("Keys not sorted")
+	}
+	if len(keys) != 300 {
+		t.Fatalf("len(keys)=%d", len(keys))
+	}
+	// Descend yields the reverse.
+	var desc []int
+	tr.Descend(func(k, _ int) bool { desc = append(desc, k); return true })
+	for i := range desc {
+		if desc[i] != keys[len(keys)-1-i] {
+			t.Fatalf("Descend order mismatch at %d", i)
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 100; i += 10 {
+		tr.Insert(i, i)
+	}
+	var got []int
+	tr.AscendRange(25, 75, func(k, _ int) bool { got = append(got, k); return true })
+	want := []int{30, 40, 50, 60, 70}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// Inclusive lower bound.
+	got = got[:0]
+	tr.AscendRange(30, 31, func(k, _ int) bool { got = append(got, k); return true })
+	if len(got) != 1 || got[0] != 30 {
+		t.Fatalf("inclusive lower bound: got %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.AscendRange(0, 100, func(_, _ int) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("early stop: count=%d", count)
+	}
+}
+
+func TestNextPrev(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 50; i++ {
+		tr.Insert(i*2, i)
+	}
+	n := tr.Min()
+	prev := -1
+	for n != nil {
+		if n.Key <= prev {
+			t.Fatalf("Next out of order: %d after %d", n.Key, prev)
+		}
+		prev = n.Key
+		n = n.Next()
+	}
+	n = tr.Max()
+	next := 1000
+	for n != nil {
+		if n.Key >= next {
+			t.Fatalf("Prev out of order: %d before %d", n.Key, next)
+		}
+		next = n.Key
+		n = n.Prev()
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 200; i++ {
+		tr.Insert(i, i)
+	}
+	cp := tr.Clone()
+	if cp.Len() != tr.Len() {
+		t.Fatalf("clone len %d want %d", cp.Len(), tr.Len())
+	}
+	if msg := cp.CheckInvariants(); msg != "" {
+		t.Fatalf("clone invariants: %s", msg)
+	}
+	// Divergence: mutating one must not affect the other.
+	cp.Delete(100)
+	cp.Insert(1000, 1)
+	if !tr.Has(100) || tr.Has(1000) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	tr.Delete(50)
+	if !cp.Has(50) {
+		t.Fatal("original mutation leaked into clone")
+	}
+}
+
+func TestCloneEmpty(t *testing.T) {
+	tr := newIntTree()
+	cp := tr.Clone()
+	if !cp.Empty() {
+		t.Fatal("clone of empty tree not empty")
+	}
+	cp.Insert(1, 1)
+	if tr.Len() != 0 {
+		t.Fatal("insert into clone affected original")
+	}
+}
+
+func TestClear(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 10; i++ {
+		tr.Insert(i, i)
+	}
+	tr.Clear()
+	if !tr.Empty() || tr.Min() != nil {
+		t.Fatal("Clear did not empty tree")
+	}
+	tr.Insert(5, 5) // reusable after Clear
+	if tr.Len() != 1 {
+		t.Fatal("tree unusable after Clear")
+	}
+}
+
+// TestRandomizedAgainstMap drives the tree with a long random op sequence and
+// cross-checks every observable against a reference map, validating red-black
+// invariants as it goes.
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := newIntTree()
+	ref := map[int]int{}
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		k := rng.Intn(2000)
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Int()
+			tr.Insert(k, v)
+			ref[k] = v
+		case 2:
+			gotDel := tr.Delete(k)
+			_, had := ref[k]
+			if gotDel != had {
+				t.Fatalf("op %d: Delete(%d)=%v, ref had=%v", i, k, gotDel, had)
+			}
+			delete(ref, k)
+		}
+		if i%997 == 0 {
+			if msg := tr.CheckInvariants(); msg != "" {
+				t.Fatalf("op %d: %s", i, msg)
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("op %d: size %d want %d", i, tr.Len(), len(ref))
+			}
+		}
+	}
+	// Final deep comparison.
+	if tr.Len() != len(ref) {
+		t.Fatalf("final size %d want %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d)=%d,%v want %d,true", k, got, ok, v)
+		}
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("final invariants: %s", msg)
+	}
+}
+
+// Property: for any set of keys, in-order traversal equals the sorted
+// deduplicated input.
+func TestPropertySortedIteration(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := newIntTree()
+		seen := map[int]bool{}
+		for _, k := range keys {
+			tr.Insert(int(k), 0)
+			seen[int(k)] = true
+		}
+		want := make([]int, 0, len(seen))
+		for k := range seen {
+			want = append(want, k)
+		}
+		sort.Ints(want)
+		got := tr.Keys()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inserting then deleting a disjoint batch restores Len and
+// invariants.
+func TestPropertyInsertDeleteInverse(t *testing.T) {
+	f := func(base, extra []uint8) bool {
+		tr := newIntTree()
+		for _, k := range base {
+			tr.Insert(int(k), 1)
+		}
+		lenBefore := tr.Len()
+		added := []int{}
+		for _, k := range extra {
+			key := int(k) + 1000 // disjoint from base
+			if tr.Insert(key, 2) {
+				added = append(added, key)
+			}
+		}
+		for _, k := range added {
+			if !tr.Delete(k) {
+				return false
+			}
+		}
+		return tr.Len() == lenBefore && tr.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Floor/Ceil agree with a linear scan of the sorted key set.
+func TestPropertyFloorCeil(t *testing.T) {
+	f := func(keys []int16, queries []int16) bool {
+		tr := newIntTree()
+		for _, k := range keys {
+			tr.Insert(int(k), 0)
+		}
+		sorted := tr.Keys()
+		for _, q := range queries {
+			qi := int(q)
+			var wantFloor, wantCeil *int
+			for i := range sorted {
+				k := sorted[i]
+				if k <= qi {
+					wantFloor = &sorted[i]
+				}
+				if k >= qi && wantCeil == nil {
+					wantCeil = &sorted[i]
+				}
+			}
+			gotF := tr.Floor(qi)
+			if (gotF == nil) != (wantFloor == nil) {
+				return false
+			}
+			if gotF != nil && gotF.Key != *wantFloor {
+				return false
+			}
+			gotC := tr.Ceil(qi)
+			if (gotC == nil) != (wantCeil == nil) {
+				return false
+			}
+			if gotC != nil && gotC.Key != *wantCeil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValues(t *testing.T) {
+	tr := newIntTree()
+	tr.Insert(3, 30)
+	tr.Insert(1, 10)
+	tr.Insert(2, 20)
+	vals := tr.Values()
+	want := []int{10, 20, 30}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("Values=%v", vals)
+		}
+	}
+}
+
+func TestDescendingInsertions(t *testing.T) {
+	tr := newIntTree()
+	for i := 1000; i > 0; i-- {
+		tr.Insert(i, i)
+		if i%101 == 0 {
+			if msg := tr.CheckInvariants(); msg != "" {
+				t.Fatalf("at %d: %s", i, msg)
+			}
+		}
+	}
+	if tr.Min().Key != 1 || tr.Max().Key != 1000 {
+		t.Fatal("min/max wrong after descending inserts")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int, b.N)
+	for i := range keys {
+		keys[i] = rng.Int()
+	}
+	tr := newIntTree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i], i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := newIntTree()
+	for i := 0; i < 100000; i++ {
+		tr.Insert(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i % 100000)
+	}
+}
+
+func BenchmarkClone1000(b *testing.B) {
+	tr := newIntTree()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Clone()
+	}
+}

@@ -1,0 +1,242 @@
+// Package server exposes the Delta-net checker as a network service: an
+// SDN controller (or a replay tool) streams rule updates over TCP and
+// receives the verification verdict for each — the deployment mode
+// sketched in the paper's Figure 7, where Delta-net sits beside the
+// controller and "checks the resulting data plane" for every insertion
+// and removal.
+//
+// The protocol is line-oriented UTF-8, one request per line, one response
+// line per request, in order:
+//
+//	node <name>                          -> ok node <id>
+//	link <srcID> <dstID>                 -> ok link <id>
+//	I <ruleID> <srcID> <linkID|-1> <lo> <hi> <prio>
+//	                                     -> ok atoms=<n> loops=<k> [loop <lo>:<hi> ...]
+//	R <ruleID>                           -> ok atoms=<n> loops=0
+//	reach <srcID> <dstID>                -> ok reach <count>
+//	whatif <linkID>                      -> ok whatif atoms=<n> edges=<m>
+//	stats                                -> ok stats rules=<r> atoms=<a> links=<l>
+//	quit                                 -> connection closed
+//
+// Errors are reported as "err <message>" and do not close the connection.
+// The engine is a single shared data plane; concurrent connections are
+// serialized per request, preserving the order guarantees a data plane
+// checker needs.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"deltanet/internal/check"
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+)
+
+// Server is a verification service over one shared data plane.
+type Server struct {
+	mu    sync.Mutex
+	graph *netgraph.Graph
+	net   *core.Network
+	delta core.Delta
+
+	wg       sync.WaitGroup
+	listener net.Listener
+	closed   chan struct{}
+}
+
+// New returns a server over a fresh empty data plane.
+func New(opts core.Options) *Server {
+	g := netgraph.New()
+	return &Server{
+		graph:  g,
+		net:    core.NewNetwork(g, opts),
+		closed: make(chan struct{}),
+	}
+}
+
+// Network exposes the underlying engine (for preloading a snapshot before
+// serving).
+func (s *Server) Network() *core.Network { return s.net }
+
+// Graph exposes the topology (for preloading before serving).
+func (s *Server) Graph() *netgraph.Graph { return s.graph }
+
+// Serve accepts connections on l until Close is called. It blocks; run it
+// in a goroutine when the caller needs to continue.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil // clean shutdown
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	close(s.closed)
+	s.mu.Lock()
+	l := s.listener
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), 1<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" {
+			w.Flush()
+			return
+		}
+		resp := s.dispatch(line)
+		fmt.Fprintln(w, resp)
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request under the engine lock.
+func (s *Server) dispatch(line string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "node":
+		if len(fields) != 2 {
+			return "err usage: node <name>"
+		}
+		id := s.graph.AddNode(fields[1])
+		return fmt.Sprintf("ok node %d", id)
+	case "link":
+		src, dst, err := twoInts(fields)
+		if err != nil {
+			return "err usage: link <srcID> <dstID>"
+		}
+		if !s.validNode(src) || !s.validNode(dst) {
+			return "err unknown node id"
+		}
+		id := s.graph.AddLink(netgraph.NodeID(src), netgraph.NodeID(dst))
+		return fmt.Sprintf("ok link %d", id)
+	case "I":
+		if len(fields) != 7 {
+			return "err usage: I <ruleID> <srcID> <linkID|-1> <lo> <hi> <prio>"
+		}
+		var nums [6]int64
+		for i := range nums {
+			v, err := strconv.ParseInt(fields[i+1], 10, 64)
+			if err != nil {
+				return "err bad number: " + fields[i+1]
+			}
+			nums[i] = v
+		}
+		if !s.validNode(int(nums[1])) {
+			return "err unknown node id"
+		}
+		if nums[2] != -1 && (nums[2] < 0 || int(nums[2]) >= s.graph.NumLinks()) {
+			return "err unknown link id"
+		}
+		r := core.Rule{
+			ID:       core.RuleID(nums[0]),
+			Source:   netgraph.NodeID(nums[1]),
+			Link:     netgraph.LinkID(nums[2]),
+			Match:    ipnet.Interval{Lo: uint64(nums[3]), Hi: uint64(nums[4])},
+			Priority: core.Priority(nums[5]),
+		}
+		if err := s.net.InsertRuleInto(r, &s.delta); err != nil {
+			return "err " + err.Error()
+		}
+		loops := check.FindLoopsDelta(s.net, &s.delta)
+		return s.updateResponse(loops)
+	case "R":
+		if len(fields) != 2 {
+			return "err usage: R <ruleID>"
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return "err bad rule id"
+		}
+		if err := s.net.RemoveRuleInto(core.RuleID(id), &s.delta); err != nil {
+			return "err " + err.Error()
+		}
+		return s.updateResponse(nil)
+	case "reach":
+		a, b, err := twoInts(fields)
+		if err != nil || !s.validNode(a) || !s.validNode(b) {
+			return "err usage: reach <srcID> <dstID>"
+		}
+		r := check.Reachable(s.net, netgraph.NodeID(a), netgraph.NodeID(b))
+		return fmt.Sprintf("ok reach %d", r.Len())
+	case "whatif":
+		if len(fields) != 2 {
+			return "err usage: whatif <linkID>"
+		}
+		l, err := strconv.Atoi(fields[1])
+		if err != nil || l < 0 || l >= s.graph.NumLinks() {
+			return "err unknown link id"
+		}
+		sub := check.AffectedByLinkFailure(s.net, netgraph.LinkID(l))
+		return fmt.Sprintf("ok whatif atoms=%d edges=%d", sub.Affected.Len(), sub.NumEdges())
+	case "stats":
+		return fmt.Sprintf("ok stats rules=%d atoms=%d links=%d",
+			s.net.NumRules(), s.net.NumAtoms(), s.graph.NumLinks())
+	default:
+		return "err unknown command " + fields[0]
+	}
+}
+
+func (s *Server) updateResponse(loops []check.Loop) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok atoms=%d loops=%d", s.net.NumAtoms(), len(loops))
+	for _, l := range loops {
+		if iv, ok := s.net.AtomInterval(l.Atom); ok {
+			fmt.Fprintf(&b, " loop %d:%d", iv.Lo, iv.Hi)
+		}
+	}
+	return b.String()
+}
+
+func (s *Server) validNode(id int) bool { return id >= 0 && id < s.graph.NumNodes() }
+
+func twoInts(fields []string) (int, int, error) {
+	if len(fields) != 3 {
+		return 0, 0, fmt.Errorf("arity")
+	}
+	a, err1 := strconv.Atoi(fields[1])
+	b, err2 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad int")
+	}
+	return a, b, nil
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+)
+
+// startServer returns a running server, its address, and a cleanup func.
+func startServer(t *testing.T) (*Server, string, func()) {
+	t.Helper()
+	s := New(core.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	cleanup := func() {
+		if err := s.Close(); err != nil && !strings.Contains(err.Error(), "use of closed") {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+	return s, l.Addr().String(), cleanup
+}
+
+// client is a tiny synchronous protocol client for tests.
+type client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &client{conn: conn, r: bufio.NewScanner(conn)}
+}
+
+func (c *client) roundTrip(t *testing.T, req string) string {
+	t.Helper()
+	if _, err := fmt.Fprintln(c.conn, req); err != nil {
+		t.Fatal(err)
+	}
+	if !c.r.Scan() {
+		t.Fatalf("no response to %q: %v", req, c.r.Err())
+	}
+	return c.r.Text()
+}
+
+func (c *client) close() { c.conn.Close() }
+
+func TestProtocolSession(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+	c := dial(t, addr)
+	defer c.close()
+
+	if got := c.roundTrip(t, "node s1"); got != "ok node 0" {
+		t.Fatalf("node: %q", got)
+	}
+	if got := c.roundTrip(t, "node s2"); got != "ok node 1" {
+		t.Fatalf("node: %q", got)
+	}
+	if got := c.roundTrip(t, "link 0 1"); got != "ok link 0" {
+		t.Fatalf("link: %q", got)
+	}
+	if got := c.roundTrip(t, "I 1 0 0 0 1000 10"); !strings.HasPrefix(got, "ok atoms=") {
+		t.Fatalf("insert: %q", got)
+	}
+	if got := c.roundTrip(t, "stats"); got != "ok stats rules=1 atoms=2 links=1" {
+		t.Fatalf("stats: %q", got)
+	}
+	if got := c.roundTrip(t, "reach 0 1"); got != "ok reach 1" {
+		t.Fatalf("reach: %q", got)
+	}
+	if got := c.roundTrip(t, "whatif 0"); !strings.HasPrefix(got, "ok whatif atoms=1") {
+		t.Fatalf("whatif: %q", got)
+	}
+	if got := c.roundTrip(t, "R 1"); !strings.HasPrefix(got, "ok atoms=") {
+		t.Fatalf("remove: %q", got)
+	}
+	if got := c.roundTrip(t, "stats"); got != "ok stats rules=0 atoms=2 links=1" {
+		t.Fatalf("stats after remove: %q", got)
+	}
+}
+
+func TestLoopReportedOverWire(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+	c := dial(t, addr)
+	defer c.close()
+	c.roundTrip(t, "node a")
+	c.roundTrip(t, "node b")
+	c.roundTrip(t, "link 0 1") // link 0: a->b
+	c.roundTrip(t, "link 1 0") // link 1: b->a
+	if got := c.roundTrip(t, "I 1 0 0 0 100 1"); !strings.Contains(got, "loops=0") {
+		t.Fatalf("first insert: %q", got)
+	}
+	got := c.roundTrip(t, "I 2 1 1 0 100 1")
+	if !strings.Contains(got, "loops=1") || !strings.Contains(got, "loop 0:100") {
+		t.Fatalf("loop not reported: %q", got)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+	c := dial(t, addr)
+	defer c.close()
+	cases := []string{
+		"bogus",
+		"node",
+		"link 0 1",       // nodes don't exist yet
+		"I 1 9 0 0 10 1", // unknown node
+		"I 1",            // arity
+		"I x 0 0 0 10 1", // non-numeric
+		"R",              // arity
+		"R x",            // non-numeric
+		"R 42",           // unknown rule
+		"reach 0",        // arity
+		"whatif 99",      // unknown link
+	}
+	for _, req := range cases {
+		if got := c.roundTrip(t, req); !strings.HasPrefix(got, "err") {
+			t.Fatalf("%q -> %q, want err", req, got)
+		}
+	}
+	// The connection survives all errors.
+	if got := c.roundTrip(t, "stats"); !strings.HasPrefix(got, "ok stats") {
+		t.Fatalf("stats after errors: %q", got)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+
+	// Topology set up by one client.
+	setup := dial(t, addr)
+	setup.roundTrip(t, "node hub")
+	for i := 1; i <= 4; i++ {
+		setup.roundTrip(t, fmt.Sprintf("node n%d", i))
+		setup.roundTrip(t, fmt.Sprintf("link 0 %d", i))
+	}
+	setup.close()
+
+	// Several clients insert disjoint rule ranges concurrently.
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := dial(t, addr)
+			defer c.close()
+			for i := 0; i < 50; i++ {
+				id := w*1000 + i
+				lo := uint64(w)<<24 | uint64(i)<<8
+				req := fmt.Sprintf("I %d 0 %d %d %d %d", id, w, lo, lo+256, i)
+				if _, err := fmt.Fprintln(c.conn, req); err != nil {
+					errs <- err.Error()
+					return
+				}
+				if !c.r.Scan() {
+					errs <- "no response"
+					return
+				}
+				if resp := c.r.Text(); !strings.HasPrefix(resp, "ok") {
+					errs <- resp
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	final := dial(t, addr)
+	defer final.close()
+	got := final.roundTrip(t, "stats")
+	if !strings.Contains(got, "rules=200") {
+		t.Fatalf("final stats: %q", got)
+	}
+}
+
+func TestQuitClosesConnection(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+	c := dial(t, addr)
+	defer c.close()
+	fmt.Fprintln(c.conn, "quit")
+	if c.r.Scan() {
+		t.Fatalf("got response after quit: %q", c.r.Text())
+	}
+}
+
+func TestPreloadedServer(t *testing.T) {
+	s := New(core.Options{})
+	a := s.Graph().AddNode("a")
+	b := s.Graph().AddNode("b")
+	l := s.Graph().AddLink(a, b)
+	if err := s.Network().Restore([]core.Rule{{
+		ID: 1, Source: a, Link: l,
+		Match: ipnet.Interval{Lo: 0, Hi: 500}, Priority: 1,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer s.Close()
+	c := dial(t, ln.Addr().String())
+	defer c.close()
+	if got := c.roundTrip(t, "stats"); !strings.Contains(got, "rules=1") {
+		t.Fatalf("preload missing: %q", got)
+	}
+}

@@ -1,0 +1,188 @@
+// Package topo generates the network topologies of the paper's evaluation
+// (§4.2, Table 2). The paper used the UC Berkeley campus map, four
+// Rocketfuel-measured AS graphs, the Airtel WAN from the Internet Topology
+// Zoo, and a 4-switch ring; those inputs are proprietary or external, so —
+// per the reproduction's substitution rule — we synthesize graphs with the
+// same node counts and degree structure from seeded generators, which is
+// sufficient because the verification algorithms only observe a directed
+// graph of nodes and links.
+//
+// All generators are deterministic for a given seed, and every undirected
+// adjacency is materialized as two directed links, matching the paper's
+// directed edge-labelled graph.
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deltanet/internal/netgraph"
+)
+
+// Build creates the named topology. Supported names: "berkeley", "inet",
+// "rf1755", "rf3257", "rf6461", "airtel", "4switch".
+func Build(name string) (*netgraph.Graph, error) {
+	switch name {
+	case "berkeley":
+		return Campus(3, 6, 14), nil
+	case "inet":
+		return ASGraph(316, 3, 101), nil
+	case "rf1755":
+		return ASGraph(87, 3, 1755), nil
+	case "rf3257":
+		return ASGraph(161, 4, 3257), nil
+	case "rf6461":
+		return ASGraph(138, 4, 6461), nil
+	case "airtel":
+		return Airtel(), nil
+	case "4switch":
+		return Ring(4), nil
+	default:
+		return nil, fmt.Errorf("topo: unknown topology %q", name)
+	}
+}
+
+// Names lists the supported topology names in the paper's Table 2 order.
+func Names() []string {
+	return []string{"berkeley", "inet", "rf1755", "rf3257", "rf6461", "airtel", "4switch"}
+}
+
+// Ring builds an n-switch bidirectional ring (the paper's 4Switch
+// workaround topology, §4.2.2).
+func Ring(n int) *netgraph.Graph {
+	g := netgraph.New()
+	nodes := make([]netgraph.NodeID, n)
+	for i := range nodes {
+		nodes[i] = g.AddNode(fmt.Sprintf("s%d", i+1))
+	}
+	for i := range nodes {
+		j := (i + 1) % n
+		g.AddLink(nodes[i], nodes[j])
+		g.AddLink(nodes[j], nodes[i])
+	}
+	return g
+}
+
+// Campus builds a three-tier campus network in the style of the UC
+// Berkeley topology: core switches fully meshed, distribution switches
+// dual-homed to the core, access switches dual-homed to distribution.
+// Campus(3, 6, 14) yields 23 nodes, matching Table 2's Berkeley row.
+func Campus(core, dist, access int) *netgraph.Graph {
+	g := netgraph.New()
+	cores := make([]netgraph.NodeID, core)
+	for i := range cores {
+		cores[i] = g.AddNode(fmt.Sprintf("core%d", i+1))
+	}
+	for i := 0; i < core; i++ {
+		for j := i + 1; j < core; j++ {
+			biLink(g, cores[i], cores[j])
+		}
+	}
+	dists := make([]netgraph.NodeID, dist)
+	for i := range dists {
+		dists[i] = g.AddNode(fmt.Sprintf("dist%d", i+1))
+		biLink(g, dists[i], cores[i%core])
+		biLink(g, dists[i], cores[(i+1)%core])
+	}
+	for i := 0; i < access; i++ {
+		a := g.AddNode(fmt.Sprintf("acc%d", i+1))
+		biLink(g, a, dists[i%dist])
+		biLink(g, a, dists[(i+1)%dist])
+	}
+	return g
+}
+
+// ASGraph builds an AS-like router graph with n nodes by preferential
+// attachment (each new node attaches m links to degree-weighted targets),
+// which reproduces the heavy-tailed degree distribution Rocketfuel
+// measured in real ISP backbones. Deterministic per seed.
+func ASGraph(n, m int, seed int64) *netgraph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := netgraph.New()
+	nodes := make([]netgraph.NodeID, 0, n)
+	// Degree-weighted target pool: node id repeated once per degree.
+	var pool []netgraph.NodeID
+
+	clique := m + 1
+	if clique > n {
+		clique = n
+	}
+	for i := 0; i < clique; i++ {
+		nodes = append(nodes, g.AddNode(fmt.Sprintf("r%d", i+1)))
+	}
+	for i := 0; i < clique; i++ {
+		for j := i + 1; j < clique; j++ {
+			biLink(g, nodes[i], nodes[j])
+			pool = append(pool, nodes[i], nodes[j])
+		}
+	}
+	for i := clique; i < n; i++ {
+		v := g.AddNode(fmt.Sprintf("r%d", i+1))
+		nodes = append(nodes, v)
+		seen := map[netgraph.NodeID]bool{}
+		var chosen []netgraph.NodeID // kept ordered for determinism
+		for len(chosen) < m {
+			t := pool[rng.Intn(len(pool))]
+			if t == v || seen[t] {
+				continue
+			}
+			seen[t] = true
+			chosen = append(chosen, t)
+		}
+		for _, t := range chosen {
+			biLink(g, v, t)
+			pool = append(pool, v, t)
+		}
+	}
+	return g
+}
+
+// Airtel builds a 16-switch WAN shaped like the Airtel (AS 9498) topology
+// used in the paper's SDN-IP experiments (§4.2.2): a national ring of
+// major sites with cross-country chords — the structure in the Internet
+// Topology Zoo entry, node count matching the paper's Mininet deployment.
+func Airtel() *netgraph.Graph {
+	g := netgraph.New()
+	names := []string{
+		"delhi", "mumbai", "chennai", "kolkata", "bangalore", "hyderabad",
+		"pune", "ahmedabad", "jaipur", "lucknow", "nagpur", "bhubaneswar",
+		"kochi", "chandigarh", "indore", "guwahati",
+	}
+	ids := make([]netgraph.NodeID, len(names))
+	for i, nm := range names {
+		ids[i] = g.AddNode(nm)
+	}
+	edges := [][2]int{
+		// national ring
+		{0, 8}, {8, 7}, {7, 1}, {1, 6}, {6, 4}, {4, 12}, {12, 2}, {2, 5},
+		{5, 10}, {10, 3}, {3, 11}, {11, 15}, {15, 9}, {9, 13}, {13, 0},
+		// chords
+		{0, 1}, {0, 3}, {1, 2}, {1, 4}, {2, 3}, {4, 5}, {5, 6}, {10, 14},
+		{14, 0}, {14, 1}, {9, 0}, {11, 2},
+	}
+	for _, e := range edges {
+		biLink(g, ids[e[0]], ids[e[1]])
+	}
+	return g
+}
+
+func biLink(g *netgraph.Graph, a, b netgraph.NodeID) {
+	g.AddLink(a, b)
+	g.AddLink(b, a)
+}
+
+// SwitchNodes returns the non-sink nodes of a topology, the candidates for
+// rule installation and traffic endpoints.
+func SwitchNodes(g *netgraph.Graph) []netgraph.NodeID {
+	var out []netgraph.NodeID
+	for v := netgraph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.DropNode() == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package topo
+
+import (
+	"testing"
+
+	"deltanet/internal/netgraph"
+)
+
+func TestBuildKnownNames(t *testing.T) {
+	want := map[string]int{ // node counts per Table 2's shape
+		"berkeley": 23,
+		"inet":     316,
+		"rf1755":   87,
+		"rf3257":   161,
+		"rf6461":   138,
+		"airtel":   16,
+		"4switch":  4,
+	}
+	for _, name := range Names() {
+		g, err := Build(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumNodes() != want[name] {
+			t.Errorf("%s: nodes=%d want %d", name, g.NumNodes(), want[name])
+		}
+		if g.NumLinks() == 0 {
+			t.Errorf("%s: no links", name)
+		}
+		checkBidirectional(t, name, g)
+		checkConnected(t, name, g)
+	}
+	if _, err := Build("nonsense"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func checkBidirectional(t *testing.T, name string, g *netgraph.Graph) {
+	t.Helper()
+	for _, l := range g.Links() {
+		if g.FindLink(l.Dst, l.Src) == netgraph.NoLink {
+			t.Fatalf("%s: link %d->%d has no reverse", name, l.Src, l.Dst)
+		}
+	}
+}
+
+func checkConnected(t *testing.T, name string, g *netgraph.Graph) {
+	t.Helper()
+	seen := make([]bool, g.NumNodes())
+	stack := []netgraph.NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, lid := range g.Out(v) {
+			w := g.Link(lid).Dst
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	if count != g.NumNodes() {
+		t.Fatalf("%s: only %d/%d nodes reachable", name, count, g.NumNodes())
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(4)
+	if g.NumNodes() != 4 || g.NumLinks() != 8 {
+		t.Fatalf("ring: %d nodes %d links", g.NumNodes(), g.NumLinks())
+	}
+	// Each node has exactly two out-links.
+	for v := netgraph.NodeID(0); int(v) < 4; v++ {
+		if len(g.Out(v)) != 2 {
+			t.Fatalf("node %d out-degree %d", v, len(g.Out(v)))
+		}
+	}
+}
+
+func TestASGraphDeterministic(t *testing.T) {
+	a := ASGraph(50, 3, 7)
+	b := ASGraph(50, 3, 7)
+	if a.NumNodes() != b.NumNodes() || a.NumLinks() != b.NumLinks() {
+		t.Fatal("same seed differs")
+	}
+	for _, l := range a.Links() {
+		bl := b.Link(l.ID)
+		if bl.Src != l.Src || bl.Dst != l.Dst {
+			t.Fatal("link sets differ for same seed")
+		}
+	}
+	c := ASGraph(50, 3, 8)
+	if c.NumLinks() == 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestASGraphDegreeSkew(t *testing.T) {
+	g := ASGraph(200, 2, 3)
+	maxDeg, minDeg := 0, 1<<30
+	for v := netgraph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		d := len(g.Out(v))
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d < minDeg {
+			minDeg = d
+		}
+	}
+	// Preferential attachment produces hubs.
+	if maxDeg < 4*minDeg {
+		t.Fatalf("no degree skew: max=%d min=%d", maxDeg, minDeg)
+	}
+}
+
+func TestASGraphSmall(t *testing.T) {
+	g := ASGraph(2, 5, 1) // m > n-1: clique clamps
+	if g.NumNodes() != 2 {
+		t.Fatalf("nodes=%d", g.NumNodes())
+	}
+	g = ASGraph(5, 0, 1) // m < 1 clamps to 1
+	if g.NumNodes() != 5 {
+		t.Fatalf("nodes=%d", g.NumNodes())
+	}
+}
+
+func TestCampusShape(t *testing.T) {
+	g := Campus(3, 6, 14)
+	if g.NumNodes() != 23 {
+		t.Fatalf("nodes=%d", g.NumNodes())
+	}
+	// Access switches are dual-homed: out-degree 2.
+	a := g.NodeByName("acc1")
+	if len(g.Out(a)) != 2 {
+		t.Fatalf("acc1 out-degree %d", len(g.Out(a)))
+	}
+}
+
+func TestSwitchNodesExcludesDrop(t *testing.T) {
+	g := Ring(3)
+	all := SwitchNodes(g)
+	if len(all) != 3 {
+		t.Fatalf("switches=%d", len(all))
+	}
+	g.DropLink(all[0])
+	if got := SwitchNodes(g); len(got) != 3 {
+		t.Fatalf("with drop sink: switches=%d", len(got))
+	}
+}

@@ -1,0 +1,179 @@
+// Package trace defines the replayable operation traces the paper's
+// datasets are distributed as (§4.2: "we organize our data sets as text
+// files in which each line denotes an operation: an insertion or removal
+// of a rule. So all operations can be easily replayed").
+//
+// A trace bundles the topology with the operation stream so a file is
+// self-contained. The text format is line-oriented:
+//
+//	# comments and blank lines ignored
+//	deltanet-trace v1
+//	node <id> <name>
+//	link <id> <srcNodeID> <dstNodeID>
+//	I <ruleID> <sourceNodeID> <linkID|-1> <lo> <hi> <priority>
+//	R <ruleID>
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+)
+
+// Op is one replayable operation.
+type Op struct {
+	Insert bool
+	Rule   core.Rule // fully populated for inserts; only ID for removals
+}
+
+// Trace is a topology plus an operation stream.
+type Trace struct {
+	Name  string
+	Graph *netgraph.Graph
+	Ops   []Op
+}
+
+// NumInserts returns the number of insert operations.
+func (t *Trace) NumInserts() int {
+	n := 0
+	for _, op := range t.Ops {
+		if op.Insert {
+			n++
+		}
+	}
+	return n
+}
+
+// Write serializes the trace to w in the v1 text format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "# %s\n", t.Name)
+	fmt.Fprintln(bw, "deltanet-trace v1")
+	g := t.Graph
+	for v := netgraph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		fmt.Fprintf(bw, "node %d %s\n", v, g.NodeName(v))
+	}
+	for _, l := range g.Links() {
+		fmt.Fprintf(bw, "link %d %d %d\n", l.ID, l.Src, l.Dst)
+	}
+	for _, op := range t.Ops {
+		if op.Insert {
+			r := op.Rule
+			fmt.Fprintf(bw, "I %d %d %d %d %d %d\n", r.ID, r.Source, r.Link, r.Match.Lo, r.Match.Hi, r.Priority)
+		} else {
+			fmt.Fprintf(bw, "R %d\n", op.Rule.ID)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace in the v1 text format.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{Graph: netgraph.New()}
+	sawHeader := false
+	lineNo := 0
+	// Node/link ids must come out dense and in order; we validate that
+	// the ids the graph assigns match the file's.
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if t.Name == "" {
+				t.Name = strings.TrimSpace(line[1:])
+			}
+			continue
+		}
+		if !sawHeader {
+			if line != "deltanet-trace v1" {
+				return nil, fmt.Errorf("trace: line %d: missing header, got %q", lineNo, line)
+			}
+			sawHeader = true
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: bad node line", lineNo)
+			}
+			want, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			got := t.Graph.AddNode(fields[2])
+			if int(got) != want {
+				return nil, fmt.Errorf("trace: line %d: node id %d assigned %d (file not dense/ordered)", lineNo, want, got)
+			}
+		case "link":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: bad link line", lineNo)
+			}
+			want, err1 := strconv.Atoi(fields[1])
+			src, err2 := strconv.Atoi(fields[2])
+			dst, err3 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("trace: line %d: bad link ids", lineNo)
+			}
+			got := t.Graph.AddLink(netgraph.NodeID(src), netgraph.NodeID(dst))
+			if int(got) != want {
+				return nil, fmt.Errorf("trace: line %d: link id %d assigned %d", lineNo, want, got)
+			}
+		case "I":
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("trace: line %d: bad insert line", lineNo)
+			}
+			var nums [6]int64
+			for i := 0; i < 6; i++ {
+				v, err := strconv.ParseInt(fields[i+1], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+				}
+				nums[i] = v
+			}
+			t.Ops = append(t.Ops, Op{Insert: true, Rule: core.Rule{
+				ID:       core.RuleID(nums[0]),
+				Source:   netgraph.NodeID(nums[1]),
+				Link:     netgraph.LinkID(nums[2]),
+				Match:    ipnet.Interval{Lo: uint64(nums[3]), Hi: uint64(nums[4])},
+				Priority: core.Priority(nums[5]),
+			}})
+		case "R":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: bad remove line", lineNo)
+			}
+			id, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			t.Ops = append(t.Ops, Op{Rule: core.Rule{ID: core.RuleID(id)}})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	return t, nil
+}
+
+// Apply replays one operation into the engine, returning its delta.
+func Apply(n *core.Network, op Op, d *core.Delta) error {
+	if op.Insert {
+		return n.InsertRuleInto(op.Rule, d)
+	}
+	return n.RemoveRuleInto(op.Rule.ID, d)
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+)
+
+func sampleTrace() *Trace {
+	g := netgraph.New()
+	a := g.AddNode("a")
+	b := g.AddNode("b")
+	ab := g.AddLink(a, b)
+	return &Trace{
+		Name:  "sample",
+		Graph: g,
+		Ops: []Op{
+			{Insert: true, Rule: core.Rule{ID: 1, Source: a, Link: ab,
+				Match: ipnet.Interval{Lo: 10, Hi: 20}, Priority: 5}},
+			{Insert: true, Rule: core.Rule{ID: 2, Source: a, Link: netgraph.NoLink,
+				Match: ipnet.Interval{Lo: 0, Hi: 1 << 32}, Priority: 1}},
+			{Rule: core.Rule{ID: 1}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "sample" {
+		t.Fatalf("name=%q", got.Name)
+	}
+	if got.Graph.NumNodes() != 2 || got.Graph.NumLinks() != 1 {
+		t.Fatalf("graph %d/%d", got.Graph.NumNodes(), got.Graph.NumLinks())
+	}
+	if got.Graph.NodeName(0) != "a" {
+		t.Fatal("node names lost")
+	}
+	if len(got.Ops) != 3 {
+		t.Fatalf("ops=%d", len(got.Ops))
+	}
+	if !got.Ops[0].Insert || got.Ops[0].Rule != orig.Ops[0].Rule {
+		t.Fatalf("op0 %+v", got.Ops[0])
+	}
+	if got.Ops[1].Rule.Link != netgraph.NoLink {
+		t.Fatal("drop link lost")
+	}
+	if got.Ops[2].Insert || got.Ops[2].Rule.ID != 1 {
+		t.Fatalf("op2 %+v", got.Ops[2])
+	}
+	if got.NumInserts() != 2 {
+		t.Fatalf("NumInserts=%d", got.NumInserts())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                              // empty
+		"bogus header\n",                // bad header
+		"deltanet-trace v1\nnode x\n",   // short node line
+		"deltanet-trace v1\nnode 5 a\n", // non-dense node id
+		"deltanet-trace v1\nlink 0 0\n", // short link line
+		"deltanet-trace v1\nnode 0 a\nnode 1 b\nlink 7 0 1\n", // bad link id
+		"deltanet-trace v1\nI 1 2\n",                          // short insert
+		"deltanet-trace v1\nI a 0 0 0 1 1\n",                  // non-numeric
+		"deltanet-trace v1\nR\n",                              // short remove
+		"deltanet-trace v1\nR x\n",                            // non-numeric remove
+		"deltanet-trace v1\nwhat 1\n",                         // unknown directive
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# my trace\n\ndeltanet-trace v1\n# interlude\nnode 0 a\n\nR 3\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "my trace" || len(got.Ops) != 1 {
+		t.Fatalf("%+v", got)
+	}
+}
+
+func TestApply(t *testing.T) {
+	tr := sampleTrace()
+	n := core.NewNetwork(tr.Graph, core.Options{})
+	var d core.Delta
+	for i, op := range tr.Ops {
+		if err := Apply(n, op, &d); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if n.NumRules() != 1 { // two inserts, one removal
+		t.Fatalf("rules=%d", n.NumRules())
+	}
+	if msg := n.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}

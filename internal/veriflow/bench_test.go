@@ -1,0 +1,94 @@
+package veriflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+)
+
+// loadEngine populates an engine with n overlapping prefix rules over a
+// mesh, returning it with the rule list.
+func loadEngine(b *testing.B, n int) (*Engine, []Rule, *netgraph.Graph) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := netgraph.New()
+	var nodes []netgraph.NodeID
+	for i := 0; i < 10; i++ {
+		nodes = append(nodes, g.AddNode(string(rune('a'+i))))
+	}
+	var links []netgraph.LinkID
+	for i := range nodes {
+		for j := range nodes {
+			if i != j {
+				links = append(links, g.AddLink(nodes[i], nodes[j]))
+			}
+		}
+	}
+	e := NewEngine(g)
+	rules := make([]Rule, n)
+	for i := range rules {
+		l := links[rng.Intn(len(links))]
+		length := 8 + rng.Intn(17)
+		rules[i] = Rule{
+			ID:       core.RuleID(i + 1),
+			Source:   g.Link(l).Src,
+			Link:     l,
+			Prefix:   ipnet.NewPrefix(uint64(rng.Intn(1<<24))<<8, length),
+			Priority: core.Priority(rng.Intn(1 << 10)),
+		}
+		if _, err := e.InsertRule(rules[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e, rules, g
+}
+
+func BenchmarkInsertWithVerification(b *testing.B) {
+	e, _, g := loadEngine(b, 2000)
+	rng := rand.New(rand.NewSource(2))
+	links := g.Links()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := links[rng.Intn(len(links))]
+		r := Rule{
+			ID:       core.RuleID(1<<20 + i),
+			Source:   l.Src,
+			Link:     l.ID,
+			Prefix:   ipnet.NewPrefix(uint64(rng.Intn(1<<24))<<8, 8+rng.Intn(17)),
+			Priority: core.Priority(rng.Intn(1 << 10)),
+		}
+		if _, err := e.InsertRule(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAffectedECs(b *testing.B) {
+	e, _, _ := loadEngine(b, 5000)
+	p := ipnet.MustParsePrefix("0.0.0.0/4") // wide prefix: many overlaps
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AffectedECs(p)
+	}
+}
+
+func BenchmarkForwardingGraph(b *testing.B) {
+	e, rules, _ := loadEngine(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ec := rules[i%len(rules)].Prefix.Interval()
+		e.ForwardingGraph(ipnet.Interval{Lo: ec.Lo, Hi: ec.Lo + 1})
+	}
+}
+
+func BenchmarkWhatIfLinkFailure(b *testing.B) {
+	e, _, g := loadEngine(b, 3000)
+	links := g.Links()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.WhatIfLinkFailure(links[i%len(links)].ID, false)
+	}
+}

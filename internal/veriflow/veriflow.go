@@ -1,0 +1,307 @@
+// Package veriflow re-implements Veriflow, the state-of-the-art data plane
+// checker Delta-net is evaluated against, following the paper's §4.3.1
+// description of "Veriflow-RI": a faithful re-implementation of Veriflow's
+// core idea for single-field (destination IP prefix) matching, used for an
+// honest performance and behaviour comparison.
+//
+// Veriflow-RI stores all rules of the network in a one-dimensional binary
+// trie keyed by prefix bits (every node has at most two children, since a
+// single field has no ternary wildcards mid-prefix here). On each rule
+// update it:
+//
+//  1. finds all rules overlapping the updated rule (trie path ∪ subtree);
+//  2. slices the updated rule's range into packet equivalence classes
+//     (ECs) at the bounds of the overlapping rules;
+//  3. builds a forwarding graph per affected EC by finding, at every
+//     device, the highest-priority rule matching the EC;
+//  4. traverses each forwarding graph to check invariants (loops).
+//
+// Space is linear in rules; per-update time is quadratic in the worst case
+// — the asymptotic gap to Delta-net that Tables 3 and 4 measure.
+package veriflow
+
+import (
+	"fmt"
+	"sort"
+
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+)
+
+// Rule is an IP-prefix forwarding rule in the Veriflow-RI engine. Link ==
+// netgraph.NoLink denotes a drop rule.
+type Rule struct {
+	ID       core.RuleID
+	Source   netgraph.NodeID
+	Link     netgraph.LinkID
+	Prefix   ipnet.Prefix
+	Priority core.Priority
+}
+
+func (r *Rule) interval() ipnet.Interval { return r.Prefix.Interval() }
+
+// trieNode is one node of the binary prefix trie. Rules whose prefix ends
+// at this node are stored here, across all devices (Veriflow keeps a
+// single network-wide trie).
+type trieNode struct {
+	children [2]*trieNode
+	rules    []*Rule
+}
+
+// Engine is the Veriflow-RI checker.
+type Engine struct {
+	graph *netgraph.Graph
+	root  *trieNode
+	rules map[core.RuleID]*Rule
+
+	// MaxAffectedECs tracks the largest EC fan-out of any single update,
+	// the Appendix C statistic.
+	MaxAffectedECs int
+
+	ecBuf []uint64 // scratch for EC bound collection
+}
+
+// NewEngine returns an empty Veriflow-RI engine over the topology.
+func NewEngine(g *netgraph.Graph) *Engine {
+	return &Engine{graph: g, root: &trieNode{}, rules: map[core.RuleID]*Rule{}}
+}
+
+// Graph returns the topology.
+func (e *Engine) Graph() *netgraph.Graph { return e.graph }
+
+// NumRules returns the number of live rules.
+func (e *Engine) NumRules() int { return len(e.rules) }
+
+func bitAt(addr uint64, i, width int) int {
+	return int(addr>>(uint(width-1-i))) & 1
+}
+
+func (e *Engine) nodeFor(p ipnet.Prefix, create bool) *trieNode {
+	n := e.root
+	for i := 0; i < p.Len; i++ {
+		b := bitAt(p.Addr, i, p.Bits)
+		if n.children[b] == nil {
+			if !create {
+				return nil
+			}
+			n.children[b] = &trieNode{}
+		}
+		n = n.children[b]
+	}
+	return n
+}
+
+// UpdateResult summarizes the verification work done for one rule update.
+type UpdateResult struct {
+	AffectedECs int    // equivalence classes recomputed
+	GraphsBuilt int    // forwarding graphs constructed (== AffectedECs)
+	Loops       []Loop // forwarding loops found among them
+}
+
+// Loop is a forwarding loop found in one EC's forwarding graph.
+type Loop struct {
+	EC    ipnet.Interval
+	Nodes []netgraph.NodeID
+}
+
+// InsertRule adds the rule, computes the affected equivalence classes,
+// builds one forwarding graph per class and checks each for loops — the
+// full Veriflow per-update pipeline.
+func (e *Engine) InsertRule(r Rule) (UpdateResult, error) {
+	if _, dup := e.rules[r.ID]; dup {
+		return UpdateResult{}, fmt.Errorf("veriflow: duplicate rule id %d", r.ID)
+	}
+	rp := &r
+	n := e.nodeFor(r.Prefix, true)
+	n.rules = append(n.rules, rp)
+	e.rules[r.ID] = rp
+	return e.verifyAround(rp), nil
+}
+
+// LoadRule adds the rule WITHOUT the per-update verification pipeline —
+// for bulk-building a data plane before answering queries (the Table 4/5
+// setup), where re-verifying every insertion would add a quadratic cost
+// the experiment does not measure.
+func (e *Engine) LoadRule(r Rule) error {
+	if _, dup := e.rules[r.ID]; dup {
+		return fmt.Errorf("veriflow: duplicate rule id %d", r.ID)
+	}
+	rp := &r
+	n := e.nodeFor(r.Prefix, true)
+	n.rules = append(n.rules, rp)
+	e.rules[r.ID] = rp
+	return nil
+}
+
+// RemoveRule deletes the rule and re-verifies the equivalence classes it
+// covered (after removal, lower-priority rules take over).
+func (e *Engine) RemoveRule(id core.RuleID) (UpdateResult, error) {
+	rp, ok := e.rules[id]
+	if !ok {
+		return UpdateResult{}, fmt.Errorf("veriflow: no rule with id %d", id)
+	}
+	n := e.nodeFor(rp.Prefix, false)
+	for i, x := range n.rules {
+		if x == rp {
+			n.rules[i] = n.rules[len(n.rules)-1]
+			n.rules = n.rules[:len(n.rules)-1]
+			break
+		}
+	}
+	delete(e.rules, id)
+	return e.verifyAround(rp), nil
+}
+
+// verifyAround recomputes the ECs within r's range and checks each one's
+// forwarding graph.
+func (e *Engine) verifyAround(r *Rule) UpdateResult {
+	ecs := e.AffectedECs(r.Prefix)
+	if len(ecs) > e.MaxAffectedECs {
+		e.MaxAffectedECs = len(ecs)
+	}
+	res := UpdateResult{AffectedECs: len(ecs), GraphsBuilt: len(ecs)}
+	for _, ec := range ecs {
+		fg := e.ForwardingGraph(ec)
+		if loop, ok := e.FindLoop(fg); ok {
+			res.Loops = append(res.Loops, Loop{EC: ec, Nodes: loop})
+		}
+	}
+	return res
+}
+
+// AffectedECs returns the packet equivalence classes within the given
+// prefix's range, induced by all rules in the network overlapping it: the
+// range is sliced at every bound of every overlapping rule.
+func (e *Engine) AffectedECs(p ipnet.Prefix) []ipnet.Interval {
+	iv := p.Interval()
+	bounds := e.ecBuf[:0]
+	bounds = append(bounds, iv.Lo, iv.Hi)
+	e.forEachOverlapping(p, func(o *Rule) {
+		oiv := o.interval()
+		if oiv.Lo > iv.Lo && oiv.Lo < iv.Hi {
+			bounds = append(bounds, oiv.Lo)
+		}
+		if oiv.Hi > iv.Lo && oiv.Hi < iv.Hi {
+			bounds = append(bounds, oiv.Hi)
+		}
+	})
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	e.ecBuf = bounds
+	var ecs []ipnet.Interval
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] != bounds[i-1] {
+			ecs = append(ecs, ipnet.Interval{Lo: bounds[i-1], Hi: bounds[i]})
+		}
+	}
+	return ecs
+}
+
+// forEachOverlapping visits every rule whose prefix overlaps p: rules at
+// trie nodes on the path to p (shorter prefixes containing p) and all
+// rules in the subtree under p (longer prefixes inside p).
+func (e *Engine) forEachOverlapping(p ipnet.Prefix, fn func(*Rule)) {
+	n := e.root
+	for i := 0; i < p.Len; i++ {
+		for _, r := range n.rules {
+			fn(r)
+		}
+		b := bitAt(p.Addr, i, p.Bits)
+		if n.children[b] == nil {
+			return
+		}
+		n = n.children[b]
+	}
+	var walk func(t *trieNode)
+	walk = func(t *trieNode) {
+		if t == nil {
+			return
+		}
+		for _, r := range t.rules {
+			fn(r)
+		}
+		walk(t.children[0])
+		walk(t.children[1])
+	}
+	walk(n)
+}
+
+// ForwardingGraph builds the forwarding graph for one equivalence class:
+// for every device that has a matching rule, the out-edge chosen by its
+// highest-priority match. The EC is represented by its lowest address (all
+// addresses in an EC behave identically by construction).
+func (e *Engine) ForwardingGraph(ec ipnet.Interval) map[netgraph.NodeID]netgraph.LinkID {
+	addr := ec.Lo
+	fg := map[netgraph.NodeID]netgraph.LinkID{}
+	best := map[netgraph.NodeID]*Rule{}
+	n := e.root
+	width := 32
+	for depth := 0; ; depth++ {
+		for _, r := range n.rules {
+			// All rules at this node match addr by construction of
+			// the descent.
+			if b, ok := best[r.Source]; !ok || less(b, r) {
+				best[r.Source] = r
+			}
+		}
+		if depth >= width {
+			break
+		}
+		b := bitAt(addr, depth, width)
+		if n.children[b] == nil {
+			break
+		}
+		n = n.children[b]
+	}
+	for src, r := range best {
+		link := r.Link
+		if link == netgraph.NoLink {
+			continue // drop: no edge in the forwarding graph
+		}
+		fg[src] = link
+	}
+	return fg
+}
+
+// less orders rules by (priority, id), the same deterministic tie-break as
+// the Delta-net engine.
+func less(a, b *Rule) bool {
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.ID < b.ID
+}
+
+// FindLoop walks the functional forwarding graph (out-degree ≤ 1 per
+// node) from every node looking for a cycle: the per-EC traversal of
+// Veriflow's verification step.
+func (e *Engine) FindLoop(fg map[netgraph.NodeID]netgraph.LinkID) ([]netgraph.NodeID, bool) {
+	done := map[netgraph.NodeID]bool{}
+	for start := range fg {
+		if done[start] {
+			continue
+		}
+		pos := map[netgraph.NodeID]int{}
+		var path []netgraph.NodeID
+		v := start
+		for {
+			if done[v] {
+				break
+			}
+			if p, ok := pos[v]; ok {
+				return append(append([]netgraph.NodeID(nil), path[p:]...), v), true
+			}
+			pos[v] = len(path)
+			path = append(path, v)
+			link, hasNext := fg[v]
+			if !hasNext {
+				break
+			}
+			v = e.graph.Link(link).Dst
+		}
+		for _, u := range path {
+			done[u] = true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,303 @@
+package veriflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+)
+
+func pfx(s string) ipnet.Prefix { return ipnet.MustParsePrefix(s) }
+
+func ring(n int) (*netgraph.Graph, []netgraph.NodeID, []netgraph.LinkID) {
+	g := netgraph.New()
+	nodes := make([]netgraph.NodeID, n)
+	for i := range nodes {
+		nodes[i] = g.AddNode(string(rune('a' + i)))
+	}
+	links := make([]netgraph.LinkID, n)
+	for i := range nodes {
+		links[i] = g.AddLink(nodes[i], nodes[(i+1)%n])
+	}
+	return g, nodes, links
+}
+
+func TestInsertRemoveBasics(t *testing.T) {
+	g, nodes, links := ring(2)
+	e := NewEngine(g)
+	res, err := e.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0], Prefix: pfx("10.0.0.0/8"), Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AffectedECs != 1 {
+		t.Fatalf("ECs=%d want 1", res.AffectedECs)
+	}
+	if e.NumRules() != 1 {
+		t.Fatal("NumRules")
+	}
+	if _, err := e.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0], Prefix: pfx("10.0.0.0/8"), Priority: 1}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := e.RemoveRule(99); err == nil {
+		t.Fatal("phantom removal accepted")
+	}
+	if _, err := e.RemoveRule(1); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumRules() != 0 {
+		t.Fatal("rule not removed")
+	}
+	if e.Graph() != g {
+		t.Fatal("Graph accessor")
+	}
+}
+
+func TestAffectedECsSlicing(t *testing.T) {
+	g, nodes, links := ring(2)
+	e := NewEngine(g)
+	// /8 over two nested /16s at different offsets slices into 5 ECs.
+	e.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0], Prefix: pfx("10.1.0.0/16"), Priority: 2})
+	e.InsertRule(Rule{ID: 2, Source: nodes[0], Link: links[0], Prefix: pfx("10.200.0.0/16"), Priority: 3})
+	ecs := e.AffectedECs(pfx("10.0.0.0/8"))
+	if len(ecs) != 5 {
+		t.Fatalf("ECs=%d want 5: %v", len(ecs), ecs)
+	}
+	// ECs tile the /8 exactly.
+	iv := pfx("10.0.0.0/8").Interval()
+	pos := iv.Lo
+	for _, ec := range ecs {
+		if ec.Lo != pos {
+			t.Fatalf("gap at %d", pos)
+		}
+		pos = ec.Hi
+	}
+	if pos != iv.Hi {
+		t.Fatalf("tiling ends at %d", pos)
+	}
+	// A containing shorter prefix also counts as overlapping but adds no
+	// interior bounds.
+	e.InsertRule(Rule{ID: 3, Source: nodes[1], Link: links[1], Prefix: pfx("0.0.0.0/0"), Priority: 1})
+	if got := e.AffectedECs(pfx("10.0.0.0/8")); len(got) != 5 {
+		t.Fatalf("with /0: ECs=%d want 5", len(got))
+	}
+}
+
+func TestForwardingGraphPriority(t *testing.T) {
+	g, nodes, links := ring(3)
+	e := NewEngine(g)
+	e.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0], Prefix: pfx("10.0.0.0/8"), Priority: 1})
+	e.InsertRule(Rule{ID: 2, Source: nodes[0], Link: netgraph.NoLink, Prefix: pfx("10.0.0.0/16"), Priority: 5})
+	// Inside the /16 the drop rule wins: no edge.
+	fg := e.ForwardingGraph(pfx("10.0.0.0/16").Interval())
+	if _, ok := fg[nodes[0]]; ok {
+		t.Fatalf("drop rule should remove edge: %v", fg)
+	}
+	// Outside it the /8 forwards.
+	fg = e.ForwardingGraph(ipnet.Interval{Lo: pfx("10.1.0.0/16").Interval().Lo, Hi: pfx("10.1.0.0/16").Interval().Hi})
+	if fg[nodes[0]] != links[0] {
+		t.Fatalf("fg=%v", fg)
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	g, nodes, links := ring(3)
+	e := NewEngine(g)
+	e.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0], Prefix: pfx("10.0.0.0/8"), Priority: 1})
+	e.InsertRule(Rule{ID: 2, Source: nodes[1], Link: links[1], Prefix: pfx("10.0.0.0/8"), Priority: 1})
+	res, err := e.InsertRule(Rule{ID: 3, Source: nodes[2], Link: links[2], Prefix: pfx("10.0.0.0/8"), Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loops) == 0 {
+		t.Fatal("ring loop missed")
+	}
+	// Removing one rule breaks it; the removal's own verification sees
+	// no loops.
+	res, _ = e.RemoveRule(2)
+	if len(res.Loops) != 0 {
+		t.Fatalf("loop after removal: %+v", res.Loops)
+	}
+}
+
+func TestWhatIfLinkFailure(t *testing.T) {
+	g, nodes, links := ring(3)
+	e := NewEngine(g)
+	// Two rules on links[0] with nested prefixes, one shadowing rule.
+	e.InsertRule(Rule{ID: 1, Source: nodes[0], Link: links[0], Prefix: pfx("10.0.0.0/8"), Priority: 1})
+	e.InsertRule(Rule{ID: 2, Source: nodes[0], Link: links[0], Prefix: pfx("10.5.0.0/16"), Priority: 2})
+	// A drop rule shadows part of the /8 so those ECs do not use the link.
+	e.InsertRule(Rule{ID: 3, Source: nodes[0], Link: netgraph.NoLink, Prefix: pfx("10.9.0.0/16"), Priority: 9})
+
+	res := e.WhatIfLinkFailure(links[0], false)
+	if res.AffectedECs == 0 {
+		t.Fatal("no affected ECs")
+	}
+	// The shadowed /16 must not be counted.
+	// ECs for rule 1: sliced at 10.5/16 and 10.9/16 bounds -> 5 ECs, of
+	// which 10.9/16's is shadowed -> rule1 contributes 4 (one of which,
+	// 10.5/16, is owned by rule 2 on the same link). Rule 2 contributes
+	// its own EC (already seen). Total distinct = 4.
+	if res.AffectedECs != 4 {
+		t.Fatalf("AffectedECs=%d want 4", res.AffectedECs)
+	}
+	// An unused link is free to fail.
+	if r := e.WhatIfLinkFailure(links[2], true); r.AffectedECs != 0 {
+		t.Fatalf("idle link ECs=%d", r.AffectedECs)
+	}
+}
+
+func TestMaxAffectedECsTracking(t *testing.T) {
+	g, nodes, links := ring(2)
+	e := NewEngine(g)
+	for i := 0; i < 10; i++ {
+		e.InsertRule(Rule{ID: core.RuleID(i + 1), Source: nodes[0], Link: links[0],
+			Prefix: ipnet.NewPrefix(uint64(i)<<24, 8), Priority: 1})
+	}
+	before := e.MaxAffectedECs
+	// A /0 overlaps all ten: at least 10 ECs.
+	e.InsertRule(Rule{ID: 100, Source: nodes[1], Link: links[1], Prefix: pfx("0.0.0.0/0"), Priority: 1})
+	if e.MaxAffectedECs <= before || e.MaxAffectedECs < 10 {
+		t.Fatalf("MaxAffectedECs=%d", e.MaxAffectedECs)
+	}
+}
+
+func TestLoadRuleEquivalentToInsert(t *testing.T) {
+	g, nodes, links := ring(3)
+	a := NewEngine(g)
+	b := NewEngine(g)
+	rules := []Rule{
+		{ID: 1, Source: nodes[0], Link: links[0], Prefix: pfx("10.0.0.0/8"), Priority: 1},
+		{ID: 2, Source: nodes[0], Link: links[0], Prefix: pfx("10.5.0.0/16"), Priority: 2},
+		{ID: 3, Source: nodes[1], Link: links[1], Prefix: pfx("10.0.0.0/8"), Priority: 1},
+	}
+	for _, r := range rules {
+		if _, err := a.InsertRule(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.LoadRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.LoadRule(rules[0]); err == nil {
+		t.Fatal("LoadRule duplicate accepted")
+	}
+	// Same forwarding graphs and what-if results afterwards.
+	for _, ec := range a.AffectedECs(pfx("10.0.0.0/8")) {
+		fa := a.ForwardingGraph(ec)
+		fb := b.ForwardingGraph(ec)
+		if len(fa) != len(fb) {
+			t.Fatalf("fg size differs for %v", ec)
+		}
+		for v, l := range fa {
+			if fb[v] != l {
+				t.Fatalf("fg differs at node %d for %v", v, ec)
+			}
+		}
+	}
+	ra := a.WhatIfLinkFailure(links[0], false)
+	rb := b.WhatIfLinkFailure(links[0], false)
+	if ra.AffectedECs != rb.AffectedECs {
+		t.Fatalf("what-if differs: %d vs %d", ra.AffectedECs, rb.AffectedECs)
+	}
+	// LoadRule skips verification, so EC fan-out is not tracked.
+	if b.MaxAffectedECs != 0 {
+		t.Fatalf("LoadRule tracked ECs: %d", b.MaxAffectedECs)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	g, nodes, links := ring(2)
+	e := NewEngine(g)
+	m0 := e.MemoryBytes()
+	for i := 0; i < 100; i++ {
+		e.InsertRule(Rule{ID: core.RuleID(i + 1), Source: nodes[0], Link: links[0],
+			Prefix: ipnet.NewPrefix(uint64(i)<<20, 12), Priority: 1})
+	}
+	if e.MemoryBytes() <= m0 {
+		t.Fatal("memory accounting not increasing")
+	}
+}
+
+// TestDifferentialVsDeltaNet runs the same randomized workload through both
+// engines and compares per-device forwarding decisions at sampled
+// addresses, plus loop verdicts (DESIGN.md invariant 6).
+func TestDifferentialVsDeltaNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := netgraph.New()
+	var nodes []netgraph.NodeID
+	for i := 0; i < 5; i++ {
+		nodes = append(nodes, g.AddNode(string(rune('a'+i))))
+	}
+	var links []netgraph.LinkID
+	for i := range nodes {
+		for j := range nodes {
+			if i != j {
+				links = append(links, g.AddLink(nodes[i], nodes[j]))
+			}
+		}
+	}
+	dn := core.NewNetwork(g, core.Options{})
+	vf := NewEngine(g)
+
+	var live []core.RuleID
+	nextID := core.RuleID(1)
+	for op := 0; op < 300; op++ {
+		if len(live) == 0 || rng.Intn(100) < 65 {
+			l := links[rng.Intn(len(links))]
+			src := g.Link(l).Src
+			length := 4 + rng.Intn(12) // short prefixes: heavy overlap
+			addr := uint64(rng.Intn(1<<16)) << 16
+			p := ipnet.NewPrefix(addr, length)
+			prio := core.Priority(rng.Intn(30))
+			id := nextID
+			nextID++
+			link := l
+			if rng.Intn(10) == 0 {
+				link = netgraph.NoLink
+			}
+			if _, err := dn.InsertRule(core.Rule{ID: id, Source: src, Link: link, Match: p.Interval(), Priority: prio}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := vf.InsertRule(Rule{ID: id, Source: src, Link: link, Prefix: p, Priority: prio}); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, id)
+		} else {
+			k := rng.Intn(len(live))
+			id := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if _, err := dn.RemoveRule(id); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := vf.RemoveRule(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if op%29 != 0 {
+			continue
+		}
+		// Sample addresses; compare forwarding at every node.
+		for s := 0; s < 40; s++ {
+			addr := uint64(rng.Intn(1 << 32))
+			ec := ipnet.Interval{Lo: addr, Hi: addr + 1}
+			fg := vf.ForwardingGraph(ec)
+			atom := dn.AtomOf(addr)
+			for _, v := range nodes {
+				want, ok := fg[v]
+				got := dn.ForwardLink(v, atom)
+				if !ok {
+					// Veriflow has no edge: either no rule or a
+					// drop rule won.
+					if got != netgraph.NoLink && !g.IsDropLink(got) {
+						t.Fatalf("op %d addr %d node %d: delta-net %d, veriflow none", op, addr, v, got)
+					}
+				} else if got != want {
+					t.Fatalf("op %d addr %d node %d: delta-net %d, veriflow %d", op, addr, v, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package deltanet
+
+import (
+	"deltanet/internal/check"
+	"deltanet/internal/core"
+)
+
+// This file exposes the checker's advanced analyses: black holes,
+// isolation and waypoint predicates (the paper's design-goal-3 queries),
+// minimal equivalence classes (the Yang & Lam comparison of §5), packet
+// transformations (§6 future work), and snapshot/digest utilities.
+
+// Rewrite is a stateless destination-prefix translation attached to a
+// link (§6: packet modification support).
+type Rewrite = check.Rewrite
+
+// Transforms maps links to rewrites for transform-aware reachability.
+type Transforms = check.Transforms
+
+// NewTransforms returns an empty transform table.
+func NewTransforms() *Transforms { return check.NewTransforms() }
+
+// ReachableAtomsVia computes reachability when links may rewrite
+// addresses; the result is in arrival-time atoms.
+func (c *Checker) ReachableAtomsVia(tf *Transforms, from, to SwitchID) *AtomSet {
+	return check.ReachableWithTransforms(c.net, tf, from, to)
+}
+
+// BlackHole reports packets that arrive at a node no rule covers.
+type BlackHole = check.BlackHole
+
+// FindBlackHoles returns nodes that silently discard arriving traffic.
+// sinks marks nodes that legitimately terminate flows (nil = none).
+func (c *Checker) FindBlackHoles(sinks map[SwitchID]bool) []BlackHole {
+	return check.FindBlackHoles(c.net, sinks)
+}
+
+// Isolated verifies that no packet in atoms (nil = any packet) can flow
+// from any switch in groupA to any in groupB; it returns nil when
+// isolated, else a witness atom set.
+func (c *Checker) Isolated(groupA, groupB []SwitchID, atoms *AtomSet) *AtomSet {
+	return check.Isolated(c.net, groupA, groupB, atoms)
+}
+
+// BypassesWaypoint returns the atoms that can flow from one switch to
+// another without traversing the waypoint (empty = the waypoint property
+// holds).
+func (c *Checker) BypassesWaypoint(from, to, waypoint SwitchID) *AtomSet {
+	return check.Waypoint(c.net, from, to, waypoint)
+}
+
+// MinimalECs groups atoms by identical network-wide behaviour — the
+// unique minimal partition Yang & Lam's atomic predicates compute (§5).
+// Delta-net's atom count divided by len(MinimalECs()) measures how much
+// compactness its quasi-linear updates trade away.
+func (c *Checker) MinimalECs() []check.ECClass { return check.MinimalECs(c.net) }
+
+// Snapshot returns the live rules sorted by id; Restore into a fresh
+// Checker over the same topology reproduces the behaviour.
+func (c *Checker) Snapshot() []Rule { return c.net.Snapshot() }
+
+// Restore loads a snapshot into an empty Checker.
+func (c *Checker) Restore(rules []Rule) error { return c.net.Restore(rules) }
+
+// BehaviourDigest hashes the complete forwarding behaviour in canonical,
+// atom-id-independent form; equal digests ⇔ identical per-link flows.
+func (c *Checker) BehaviourDigest() uint64 { return c.net.BehaviourDigest() }
+
+// LinkFlows returns a link's flows as merged address intervals.
+func (c *Checker) LinkFlows(l LinkID) []Interval { return c.net.LinkFlows(l) }
+
+// BehaviourEqual reports whether two checkers over identically numbered
+// topologies forward exactly the same packets on every link.
+func BehaviourEqual(a, b *Checker) bool { return core.BehaviourEqual(a.net, b.net) }

@@ -1,0 +1,107 @@
+package deltanet
+
+import "testing"
+
+// chain builds a -> b -> c carrying 10.0.0.0/8 end to end.
+func chain(t *testing.T) (*Checker, SwitchID, SwitchID, SwitchID, LinkID, LinkID) {
+	t.Helper()
+	c := New()
+	a, b, d := c.AddSwitch("a"), c.AddSwitch("b"), c.AddSwitch("c")
+	ab, bc := c.AddLink(a, b), c.AddLink(b, d)
+	if _, err := c.InsertPrefixRule(1, a, ab, "10.0.0.0/8", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InsertPrefixRule(2, b, bc, "10.0.0.0/8", 1); err != nil {
+		t.Fatal(err)
+	}
+	return c, a, b, d, ab, bc
+}
+
+func TestFacadeBlackHoles(t *testing.T) {
+	c, _, _, d, _, _ := chain(t)
+	holes := c.FindBlackHoles(nil)
+	if len(holes) != 1 || holes[0].Node != d {
+		t.Fatalf("holes=%+v", holes)
+	}
+	if got := c.FindBlackHoles(map[SwitchID]bool{d: true}); len(got) != 0 {
+		t.Fatalf("with sink: %+v", got)
+	}
+}
+
+func TestFacadeIsolationAndWaypoint(t *testing.T) {
+	c, a, b, d, _, _ := chain(t)
+	if v := c.Isolated([]SwitchID{a}, []SwitchID{d}, nil); v == nil {
+		t.Fatal("a reaches c; not isolated")
+	}
+	if v := c.Isolated([]SwitchID{d}, []SwitchID{a}, nil); v != nil {
+		t.Fatalf("reverse should be isolated: %v", v)
+	}
+	if bypass := c.BypassesWaypoint(a, d, b); !bypass.Empty() {
+		t.Fatalf("bypass=%v", bypass)
+	}
+}
+
+func TestFacadeTransforms(t *testing.T) {
+	c := New()
+	a, b, d := c.AddSwitch("a"), c.AddSwitch("b"), c.AddSwitch("c")
+	ab, bc := c.AddLink(a, b), c.AddLink(b, d)
+	// a forwards 10/8; b only forwards 192.168.0.0/16 onward.
+	if _, err := c.InsertPrefixRule(1, a, ab, "10.0.0.0/8", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InsertPrefixRule(2, b, bc, "192.168.0.0/16", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ReachableAtoms(a, d); !got.Empty() {
+		t.Fatal("untransformed traffic should stall at b")
+	}
+	tf := NewTransforms()
+	p10, _ := ParsePrefix("10.0.0.0/16")
+	p192, _ := ParsePrefix("192.168.0.0/16")
+	if err := tf.Set(ab, Rewrite{From: p10.Interval(), To: p192.Interval()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ReachableAtomsVia(tf, a, d); got.Empty() {
+		t.Fatal("NAT-rewritten traffic should reach c")
+	}
+}
+
+func TestFacadeMinimalECs(t *testing.T) {
+	c, _, _, _, _, _ := chain(t)
+	classes := c.MinimalECs()
+	if len(classes) == 0 {
+		t.Fatal("no classes")
+	}
+	total := 0
+	for _, cl := range classes {
+		total += len(cl.Atoms)
+	}
+	if total != c.NumAtoms() {
+		t.Fatalf("classes cover %d atoms of %d", total, c.NumAtoms())
+	}
+}
+
+func TestFacadeSnapshotDigest(t *testing.T) {
+	c, _, _, _, _, _ := chain(t)
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot=%d rules", len(snap))
+	}
+	// Rebuild over an identical topology.
+	c2 := New()
+	a, b, d := c2.AddSwitch("a"), c2.AddSwitch("b"), c2.AddSwitch("c")
+	c2.AddLink(a, b)
+	c2.AddLink(b, d)
+	if err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !BehaviourEqual(c, c2) {
+		t.Fatal("restored behaviour differs")
+	}
+	if c.BehaviourDigest() != c2.BehaviourDigest() {
+		t.Fatal("digests differ")
+	}
+	if len(c.LinkFlows(0)) == 0 {
+		t.Fatal("LinkFlows empty")
+	}
+}
