@@ -190,6 +190,122 @@ func BenchmarkScaling_InsertRemove(b *testing.B) {
 	}
 }
 
+// --- Batch pipeline ------------------------------------------------------
+
+// batchBenchRules generates a dense overlapping workload on a small mesh:
+// the shape (many rules sharing atoms at few nodes) where deduplicating
+// per-atom ownership work across a batch pays off.
+func batchBenchRules(c *Checker, count int) []Rule {
+	var switches []SwitchID
+	var links []LinkID
+	for i := 0; i < 6; i++ {
+		switches = append(switches, c.AddSwitch(fmt.Sprintf("s%d", i)))
+	}
+	for i := range switches {
+		for j := range switches {
+			if i != j {
+				links = append(links, c.AddLink(switches[i], switches[j]))
+			}
+		}
+	}
+	rules := make([]Rule, count)
+	for i := range rules {
+		l := links[(i*7)%len(links)]
+		lo := uint64((i * 137) % (1 << 16))
+		rules[i] = Rule{
+			ID:       RuleID(i + 1),
+			Source:   c.Network().Graph().Link(l).Src,
+			Link:     l,
+			Match:    Interval{Lo: lo, Hi: lo + 1 + uint64((i*61)%(1<<14))},
+			Priority: Priority(i % 64),
+		}
+	}
+	return rules
+}
+
+// BenchmarkInsertBatch compares the batch update pipeline at batch sizes
+// 1, 16, and 256: the same rule stream with per-batch incremental loop
+// checking. The rules/sec metric is the headline batching win — larger
+// batches amortize the loop check over the merged delta and fan per-atom
+// ownership work out over the worker pool.
+func BenchmarkInsertBatch(b *testing.B) {
+	const totalRules = 2048
+	for _, size := range []int{1, 16, 256} {
+		size := size
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			proto := New()
+			rules := batchBenchRules(proto, totalRules)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := New()
+				batchBenchRules(c, 0) // same topology, no rules
+				b.StartTimer()
+				ops := make([]BatchOp, 0, size)
+				for _, r := range rules {
+					ops = append(ops, InsertOp(r))
+					if len(ops) == size {
+						if _, err := c.ApplyBatch(ops); err != nil {
+							b.Fatal(err)
+						}
+						ops = ops[:0]
+					}
+				}
+				if len(ops) > 0 {
+					if _, err := c.ApplyBatch(ops); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*totalRules)/b.Elapsed().Seconds(), "rules/sec")
+		})
+	}
+}
+
+// BenchmarkChurnBatch is BenchmarkInsertBatch's removal-heavy sibling:
+// each batch inserts a window of rules and removes the previous window,
+// the steady-state shape of a controller churning its tables.
+func BenchmarkChurnBatch(b *testing.B) {
+	const window = 512
+	for _, size := range []int{1, 16, 256} {
+		size := size
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			c := New()
+			rules := batchBenchRules(c, window*2)
+			apply := func(ops []BatchOp) {
+				for start := 0; start < len(ops); start += size {
+					end := start + size
+					if end > len(ops) {
+						end = len(ops)
+					}
+					if _, err := c.ApplyBatch(ops[start:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			var warm []BatchOp
+			for _, r := range rules[:window] {
+				warm = append(warm, InsertOp(r))
+			}
+			apply(warm)
+			prev, next := rules[:window], rules[window:]
+			b.ResetTimer()
+			ops := 0
+			for i := 0; i < b.N; i++ {
+				churn := make([]BatchOp, 0, 2*window)
+				for j := range next {
+					next[j].ID = RuleID(int64(i+2)*int64(window*2)) + RuleID(j)
+					churn = append(churn, InsertOp(next[j]), RemoveOp(prev[j].ID))
+				}
+				apply(churn)
+				prev, next = next, prev
+				ops += 2 * window
+			}
+			b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/sec")
+		})
+	}
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblation_AtomGC compares replay cost with and without the atom

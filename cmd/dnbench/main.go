@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	dnbench [-scale f] [-queries n] table2|table3|figure8|table4|table5|appendixC|scaling|all
+//	dnbench [-scale f] [-queries n] [-batch n] table2|table3|figure8|table4|table5|appendixC|scaling|batch|all
 //
 // Scale 1.0 is the laptop default (see internal/datasets); pass a larger
-// scale to approach the paper's sizes given enough time and memory.
+// scale to approach the paper's sizes given enough time and memory. The
+// batch experiment replays every dataset through the atomic batch update
+// pipeline at batch size 1 and at -batch n, reporting the throughput win
+// of merging per-atom work and checking once per batch.
 package main
 
 import (
@@ -24,7 +27,12 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = laptop default)")
 	queries := flag.Int("queries", 0, "max what-if queries per dataset for table4 (0 = all links)")
+	batchSize := flag.Int("batch", 256, "batch size for the batch experiment")
 	flag.Parse()
+	if *batchSize < 1 {
+		fmt.Fprintf(os.Stderr, "-batch must be >= 1, got %d\n", *batchSize)
+		os.Exit(2)
+	}
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
@@ -49,9 +57,10 @@ func main() {
 	run("table5", func() error { return table5(*scale) })
 	run("appendixC", func() error { return appendixC(*scale) })
 	run("scaling", func() error { return scaling(*scale) })
+	run("batch", func() error { return batch(*scale, *batchSize) })
 
 	switch which {
-	case "all", "table2", "table3", "figure8", "table4", "table5", "appendixC", "scaling":
+	case "all", "table2", "table3", "figure8", "table4", "table5", "appendixC", "scaling", "batch":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
@@ -167,6 +176,34 @@ func scaling(scale float64) error {
 		})
 	}
 	fmt.Print(experiments.FormatTable([]string{"Ops", "Atoms", "Total", "Per-op"}, cells))
+	return nil
+}
+
+func batch(scale float64, size int) error {
+	var cells [][]string
+	for _, name := range datasets.Names() {
+		seq, err := experiments.RunBatch(name, scale, 1)
+		if err != nil {
+			return err
+		}
+		bat, err := experiments.RunBatch(name, scale, size)
+		if err != nil {
+			return err
+		}
+		speedup := 0.0
+		if seq.Throughput > 0 {
+			speedup = bat.Throughput / seq.Throughput
+		}
+		cells = append(cells, []string{
+			name,
+			strconv.Itoa(seq.Ops),
+			fmt.Sprintf("%.0f", seq.Throughput),
+			fmt.Sprintf("%.0f", bat.Throughput),
+			fmt.Sprintf("%.2fx", speedup),
+		})
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"Data set", "Ops", "batch-1 ops/s", fmt.Sprintf("batch-%d ops/s", size), "Speedup"}, cells))
 	return nil
 }
 

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	dnserve [-addr host:port] [-gc] [-trace file]
+//	dnserve [-addr host:port] [-gc] [-trace file] [-batch n]
 //
 // With -trace, the topology and insertions of the trace are preloaded
-// before serving. See internal/server for the protocol.
+// before serving; -batch n applies the preload as atomic batches of n
+// rules through the parallel batch pipeline instead of one rule at a
+// time. See internal/server for the protocol (including the B command).
 package main
 
 import (
@@ -26,7 +28,11 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:6633", "listen address")
 	gc := flag.Bool("gc", false, "enable atom garbage collection")
 	traceFile := flag.String("trace", "", "preload this trace's topology and insertions")
+	batch := flag.Int("batch", 1, "preload batch size (>1 uses the parallel batch pipeline)")
 	flag.Parse()
+	if *batch < 1 {
+		fatal(fmt.Errorf("-batch must be >= 1, got %d", *batch))
+	}
 
 	s := server.New(core.Options{GC: *gc})
 	if *traceFile != "" {
@@ -48,12 +54,35 @@ func main() {
 			s.Graph().AddLink(l.Src, l.Dst)
 		}
 		var d core.Delta
-		for _, op := range tr.Ops {
-			if !op.Insert {
-				continue
+		if *batch > 1 {
+			ops := make([]core.BatchOp, 0, *batch)
+			flush := func() {
+				if len(ops) == 0 {
+					return
+				}
+				if err := s.Network().ApplyBatch(ops, &d, 0); err != nil {
+					fatal(err)
+				}
+				ops = ops[:0]
 			}
-			if err := trace.Apply(s.Network(), op, &d); err != nil {
-				fatal(err)
+			for _, op := range tr.Ops {
+				if !op.Insert {
+					continue
+				}
+				ops = append(ops, core.InsertOp(op.Rule))
+				if len(ops) == *batch {
+					flush()
+				}
+			}
+			flush()
+		} else {
+			for _, op := range tr.Ops {
+				if !op.Insert {
+					continue
+				}
+				if err := trace.Apply(s.Network(), op, &d); err != nil {
+					fatal(err)
+				}
 			}
 		}
 		fmt.Fprintf(os.Stderr, "preloaded %s: %d rules, %d atoms\n",

@@ -12,6 +12,28 @@
 // of microseconds in practice, and each update yields a delta-graph from
 // which invariants such as loop freedom are checked incrementally.
 //
+// # Batch updates
+//
+// Updates may also be applied in atomic batches via ApplyBatch: the whole
+// slice of insertions and removals is validated up front (all-or-nothing),
+// the per-atom ownership work is deduplicated across the batch and fanned
+// out over a worker pool (the paper's §6 parallelization applied to the
+// update path), and one merged, compacted delta-graph is produced, so a
+// single incremental loop check — and optionally an incremental black-hole
+// check — replaces one check per rule:
+//
+//	ops := []deltanet.BatchOp{
+//		deltanet.InsertOp(deltanet.Rule{...}),
+//		deltanet.RemoveOp(17),
+//	}
+//	rep, err := c.ApplyBatch(ops)
+//	if err != nil { ... }          // nothing was applied
+//	if len(rep.Loops) > 0 { ... }  // loops in the post-batch state
+//
+// A batch is one atomic step: transient states between its operations are
+// not observable and not checked, and its Delta records only the net label
+// changes.
+//
 // # Quickstart
 //
 //	c := deltanet.New()
@@ -65,7 +87,16 @@ type (
 	AtomSet = bitset.Set
 	// Loop is a forwarding loop found by a check.
 	Loop = check.Loop
+	// BatchOp is one element of an atomic batch update (BlackHole is
+	// re-exported in queries.go).
+	BatchOp = core.BatchOp
 )
+
+// InsertOp returns a BatchOp inserting r.
+func InsertOp(r Rule) BatchOp { return core.InsertOp(r) }
+
+// RemoveOp returns a BatchOp removing the rule with the given id.
+func RemoveOp(id RuleID) BatchOp { return core.RemoveOp(id) }
 
 // NoLink marks a drop rule (packets matching it are discarded).
 const NoLink = netgraph.NoLink
@@ -84,6 +115,17 @@ type Checker struct {
 	// loops as they are applied (on by default in New).
 	CheckLoops bool
 
+	// CheckBlackHoles controls whether ApplyBatch additionally runs the
+	// incremental black-hole check over the batch's merged delta (off by
+	// default; see WithBlackHoleChecking). Sinks lists nodes exempt from
+	// it — legitimate traffic sinks such as edge hosts.
+	CheckBlackHoles bool
+	Sinks           map[SwitchID]bool
+
+	// BatchWorkers bounds the worker pool ApplyBatch fans per-atom work
+	// out over; ≤ 0 selects GOMAXPROCS.
+	BatchWorkers int
+
 	delta core.Delta
 }
 
@@ -93,6 +135,7 @@ type Option func(*options)
 type options struct {
 	gc         bool
 	checkLoops bool
+	blackHoles bool
 }
 
 // WithAtomGC enables atom garbage collection: under insert/remove churn,
@@ -105,6 +148,11 @@ func WithAtomGC() Option { return func(o *options) { o.gc = true } }
 // empty). Checks can still be run explicitly via FindLoops.
 func WithoutLoopChecking() Option { return func(o *options) { o.checkLoops = false } }
 
+// WithBlackHoleChecking enables the incremental black-hole check on batch
+// updates: ApplyBatch reports in BatchReport.BlackHoles the atoms newly
+// delivered to nodes that neither forward nor drop them.
+func WithBlackHoleChecking() Option { return func(o *options) { o.blackHoles = true } }
+
 // New returns an empty Checker with per-update loop checking enabled.
 func New(opts ...Option) *Checker {
 	o := options{checkLoops: true}
@@ -113,9 +161,10 @@ func New(opts ...Option) *Checker {
 	}
 	g := netgraph.New()
 	return &Checker{
-		graph:      g,
-		net:        core.NewNetwork(g, core.Options{GC: o.gc}),
-		CheckLoops: o.checkLoops,
+		graph:           g,
+		net:             core.NewNetwork(g, core.Options{GC: o.gc}),
+		CheckLoops:      o.checkLoops,
+		CheckBlackHoles: o.blackHoles,
 	}
 }
 
@@ -173,6 +222,37 @@ func (c *Checker) report() Report {
 		rep.Loops = check.FindLoopsDelta(c.net, &c.delta)
 	}
 	return rep
+}
+
+// BatchReport is the result of one atomic batch update.
+type BatchReport struct {
+	// Delta is the batch's merged, compacted delta-graph: the net label
+	// changes between the pre- and post-batch states.
+	Delta *Delta
+	// Loops lists forwarding loops present after the batch that involve a
+	// net-added label bit (empty when CheckLoops is off).
+	Loops []Loop
+	// BlackHoles lists nodes newly receiving atoms they neither forward
+	// nor drop (populated only when CheckBlackHoles is on).
+	BlackHoles []BlackHole
+}
+
+// ApplyBatch applies ops in order as one atomic update and checks the
+// merged delta-graph once. Validation happens before any state changes: on
+// error nothing was applied. See the package documentation's "Batch
+// updates" section for semantics.
+func (c *Checker) ApplyBatch(ops []BatchOp) (BatchReport, error) {
+	if err := c.net.ApplyBatch(ops, &c.delta, c.BatchWorkers); err != nil {
+		return BatchReport{}, err
+	}
+	rep := BatchReport{Delta: &c.delta}
+	if c.CheckLoops {
+		rep.Loops = check.FindLoopsDeltaAuto(c.net, &c.delta, c.BatchWorkers)
+	}
+	if c.CheckBlackHoles {
+		rep.BlackHoles = check.FindBlackHolesDelta(c.net, &c.delta, c.Sinks)
+	}
+	return rep, nil
 }
 
 // Network exposes the underlying engine for advanced queries.

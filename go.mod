@@ -1,0 +1,3 @@
+module deltanet
+
+go 1.24

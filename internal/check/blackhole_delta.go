@@ -1,0 +1,83 @@
+package check
+
+import (
+	"sort"
+
+	"deltanet/internal/bitset"
+	"deltanet/internal/core"
+	"deltanet/internal/intervalmap"
+	"deltanet/internal/netgraph"
+)
+
+// FindBlackHolesDelta is the incremental counterpart of FindBlackHoles: it
+// reports the black holes a rule update (or an aggregated batch delta)
+// introduced, examining only the (node, atom) pairs the delta can have
+// affected instead of the whole data plane.
+//
+// A new black hole — an atom delivered to a node that neither forwards nor
+// explicitly drops it — can appear in exactly two ways: an Added entry
+// starts delivering the atom to the link's destination, or a Removed entry
+// stops the link's source from handling an atom it still receives. Both
+// endpoints are checked against the current labels; sinks (and the drop
+// node) are exempt as in FindBlackHoles. Results are grouped per node in
+// ascending node order.
+func FindBlackHolesDelta(n *core.Network, d *core.Delta, sinks map[netgraph.NodeID]bool) []BlackHole {
+	if d == nil || (len(d.Added) == 0 && len(d.Removed) == 0) {
+		return nil
+	}
+	g := n.Graph()
+	type cand struct {
+		node netgraph.NodeID
+		atom intervalmap.AtomID
+	}
+	seen := map[cand]bool{}
+	holes := map[netgraph.NodeID]*bitset.Set{}
+	consider := func(v netgraph.NodeID, atom intervalmap.AtomID) {
+		c := cand{v, atom}
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		if sinks[v] || (g.DropNode() != netgraph.NoNode && v == g.DropNode()) {
+			return
+		}
+		arrives := false
+		for _, lid := range g.In(v) {
+			if n.Label(lid).Contains(int(atom)) {
+				arrives = true
+				break
+			}
+		}
+		if !arrives {
+			return
+		}
+		for _, lid := range g.Out(v) {
+			if n.Label(lid).Contains(int(atom)) {
+				return // forwarded or explicitly dropped
+			}
+		}
+		if holes[v] == nil {
+			holes[v] = bitset.New(int(atom) + 1)
+		}
+		holes[v].Add(int(atom))
+	}
+	for _, la := range d.Added {
+		consider(g.Link(la.Link).Dst, la.Atom)
+	}
+	for _, la := range d.Removed {
+		consider(g.Link(la.Link).Src, la.Atom)
+	}
+	if len(holes) == 0 {
+		return nil
+	}
+	nodes := make([]netgraph.NodeID, 0, len(holes))
+	for v := range holes {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	out := make([]BlackHole, 0, len(nodes))
+	for _, v := range nodes {
+		out = append(out, BlackHole{Node: v, Atoms: holes[v]})
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package check
+
+import (
+	"testing"
+
+	"deltanet/internal/core"
+	"deltanet/internal/netgraph"
+)
+
+// TestFindBlackHolesDeltaMatchesFull drives a small update sequence and
+// asserts that the incremental check over each update's delta reports
+// exactly the black holes the full scan attributes to the touched nodes.
+func TestFindBlackHolesDeltaMatchesFull(t *testing.T) {
+	g := netgraph.New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	ab := g.AddLink(a, b)
+	bc := g.AddLink(b, c)
+	n := core.NewNetwork(g, core.Options{})
+	sinks := map[netgraph.NodeID]bool{c: true}
+
+	// a forwards [0:100) to b; b has no rules: the Added entries deliver
+	// atoms to b, which the incremental check must flag.
+	d := mustInsert(t, n, core.Rule{ID: 1, Source: a, Link: ab, Match: iv(0, 100), Priority: 1})
+	holes := FindBlackHolesDelta(n, d, sinks)
+	if len(holes) != 1 || holes[0].Node != b {
+		t.Fatalf("after insert at a: %+v", holes)
+	}
+	if !holes[0].Atoms.Contains(int(n.AtomOf(50))) {
+		t.Fatalf("hole atoms wrong: %v", holes[0].Atoms)
+	}
+
+	// b forwards [0:100) on: the hole closes; no new holes (c is a sink).
+	d = mustInsert(t, n, core.Rule{ID: 2, Source: b, Link: bc, Match: iv(0, 100), Priority: 1})
+	if holes := FindBlackHolesDelta(n, d, sinks); len(holes) != 0 {
+		t.Fatalf("after covering rule: %+v", holes)
+	}
+
+	// Removing b's rule re-opens the hole: the Removed entries name b as
+	// the node that stopped handling still-arriving atoms.
+	d, err := n.RemoveRule(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holes = FindBlackHolesDelta(n, d, sinks)
+	if len(holes) != 1 || holes[0].Node != b {
+		t.Fatalf("after removal: %+v", holes)
+	}
+
+	// Full-scan agreement at the end state.
+	full := FindBlackHoles(n, sinks)
+	if len(full) != 1 || full[0].Node != b || !full[0].Atoms.Equal(holes[0].Atoms) {
+		t.Fatalf("incremental %+v, full %+v", holes, full)
+	}
+}
+
+// TestFindBlackHolesDeltaBatch: one merged batch delta yields one check
+// whose result matches the full scan, and an explicit drop is not a hole.
+func TestFindBlackHolesDeltaBatch(t *testing.T) {
+	g := netgraph.New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	ab := g.AddLink(a, b)
+	bc := g.AddLink(b, c)
+	n := core.NewNetwork(g, core.Options{})
+	sinks := map[netgraph.NodeID]bool{c: true}
+
+	var d core.Delta
+	err := n.ApplyBatch([]core.BatchOp{
+		core.InsertOp(core.Rule{ID: 1, Source: a, Link: ab, Match: iv(0, 100), Priority: 1}),
+		core.InsertOp(core.Rule{ID: 2, Source: b, Link: bc, Match: iv(0, 50), Priority: 1}),
+		core.InsertOp(core.Rule{ID: 3, Source: b, Link: netgraph.NoLink, Match: iv(50, 80), Priority: 1}),
+	}, &d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holes := FindBlackHolesDelta(n, &d, sinks)
+	// [80:100) arrives at b unhandled; [50:80) is explicitly dropped.
+	if len(holes) != 1 || holes[0].Node != b {
+		t.Fatalf("batch holes: %+v", holes)
+	}
+	if !holes[0].Atoms.Contains(int(n.AtomOf(90))) || holes[0].Atoms.Contains(int(n.AtomOf(60))) {
+		t.Fatalf("batch hole atoms wrong: %v", holes[0].Atoms)
+	}
+	full := FindBlackHoles(n, sinks)
+	if len(full) != 1 || !full[0].Atoms.Equal(holes[0].Atoms) {
+		t.Fatalf("incremental %+v, full %+v", holes, full)
+	}
+	if FindBlackHolesDelta(n, &core.Delta{}, sinks) != nil {
+		t.Fatal("empty delta must report nothing")
+	}
+}

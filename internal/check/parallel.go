@@ -8,6 +8,22 @@ import (
 	"deltanet/internal/intervalmap"
 )
 
+// parallelDeltaThreshold is the number of Added entries above which the
+// goroutine-parallel delta loop check beats the serial one; below it the
+// fan-out overhead dominates. Shared by every call site that wants the
+// size-based choice (FindLoopsDeltaAuto).
+const parallelDeltaThreshold = 64
+
+// FindLoopsDeltaAuto picks the serial or parallel delta loop check by
+// delta size: merged batch deltas with many label additions fan out over
+// the worker pool, while the common 1–2 atom delta stays serial.
+func FindLoopsDeltaAuto(n *core.Network, d *core.Delta, workers int) []Loop {
+	if d == nil || len(d.Added) < parallelDeltaThreshold {
+		return FindLoopsDelta(n, d)
+	}
+	return FindLoopsDeltaParallel(n, d, workers)
+}
+
 // FindLoopsDeltaParallel is FindLoopsDelta with the per-atom walks fanned
 // out over goroutines — the paper's §6 observation that "the main loops
 // over atoms in Algorithm 1 and 2 are highly parallelizable" applies to

@@ -1,0 +1,345 @@
+package core
+
+// Batch updates: applying many rule insertions and removals as one atomic
+// step. The paper observes (§6) that "the main loops over atoms in
+// Algorithm 1 and 2 are highly parallelizable"; a batch makes that
+// parallelism available on the update path itself. The batch is staged so
+// that the only serial work is what must be serial:
+//
+//  1. validate every operation up front (all-or-nothing semantics);
+//  2. create all atoms (CREATE_ATOMS+ for every insertion, |Δ| ≤ 2 each)
+//     and clone owner state for split atoms — serial, since splits mutate
+//     the shared boundary map M;
+//  3. group the operations by atom over the now-final partition: each rule
+//     expands to ⟦interval(r)⟧ exactly once, and k batch rules covering
+//     the same atom produce one per-atom job instead of k full passes;
+//  4. replay each atom's operations against its owner BSTs on a worker
+//     pool — atoms are independent, so this fans out with no locking —
+//     emitting the net label change per (source, atom);
+//  5. apply the net label-bit changes and rule/GC bookkeeping serially.
+//
+// The resulting Delta is compacted: it records the net difference between
+// the labels before and after the whole batch, so a bit that an early
+// operation sets and a later operation clears does not appear at all, and
+// one incremental loop/black-hole check over the merged delta replaces one
+// check per rule. A batch is one atomic update; transient states between
+// its operations are not observable and not checked.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"deltanet/internal/intervalmap"
+	"deltanet/internal/netgraph"
+)
+
+// BatchOp is one element of a batch: a rule insertion (Insert true, Rule
+// fully populated) or a removal (Insert false, only Rule.ID consulted).
+// The layout deliberately mirrors trace.Op so replay tools convert
+// trivially.
+type BatchOp struct {
+	Insert bool
+	Rule   Rule
+}
+
+// InsertOp returns a BatchOp inserting r.
+func InsertOp(r Rule) BatchOp { return BatchOp{Insert: true, Rule: r} }
+
+// RemoveOp returns a BatchOp removing the rule with the given id.
+func RemoveOp(id RuleID) BatchOp { return BatchOp{Rule: Rule{ID: id}} }
+
+// batchItem is a validated operation: rule is fully resolved (for removals
+// it points at the live rule being removed, so Match is authoritative).
+type batchItem struct {
+	insert bool
+	rule   *Rule
+}
+
+// ApplyBatch applies ops in order as one atomic update, writing the net
+// delta-graph of the whole batch into d. Validation runs before any engine
+// state changes: on error the engine is untouched (except that drop links
+// may have been lazily created for insertions naming NoLink) and d is
+// reset but empty.
+//
+// The per-atom ownership work is deduplicated across the batch — k
+// operations covering one atom become a single replay of that atom's owner
+// BSTs — and fanned out over a worker pool (workers ≤ 0 selects
+// GOMAXPROCS). The produced Delta has Op == OpBatch and compacted
+// Added/Removed lists: only bits whose final value differs from their
+// pre-batch value appear, in ascending atom order, so downstream
+// incremental checks run once over the net change.
+//
+// With GC enabled, boundary collection is deferred to the end of the
+// batch; the final forwarding behaviour matches the sequential execution,
+// though atom identifiers may be assigned differently when a batch both
+// removes and re-adds a boundary.
+func (n *Network) ApplyBatch(ops []BatchOp, d *Delta, workers int) error {
+	d.reset(0, OpBatch)
+	if len(ops) == 0 {
+		return nil
+	}
+
+	items, err := n.validateBatch(ops)
+	if err != nil {
+		return err
+	}
+
+	// Phase 2: create every atom the batch needs (serial; splits mutate M)
+	// and clone owner state for split atoms exactly as Algorithm 1 does.
+	for _, it := range items {
+		if !it.insert {
+			continue
+		}
+		split := n.m.CreateAtoms(it.rule.Match)
+		d.NewAtoms = append(d.NewAtoms, split...)
+		n.splits += int64(len(split))
+		for _, sp := range split {
+			oldOwner := n.owner[sp.Old]
+			newOwner := n.ownerOf(sp.New)
+			for source, bst := range oldOwner {
+				newOwner[source] = bst.Clone()
+				top := bst.Max().Value
+				n.labelOf(top.Link).Add(int(sp.New))
+			}
+		}
+	}
+
+	// Phase 3: expand every operation over the final partition and group
+	// by atom, preserving operation order within each atom's list. Each
+	// interval is expanded once; overlapping rules share per-atom jobs.
+	perAtom := map[intervalmap.AtomID][]int32{}
+	maxAtom := intervalmap.AtomID(0)
+	for i, it := range items {
+		n.atomBuf = n.m.Atoms(it.rule.Match, n.atomBuf[:0])
+		for _, alpha := range n.atomBuf {
+			perAtom[alpha] = append(perAtom[alpha], int32(i))
+			if alpha > maxAtom {
+				maxAtom = alpha
+			}
+		}
+	}
+	// Pre-grow the owner slice so workers only ever write their own
+	// element and never resize shared state.
+	for int(maxAtom) >= len(n.owner) {
+		n.owner = append(n.owner, nil)
+	}
+
+	atoms := make([]intervalmap.AtomID, 0, len(perAtom))
+	for alpha := range perAtom {
+		atoms = append(atoms, alpha)
+	}
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i] < atoms[j] })
+
+	// Phase 4: replay each atom's operations in parallel. Jobs write only
+	// owner[α] for their own α and emit net label changes into their own
+	// result slot, so the pool needs no locks.
+	results := make([]atomResult, len(atoms))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(atoms) {
+		workers = len(atoms)
+	}
+	if workers <= 1 {
+		for i, alpha := range atoms {
+			n.replayAtom(alpha, items, perAtom[alpha], &results[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int, len(atoms))
+		for i := range atoms {
+			next <- i
+		}
+		close(next)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					n.replayAtom(atoms[i], items, perAtom[atoms[i]], &results[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase 5: apply the net label-bit changes (serial, deterministic:
+	// ascending atom order) and per-rule bookkeeping in operation order.
+	for i := range results {
+		for _, la := range results[i].removed {
+			n.labelOf(la.Link).Remove(int(la.Atom))
+			d.Removed = append(d.Removed, la)
+		}
+		for _, la := range results[i].added {
+			n.labelOf(la.Link).Add(int(la.Atom))
+			d.Added = append(d.Added, la)
+		}
+	}
+	// Boundary refcounts are updated in operation order, but collection
+	// (deleting the bound from M and merging atoms) is deferred until all
+	// operations are accounted for: a removal may zero a bound that a
+	// later insertion in the same batch re-uses, and collecting eagerly
+	// would merge away atoms the insertion's owner state was just laid
+	// over.
+	var deadBounds []uint64
+	for _, it := range items {
+		if it.insert {
+			n.rules[it.rule.ID] = it.rule
+			if n.gc {
+				n.bounds[it.rule.Match.Lo]++
+				n.bounds[it.rule.Match.Hi]++
+			}
+		} else {
+			delete(n.rules, it.rule.ID)
+			if n.gc {
+				for _, b := range [2]uint64{it.rule.Match.Lo, it.rule.Match.Hi} {
+					n.bounds[b]--
+					if n.bounds[b] == 0 {
+						deadBounds = append(deadBounds, b)
+					}
+				}
+			}
+		}
+	}
+	for _, b := range deadBounds {
+		// Still zero (no later insertion revived it) and not already
+		// collected via a duplicate candidate entry.
+		if c, ok := n.bounds[b]; ok && c == 0 {
+			delete(n.bounds, b)
+			n.releaseBound(b)
+		}
+	}
+	return nil
+}
+
+// validateBatch checks every operation against the engine state plus the
+// batch's own earlier operations, resolving removals to their live rules
+// and drop links for insertions. It mutates nothing but the graph's lazy
+// drop links.
+func (n *Network) validateBatch(ops []BatchOp) ([]batchItem, error) {
+	items := make([]batchItem, 0, len(ops))
+	// pending tracks ids touched by the batch: the rule while live, nil
+	// after an intra-batch removal.
+	pending := make(map[RuleID]*Rule, len(ops))
+	for i, op := range ops {
+		if op.Insert {
+			r := op.Rule
+			live, touched := pending[r.ID]
+			if touched && live != nil {
+				return nil, fmt.Errorf("%w: %d (op %d)", ErrDuplicateRule, r.ID, i)
+			}
+			if !touched {
+				if _, dup := n.rules[r.ID]; dup {
+					return nil, fmt.Errorf("%w: %d (op %d)", ErrDuplicateRule, r.ID, i)
+				}
+			}
+			if r.Match.Empty() {
+				return nil, fmt.Errorf("%w (op %d)", ErrEmptyMatch, i)
+			}
+			if !n.space.Contains(r.Match) {
+				return nil, fmt.Errorf("%w: %v (op %d)", ErrOutOfSpace, r.Match, i)
+			}
+			if r.Link == netgraph.NoLink {
+				r.Link = n.graph.DropLink(r.Source)
+			} else if n.graph.Link(r.Link).Src != r.Source {
+				return nil, fmt.Errorf("%w: rule %d source %d link %d (op %d)",
+					ErrBadLink, r.ID, r.Source, r.Link, i)
+			}
+			rp := &r
+			pending[r.ID] = rp
+			items = append(items, batchItem{insert: true, rule: rp})
+		} else {
+			id := op.Rule.ID
+			rp, touched := pending[id]
+			if touched {
+				if rp == nil {
+					return nil, fmt.Errorf("%w: %d (op %d)", ErrUnknownRule, id, i)
+				}
+			} else {
+				var ok bool
+				rp, ok = n.rules[id]
+				if !ok {
+					return nil, fmt.Errorf("%w: %d (op %d)", ErrUnknownRule, id, i)
+				}
+			}
+			pending[id] = nil
+			items = append(items, batchItem{rule: rp})
+		}
+	}
+	return items, nil
+}
+
+// atomResult is one per-atom job's net label changes.
+type atomResult struct {
+	added   []LinkAtom
+	removed []LinkAtom
+}
+
+// replayAtom replays the batch operations covering atom alpha against its
+// owner BSTs and records the net forwarding change per touched source: one
+// Removed entry when the source's pre-batch out-link lost the atom, one
+// Added entry when a new out-link gained it. Sources whose owning rule
+// changed but whose out-link did not produce no entries — forwarding is
+// unchanged, so no downstream check needs to look at them.
+func (n *Network) replayAtom(alpha intervalmap.AtomID, items []batchItem, idxs []int32, res *atomResult) {
+	ow := n.owner[alpha]
+	if ow == nil {
+		ow = map[netgraph.NodeID]*prioTree{}
+		n.owner[alpha] = ow
+	}
+	// touched preserves first-touch order; prev is parallel to it. Batches
+	// rarely touch more than a handful of sources per atom, so a linear
+	// scan beats a map.
+	var touched []netgraph.NodeID
+	var prev []*Rule
+	recordPrev := func(s netgraph.NodeID) {
+		for _, t := range touched {
+			if t == s {
+				return
+			}
+		}
+		var top *Rule
+		if bst := ow[s]; bst != nil && !bst.Empty() {
+			top = bst.Max().Value
+		}
+		touched = append(touched, s)
+		prev = append(prev, top)
+	}
+	for _, i := range idxs {
+		it := items[i]
+		s := it.rule.Source
+		recordPrev(s)
+		if it.insert {
+			bst := ow[s]
+			if bst == nil {
+				bst = newPrioTree()
+				ow[s] = bst
+			}
+			bst.Insert(it.rule.key(), it.rule)
+		} else if bst := ow[s]; bst != nil {
+			bst.Delete(it.rule.key())
+			if bst.Empty() {
+				delete(ow, s)
+			}
+		}
+	}
+	for i, s := range touched {
+		var after *Rule
+		if bst := ow[s]; bst != nil && !bst.Empty() {
+			after = bst.Max().Value
+		}
+		p := prev[i]
+		switch {
+		case p == nil && after == nil:
+		case p == nil:
+			res.added = append(res.added, LinkAtom{Link: after.Link, Atom: alpha})
+		case after == nil:
+			res.removed = append(res.removed, LinkAtom{Link: p.Link, Atom: alpha})
+		case p.Link != after.Link:
+			res.removed = append(res.removed, LinkAtom{Link: p.Link, Atom: alpha})
+			res.added = append(res.added, LinkAtom{Link: after.Link, Atom: alpha})
+		}
+	}
+}

@@ -13,13 +13,21 @@ const (
 	OpInsert Op = iota
 	// OpRemove records a rule removal (Algorithm 2).
 	OpRemove
+	// OpBatch records an atomic batch of insertions and removals applied
+	// by Network.ApplyBatch; the Delta holds the batch's net label change
+	// and Rule is meaningless (zero).
+	OpBatch
 )
 
 func (o Op) String() string {
-	if o == OpInsert {
+	switch o {
+	case OpInsert:
 		return "insert"
+	case OpRemove:
+		return "remove"
+	default:
+		return "batch"
 	}
-	return "remove"
 }
 
 // LinkAtom is one edge-label change: atom Atom was added to or removed from

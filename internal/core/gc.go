@@ -28,6 +28,15 @@ func (n *Network) collectBound(bound uint64) {
 		return
 	}
 	delete(n.bounds, bound)
+	n.releaseBound(bound)
+}
+
+// releaseBound deletes an unreferenced boundary from M and merges the atom
+// that started at it into its predecessor. Callers must already have
+// removed the bound's refcount entry. Batch updates defer this step so
+// that a boundary removed and re-added within one batch is never merged
+// out from under the re-adding rule.
+func (n *Network) releaseBound(bound uint64) {
 	id, ok := n.m.ReleaseBound(bound)
 	if !ok {
 		return // MIN or MAX

@@ -333,6 +333,71 @@ func RunScaling(scales []float64) ([]ScalingPoint, error) {
 	return out, nil
 }
 
+// BatchRow is one measurement of the batch update pipeline: a full
+// dataset replay at a given batch size, checked once per batch over the
+// merged delta-graph.
+type BatchRow struct {
+	Dataset    string
+	BatchSize  int
+	Ops        int
+	Atoms      int
+	TotalTime  time.Duration
+	Throughput float64 // ops per second
+}
+
+// RunBatch replays a dataset through Network.ApplyBatch in atomic batches
+// of the given size (1 = one rule per batch), running the incremental
+// loop check once per batch. It measures the combined update+check time,
+// the batched counterpart of Table 3's protocol; comparing rows at sizes
+// 1 and N exposes the batching win.
+func RunBatch(name string, scale float64, batchSize int) (BatchRow, error) {
+	if batchSize < 1 {
+		return BatchRow{}, fmt.Errorf("batch size must be >= 1, got %d", batchSize)
+	}
+	tr, err := datasets.Build(name, scale)
+	if err != nil {
+		return BatchRow{}, err
+	}
+	n := core.NewNetwork(tr.Graph.Clone(), core.Options{})
+	var d core.Delta
+	ops := make([]core.BatchOp, 0, batchSize)
+	start := time.Now()
+	flush := func() error {
+		if len(ops) == 0 {
+			return nil
+		}
+		if err := n.ApplyBatch(ops, &d, 0); err != nil {
+			return err
+		}
+		check.FindLoopsDeltaAuto(n, &d, 0)
+		ops = ops[:0]
+		return nil
+	}
+	for i := range tr.Ops {
+		ops = append(ops, core.BatchOp{Insert: tr.Ops[i].Insert, Rule: tr.Ops[i].Rule})
+		if len(ops) == batchSize {
+			if err := flush(); err != nil {
+				return BatchRow{}, fmt.Errorf("%s op %d: %w", name, i, err)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return BatchRow{}, fmt.Errorf("%s final batch: %w", name, err)
+	}
+	total := time.Since(start)
+	row := BatchRow{
+		Dataset:   name,
+		BatchSize: batchSize,
+		Ops:       len(tr.Ops),
+		Atoms:     n.NumAtoms(),
+		TotalTime: total,
+	}
+	if total > 0 {
+		row.Throughput = float64(len(tr.Ops)) / total.Seconds()
+	}
+	return row, nil
+}
+
 // FormatTable renders rows of cells as an aligned text table.
 func FormatTable(header []string, rows [][]string) string {
 	widths := make([]int, len(header))

@@ -31,6 +31,28 @@ func TestRunTable2(t *testing.T) {
 	}
 }
 
+func TestRunBatch(t *testing.T) {
+	seq, err := RunBatch("rf1755", tinyScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := RunBatch("rf1755", tinyScale, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical replays must agree on final engine state regardless of
+	// batch size.
+	if seq.Atoms != bat.Atoms || seq.Ops != bat.Ops {
+		t.Fatalf("batch replay diverged: %+v vs %+v", seq, bat)
+	}
+	if seq.Throughput <= 0 || bat.Throughput <= 0 {
+		t.Fatalf("throughput missing: %+v vs %+v", seq, bat)
+	}
+	if _, err := RunBatch("rf1755", tinyScale, 0); err == nil {
+		t.Fatal("batch size 0 accepted")
+	}
+}
+
 func TestRunTable3(t *testing.T) {
 	row, err := RunTable3("rf1755", tinyScale)
 	if err != nil {

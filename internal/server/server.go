@@ -13,15 +13,34 @@
 //	I <ruleID> <srcID> <linkID|-1> <lo> <hi> <prio>
 //	                                     -> ok atoms=<n> loops=<k> [loop <lo>:<hi> ...]
 //	R <ruleID>                           -> ok atoms=<n> loops=0
+//	B <n>                                -> (multi-line, see below)
 //	reach <srcID> <dstID>                -> ok reach <count>
 //	whatif <linkID>                      -> ok whatif atoms=<n> edges=<m>
 //	stats                                -> ok stats rules=<r> atoms=<a> links=<l>
 //	quit                                 -> connection closed
 //
-// Errors are reported as "err <message>" and do not close the connection.
-// The engine is a single shared data plane; concurrent connections are
-// serialized per request, preserving the order guarantees a data plane
-// checker needs.
+// B introduces an atomic batch: the client sends "B <n>" followed by
+// exactly n lines, each an I or R line as above, and receives one response
+// for the whole batch:
+//
+//	B <n>
+//	I ... / R ...   (n lines)
+//	-> ok batch n=<n> atoms=<a> loops=<k> [loop <lo>:<hi> ...]
+//
+// The batch is validated before it is applied — on "err ..." none of its
+// operations took effect — and is checked once over its merged delta-graph
+// (see core.ApplyBatch), so a heavy update stream pays one loop check per
+// batch rather than one per rule.
+//
+// Errors are reported as "err <message>" and do not close the connection,
+// with one exception: a bad batch header ("B" with a missing, unparseable,
+// or out-of-range size) closes the connection after the error, because the
+// server cannot delimit the body the client committed to sending and any
+// resync guess could execute body lines as individual commands.
+// The engine is a single shared data plane; mutations (node, link, I, R,
+// B) are serialized under a write lock, preserving the order guarantees a
+// data plane checker needs, while read-only requests (reach, whatif,
+// stats) run concurrently under a read lock.
 package server
 
 import (
@@ -40,14 +59,15 @@ import (
 
 // Server is a verification service over one shared data plane.
 type Server struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex // write-held for mutations, read-held for queries
 	graph *netgraph.Graph
 	net   *core.Network
 	delta core.Delta
 
-	wg       sync.WaitGroup
-	listener net.Listener
-	closed   chan struct{}
+	wg        sync.WaitGroup
+	listener  net.Listener
+	closeOnce sync.Once
+	closed    chan struct{}
 }
 
 // New returns a server over a fresh empty data plane.
@@ -73,6 +93,14 @@ func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	s.listener = l
 	s.mu.Unlock()
+	// Close may have run before the listener was stored; it then had
+	// nothing to close, so close here rather than block in Accept forever.
+	select {
+	case <-s.closed:
+		l.Close()
+		return nil
+	default:
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -91,16 +119,19 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting and waits for in-flight connections to finish. It
+// is idempotent: second and later calls wait like the first and return nil.
 func (s *Server) Close() error {
-	close(s.closed)
-	s.mu.Lock()
-	l := s.listener
-	s.mu.Unlock()
 	var err error
-	if l != nil {
-		err = l.Close()
-	}
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.mu.Lock()
+		l := s.listener
+		s.mu.Unlock()
+		if l != nil {
+			err = l.Close()
+		}
+	})
 	s.wg.Wait()
 	return err
 }
@@ -119,19 +150,142 @@ func (s *Server) handle(conn net.Conn) {
 			w.Flush()
 			return
 		}
-		resp := s.dispatch(line)
+		var resp string
+		fatal := false
+		if fields := strings.Fields(line); fields[0] == "B" {
+			resp, fatal = s.readAndApplyBatch(fields, sc)
+		} else {
+			resp = s.dispatch(line)
+		}
 		fmt.Fprintln(w, resp)
-		if err := w.Flush(); err != nil {
+		if err := w.Flush(); err != nil || fatal {
 			return
 		}
 	}
 }
 
-// dispatch executes one request under the engine lock.
-func (s *Server) dispatch(line string) string {
+// maxBatch bounds a B request's line count, and maxBatchBytes its
+// aggregate body size, so a bad client cannot make the server buffer
+// unbounded input before the batch is parsed (a legitimate I line is
+// under 80 bytes, so 4MB leaves generous headroom at maxBatch lines).
+const (
+	maxBatch      = 1 << 16
+	maxBatchBytes = 4 << 20
+)
+
+// readAndApplyBatch consumes the n lines of a "B <n>" request from the
+// connection, then applies them as one atomic batch under the write lock.
+// The lines are collected before the lock is taken so a slow client cannot
+// stall other connections mid-batch.
+//
+// A bad batch header (missing, unparseable, or out-of-range size) is fatal
+// to the connection: the client has already committed to sending a body the
+// server cannot delimit, so continuing would execute the body lines as
+// individual commands. The error response is written, then the connection
+// closes. Errors inside a fully-read body keep the connection open.
+func (s *Server) readAndApplyBatch(fields []string, sc *bufio.Scanner) (resp string, fatal bool) {
+	if len(fields) != 2 {
+		return "err usage: B <n> (closing connection: batch body undelimited)", true
+	}
+	count, err := strconv.Atoi(fields[1])
+	if err != nil || count < 1 || count > maxBatch {
+		return fmt.Sprintf("err batch size must be 1..%d (closing connection: batch body undelimited)", maxBatch), true
+	}
+	lines := make([]string, 0, count)
+	bytes := 0
+	for len(lines) < count {
+		if !sc.Scan() {
+			return "err batch truncated by disconnect", true
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if bytes += len(line); bytes > maxBatchBytes {
+			return fmt.Sprintf("err batch body exceeds %d bytes (closing connection)", maxBatchBytes), true
+		}
+		lines = append(lines, line)
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ops := make([]core.BatchOp, 0, count)
+	for i, line := range lines {
+		op, errmsg := s.parseUpdate(strings.Fields(line))
+		if errmsg != "" {
+			return fmt.Sprintf("err batch line %d: %s", i+1, errmsg), false
+		}
+		ops = append(ops, op)
+	}
+	if err := s.net.ApplyBatch(ops, &s.delta, 0); err != nil {
+		return "err " + err.Error(), false
+	}
+	loops := check.FindLoopsDeltaAuto(s.net, &s.delta, 0)
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok batch n=%d atoms=%d loops=%d", count, s.net.NumAtoms(), len(loops))
+	for _, l := range loops {
+		if iv, ok := s.net.AtomInterval(l.Atom); ok {
+			fmt.Fprintf(&b, " loop %d:%d", iv.Lo, iv.Hi)
+		}
+	}
+	return b.String(), false
+}
+
+// parseUpdate parses an I or R line into a batch operation, validating ids
+// against the topology. Callers must hold at least the read lock.
+func (s *Server) parseUpdate(fields []string) (core.BatchOp, string) {
+	switch fields[0] {
+	case "I":
+		if len(fields) != 7 {
+			return core.BatchOp{}, "usage: I <ruleID> <srcID> <linkID|-1> <lo> <hi> <prio>"
+		}
+		var nums [6]int64
+		for i := range nums {
+			v, err := strconv.ParseInt(fields[i+1], 10, 64)
+			if err != nil {
+				return core.BatchOp{}, "bad number: " + fields[i+1]
+			}
+			nums[i] = v
+		}
+		if !s.validNode(int(nums[1])) {
+			return core.BatchOp{}, "unknown node id"
+		}
+		if nums[2] != -1 && (nums[2] < 0 || int(nums[2]) >= s.graph.NumLinks()) {
+			return core.BatchOp{}, "unknown link id"
+		}
+		return core.InsertOp(core.Rule{
+			ID:       core.RuleID(nums[0]),
+			Source:   netgraph.NodeID(nums[1]),
+			Link:     netgraph.LinkID(nums[2]),
+			Match:    ipnet.Interval{Lo: uint64(nums[3]), Hi: uint64(nums[4])},
+			Priority: core.Priority(nums[5]),
+		}), ""
+	case "R":
+		if len(fields) != 2 {
+			return core.BatchOp{}, "usage: R <ruleID>"
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return core.BatchOp{}, "bad rule id"
+		}
+		return core.RemoveOp(core.RuleID(id)), ""
+	default:
+		return core.BatchOp{}, "batch lines must be I or R, got " + fields[0]
+	}
+}
+
+// dispatch executes one request under the engine lock: read-only requests
+// share the read lock, mutations take the write lock.
+func (s *Server) dispatch(line string) string {
 	fields := strings.Fields(line)
+	switch fields[0] {
+	case "reach", "whatif", "stats":
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	default:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	switch fields[0] {
 	case "node":
 		if len(fields) != 2 {
@@ -150,44 +304,21 @@ func (s *Server) dispatch(line string) string {
 		id := s.graph.AddLink(netgraph.NodeID(src), netgraph.NodeID(dst))
 		return fmt.Sprintf("ok link %d", id)
 	case "I":
-		if len(fields) != 7 {
-			return "err usage: I <ruleID> <srcID> <linkID|-1> <lo> <hi> <prio>"
+		op, errmsg := s.parseUpdate(fields)
+		if errmsg != "" {
+			return "err " + errmsg
 		}
-		var nums [6]int64
-		for i := range nums {
-			v, err := strconv.ParseInt(fields[i+1], 10, 64)
-			if err != nil {
-				return "err bad number: " + fields[i+1]
-			}
-			nums[i] = v
-		}
-		if !s.validNode(int(nums[1])) {
-			return "err unknown node id"
-		}
-		if nums[2] != -1 && (nums[2] < 0 || int(nums[2]) >= s.graph.NumLinks()) {
-			return "err unknown link id"
-		}
-		r := core.Rule{
-			ID:       core.RuleID(nums[0]),
-			Source:   netgraph.NodeID(nums[1]),
-			Link:     netgraph.LinkID(nums[2]),
-			Match:    ipnet.Interval{Lo: uint64(nums[3]), Hi: uint64(nums[4])},
-			Priority: core.Priority(nums[5]),
-		}
-		if err := s.net.InsertRuleInto(r, &s.delta); err != nil {
+		if err := s.net.InsertRuleInto(op.Rule, &s.delta); err != nil {
 			return "err " + err.Error()
 		}
 		loops := check.FindLoopsDelta(s.net, &s.delta)
 		return s.updateResponse(loops)
 	case "R":
-		if len(fields) != 2 {
-			return "err usage: R <ruleID>"
+		op, errmsg := s.parseUpdate(fields)
+		if errmsg != "" {
+			return "err " + errmsg
 		}
-		id, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return "err bad rule id"
-		}
-		if err := s.net.RemoveRuleInto(core.RuleID(id), &s.delta); err != nil {
+		if err := s.net.RemoveRuleInto(op.Rule.ID, &s.delta); err != nil {
 			return "err " + err.Error()
 		}
 		return s.updateResponse(nil)

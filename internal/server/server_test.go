@@ -199,6 +199,205 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+// sendBatch writes a "B <n>" request with the given lines and returns the
+// single response line.
+func (c *client) sendBatch(t *testing.T, lines []string) string {
+	t.Helper()
+	if _, err := fmt.Fprintf(c.conn, "B %d\n%s\n", len(lines), strings.Join(lines, "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.r.Scan() {
+		t.Fatalf("no batch response: %v", c.r.Err())
+	}
+	return c.r.Text()
+}
+
+func TestBatchCommand(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+	c := dial(t, addr)
+	defer c.close()
+
+	c.roundTrip(t, "node a")
+	c.roundTrip(t, "node b")
+	c.roundTrip(t, "link 0 1") // link 0: a->b
+	c.roundTrip(t, "link 1 0") // link 1: b->a
+
+	// A batch that closes a loop reports it once, on one line.
+	got := c.sendBatch(t, []string{
+		"I 1 0 0 0 100 1",
+		"I 2 1 1 0 100 1",
+	})
+	if !strings.HasPrefix(got, "ok batch n=2") || !strings.Contains(got, "loops=1") ||
+		!strings.Contains(got, "loop 0:100") {
+		t.Fatalf("batch response: %q", got)
+	}
+	if got := c.roundTrip(t, "stats"); !strings.Contains(got, "rules=2") {
+		t.Fatalf("stats after batch: %q", got)
+	}
+
+	// Mixed insert/remove batch, including an intra-batch insert+remove.
+	got = c.sendBatch(t, []string{
+		"R 2",
+		"I 3 0 0 200 300 1",
+		"R 3",
+	})
+	if !strings.HasPrefix(got, "ok batch n=3") || !strings.Contains(got, "loops=0") {
+		t.Fatalf("mixed batch response: %q", got)
+	}
+	if got := c.roundTrip(t, "stats"); !strings.Contains(got, "rules=1") {
+		t.Fatalf("stats after mixed batch: %q", got)
+	}
+}
+
+func TestBatchAtomicityOverWire(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+	c := dial(t, addr)
+	defer c.close()
+	c.roundTrip(t, "node a")
+	c.roundTrip(t, "node b")
+	c.roundTrip(t, "link 0 1")
+
+	// Second line removes an unknown rule: nothing must be applied.
+	got := c.sendBatch(t, []string{"I 1 0 0 0 100 1", "R 99"})
+	if !strings.HasPrefix(got, "err") {
+		t.Fatalf("bad batch accepted: %q", got)
+	}
+	if got := c.roundTrip(t, "stats"); !strings.Contains(got, "rules=0") {
+		t.Fatalf("batch partially applied: %q", got)
+	}
+
+	// Parse errors name the offending line and also apply nothing.
+	got = c.sendBatch(t, []string{"I 1 0 0 0 100 1", "bogus line here"})
+	if !strings.HasPrefix(got, "err batch line 2") {
+		t.Fatalf("parse error: %q", got)
+	}
+	if got := c.sendBatch(t, []string{"I 1 9 0 0 100 1"}); !strings.HasPrefix(got, "err batch line 1") {
+		t.Fatalf("unknown node in batch: %q", got)
+	}
+	// A bad batch header leaves the body undelimited, so the server must
+	// answer err and close the connection rather than risk executing body
+	// lines as individual commands.
+	for _, req := range []string{"B", "B 0", "B -3", "B x", "B 9999999"} {
+		bad := dial(t, addr)
+		if got := bad.roundTrip(t, req); !strings.HasPrefix(got, "err") {
+			t.Fatalf("%q -> %q, want err", req, got)
+		}
+		// Anything sent after the bad header must not execute: the
+		// connection is closed, not resynced.
+		fmt.Fprintln(bad.conn, "I 7 0 0 0 100 1")
+		if bad.r.Scan() {
+			t.Fatalf("%q: connection stayed open: %q", req, bad.r.Text())
+		}
+		bad.close()
+	}
+	// The original connection (which never sent a bad header) still works,
+	// and the stray I line above was never applied.
+	if got := c.roundTrip(t, "stats"); !strings.Contains(got, "rules=0") {
+		t.Fatalf("stats after errors: %q", got)
+	}
+}
+
+// TestBatchBodySizeCap: a batch body larger than the aggregate byte cap is
+// rejected and the connection closed, bounding what one client can make
+// the server buffer.
+func TestBatchBodySizeCap(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+	c := dial(t, addr)
+	defer c.close()
+
+	fmt.Fprintln(c.conn, "B 10")
+	junk := strings.Repeat("x", 512<<10)
+	for i := 0; i < 9; i++ {
+		if _, err := fmt.Fprintln(c.conn, junk); err != nil {
+			break // server may already have hung up; the response check below decides
+		}
+	}
+	if !c.r.Scan() {
+		t.Fatalf("no response: %v", c.r.Err())
+	}
+	if got := c.r.Text(); !strings.Contains(got, "exceeds") {
+		t.Fatalf("oversized body: %q", got)
+	}
+	if c.r.Scan() {
+		t.Fatalf("connection stayed open: %q", c.r.Text())
+	}
+}
+
+// TestCloseIdempotent: a second Close must not panic and must return nil
+// (regression: it used to re-close the shutdown channel).
+func TestCloseIdempotent(t *testing.T) {
+	s := New(core.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	if err := s.Close(); err != nil && !strings.Contains(err.Error(), "use of closed") {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestConcurrentReaders: read-only requests from many connections proceed
+// while mutations interleave; run under -race this also exercises the
+// RWMutex split.
+func TestConcurrentReaders(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+	setup := dial(t, addr)
+	setup.roundTrip(t, "node a")
+	setup.roundTrip(t, "node b")
+	setup.roundTrip(t, "link 0 1")
+	setup.roundTrip(t, "I 1 0 0 0 1000 1")
+	setup.close()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := dial(t, addr)
+			defer c.close()
+			for i := 0; i < 100; i++ {
+				for _, req := range []string{"stats", "reach 0 1", "whatif 0"} {
+					if _, err := fmt.Fprintln(c.conn, req); err != nil {
+						errs <- err.Error()
+						return
+					}
+					if !c.r.Scan() || !strings.HasPrefix(c.r.Text(), "ok") {
+						errs <- "read request failed: " + c.r.Text()
+						return
+					}
+				}
+			}
+		}()
+	}
+	writer := dial(t, addr)
+	defer writer.close()
+	for i := 2; i < 40; i++ {
+		lo := uint64(i) * 100
+		req := fmt.Sprintf("I %d 0 0 %d %d 1", i, lo, lo+50)
+		if got := writer.roundTrip(t, req); !strings.HasPrefix(got, "ok") {
+			t.Fatalf("writer: %q", got)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
 func TestQuitClosesConnection(t *testing.T) {
 	_, addr, cleanup := startServer(t)
 	defer cleanup()
