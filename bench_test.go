@@ -20,6 +20,7 @@ import (
 	"deltanet/internal/datasets"
 	"deltanet/internal/experiments"
 	"deltanet/internal/intervalmap"
+	"deltanet/internal/monitor"
 	"deltanet/internal/trace"
 )
 
@@ -448,6 +449,104 @@ func BenchmarkAblation_OwnerCopy(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// --- Invariant monitor ----------------------------------------------------
+
+// monitorBenchChecker builds a 64-switch forwarding chain with one
+// full-coverage rule per hop, plus a parallel "detour" link at the head
+// that churn toggles traffic onto and off. Only invariants whose last
+// evaluation touched the head's out-links can be affected, which is the
+// shape the dependency index exploits.
+func monitorBenchChecker() (*Checker, []SwitchID, LinkID) {
+	c := New(WithoutLoopChecking())
+	const n = 64
+	sw := make([]SwitchID, n)
+	for i := range sw {
+		sw[i] = c.AddSwitch(fmt.Sprintf("s%d", i))
+	}
+	chain := make([]LinkID, n-1)
+	for i := range chain {
+		chain[i] = c.AddLink(sw[i], sw[i+1])
+	}
+	alt := c.AddLink(sw[0], sw[1])
+	for i := range chain {
+		if _, err := c.InsertRule(Rule{ID: RuleID(i + 1), Source: sw[i], Link: chain[i],
+			Match: Interval{Lo: 0, Hi: 1 << 20}, Priority: 1}); err != nil {
+			panic(err)
+		}
+	}
+	return c, sw, alt
+}
+
+// monitorBenchSpecs enumerates reachability pairs diagonal by diagonal
+// ((i, i+1) for all i, then (i, i+2), ...) so sources spread evenly over
+// the chain instead of clustering at the head.
+func monitorBenchSpecs(sw []SwitchID, numInv int) []Invariant {
+	specs := make([]Invariant, 0, numInv)
+	for d := 1; len(specs) < numInv && d < len(sw); d++ {
+		for i := 0; i+d < len(sw) && len(specs) < numInv; i++ {
+			specs = append(specs, WatchReachable(sw[i], sw[i+d]))
+		}
+	}
+	return specs
+}
+
+// monitorChurn toggles a high-priority detour for one /20-sized slice at
+// the head of the chain: each update moves those atoms between the chain
+// link and the detour link, producing a two-link delta.
+func monitorChurn(b *testing.B, c *Checker, src SwitchID, alt LinkID, i int) {
+	b.Helper()
+	if i%2 == 0 {
+		if _, err := c.InsertRule(Rule{ID: 1 << 20, Source: src, Link: alt,
+			Match: Interval{Lo: 0, Hi: 4096}, Priority: 99}); err != nil {
+			b.Fatal(err)
+		}
+	} else if _, err := c.RemoveRule(1 << 20); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMonitorChurn is the incremental-monitor headline: per-update
+// cost of keeping 100 and 1,000 standing reachability invariants current
+// under churn, comparing the dependency-indexed monitor (only dirty
+// invariants re-evaluate) against naively re-running every registered
+// query from scratch after every update. evals/update shows how many
+// invariants each update actually re-evaluated.
+func BenchmarkMonitorChurn(b *testing.B) {
+	for _, numInv := range []int{100, 1000} {
+		numInv := numInv
+		b.Run(fmt.Sprintf("invariants-%d/incremental", numInv), func(b *testing.B) {
+			c, sw, alt := monitorBenchChecker()
+			m := c.Monitor()
+			for _, s := range monitorBenchSpecs(sw, numInv) {
+				m.Register(s)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				monitorChurn(b, c, sw[0], alt, i)
+			}
+			b.StopTimer()
+			st := m.Stats()
+			b.ReportMetric(float64(st.Evaluations)/float64(b.N), "evals/update")
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
+		})
+		b.Run(fmt.Sprintf("invariants-%d/recheck-all", numInv), func(b *testing.B) {
+			c, sw, alt := monitorBenchChecker()
+			m := monitor.New(c.Network(), 0)
+			for _, s := range monitorBenchSpecs(sw, numInv) {
+				m.Register(s)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				monitorChurn(b, c, sw[0], alt, i)
+				m.RecheckAll()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(numInv), "evals/update")
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
 		})
 	}
 }

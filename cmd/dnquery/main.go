@@ -1,6 +1,7 @@
 // Command dnquery answers reachability and "what if" queries against a
 // consistent data plane built from a dataset or trace file — the
-// Datalog-style use cases of the paper's design goal 3 (§2.2, §4.3.2).
+// Datalog-style use cases of the paper's design goal 3 (§2.2, §4.3.2) —
+// and tails standing-invariant events from a running dnserve.
 //
 // Usage:
 //
@@ -8,15 +9,27 @@
 //	dnquery [-scale f] [-trace file] <dataset> whatif <nodeA> <nodeB>
 //	dnquery [-scale f] [-trace file] <dataset> loops
 //	dnquery [-scale f] [-trace file] <dataset> allpairs
+//	dnquery watch <addr> [<spec> ...]
 //
 // Node arguments are node names from the topology (e.g. "s1", "delhi").
 // With -trace, the dataset argument is ignored and the trace file is used.
+//
+// The watch subcommand connects to a dnserve instance, registers each
+// spec as a standing invariant (the server's W grammar, e.g. "reach 0 2",
+// "waypoint 0 3 1", "isolated 0,1 4,5", "loopfree", "blackholefree"),
+// prints the server's status snapshot of every registered invariant, then
+// streams verdict-transition events to stdout until the server closes the
+// connection or the process is interrupted. With no specs it reports and
+// follows the invariants other clients registered.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"strings"
 
 	"deltanet/internal/check"
 	"deltanet/internal/core"
@@ -32,6 +45,10 @@ func main() {
 	traceFile := flag.String("trace", "", "replay this trace file instead of generating a dataset")
 	flag.Parse()
 	args := flag.Args()
+	if len(args) >= 2 && args[0] == "watch" {
+		watch(args[1], args[2:])
+		return
+	}
 	if len(args) < 2 {
 		usage()
 	}
@@ -145,6 +162,43 @@ func printRanges(n *core.Network, atoms interface {
 	}
 }
 
+// watch registers the given invariant specs with a dnserve instance and
+// tails the event stream to stdout.
+func watch(addr string, specs []string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		die(err)
+	}
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	for _, spec := range specs {
+		if _, err := fmt.Fprintln(conn, "W "+spec); err != nil {
+			die(err)
+		}
+		if !r.Scan() {
+			die(fmt.Errorf("connection closed registering %q", spec))
+		}
+		resp := r.Text()
+		if strings.HasPrefix(resp, "err") {
+			die(fmt.Errorf("register %q: %s", spec, resp))
+		}
+		fmt.Printf("%s  (%s)\n", resp, spec)
+	}
+	if _, err := fmt.Fprintln(conn, "watch"); err != nil {
+		die(err)
+	}
+	if !r.Scan() || r.Text() != "ok watching" {
+		die(fmt.Errorf("watch: %q", r.Text()))
+	}
+	fmt.Println("watching; streaming transition events:")
+	for r.Scan() {
+		fmt.Println(r.Text())
+	}
+	if err := r.Err(); err != nil {
+		die(err)
+	}
+}
+
 func node(g *netgraph.Graph, name string) netgraph.NodeID {
 	id := g.NodeByName(name)
 	if id == netgraph.NoNode {
@@ -158,7 +212,8 @@ func usage() {
   dnquery [-scale f] [-trace file] <dataset> reach <nodeA> <nodeB>
   dnquery [-scale f] [-trace file] <dataset> whatif <nodeA> <nodeB>
   dnquery [-scale f] [-trace file] <dataset> loops
-  dnquery [-scale f] [-trace file] <dataset> allpairs`)
+  dnquery [-scale f] [-trace file] <dataset> allpairs
+  dnquery watch <addr> [<spec> ...]`)
 	os.Exit(2)
 }
 

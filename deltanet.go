@@ -126,6 +126,10 @@ type Checker struct {
 	// out over; ≤ 0 selects GOMAXPROCS.
 	BatchWorkers int
 
+	// monitor is the standing-invariant monitor, created lazily by
+	// Monitor() (see monitor.go); nil until first use.
+	monitor *Monitor
+
 	delta core.Delta
 }
 
@@ -188,6 +192,9 @@ type Report struct {
 	// Loops lists forwarding loops introduced by the update (empty
 	// unless the update was an insertion that closed a cycle).
 	Loops []Loop
+	// Events lists the standing-invariant verdict transitions the update
+	// caused (always empty until Monitor() has registrations).
+	Events []MonitorEvent
 }
 
 // InsertRule applies a rule insertion (Algorithm 1) and checks it.
@@ -221,6 +228,11 @@ func (c *Checker) report() Report {
 	if c.CheckLoops {
 		rep.Loops = check.FindLoopsDelta(c.net, &c.delta)
 	}
+	if c.monitor != nil {
+		// The loop check just ran (when enabled); a LoopFree invariant
+		// reuses its result instead of re-walking the delta.
+		rep.Events = c.monitor.ApplyWithLoops(&c.delta, rep.Loops, c.CheckLoops)
+	}
 	return rep
 }
 
@@ -235,6 +247,9 @@ type BatchReport struct {
 	// BlackHoles lists nodes newly receiving atoms they neither forward
 	// nor drop (populated only when CheckBlackHoles is on).
 	BlackHoles []BlackHole
+	// Events lists the standing-invariant verdict transitions the batch
+	// caused (always empty until Monitor() has registrations).
+	Events []MonitorEvent
 }
 
 // ApplyBatch applies ops in order as one atomic update and checks the
@@ -251,6 +266,9 @@ func (c *Checker) ApplyBatch(ops []BatchOp) (BatchReport, error) {
 	}
 	if c.CheckBlackHoles {
 		rep.BlackHoles = check.FindBlackHolesDelta(c.net, &c.delta, c.Sinks)
+	}
+	if c.monitor != nil {
+		rep.Events = c.monitor.ApplyWithLoops(&c.delta, rep.Loops, c.CheckLoops)
 	}
 	return rep, nil
 }

@@ -1,0 +1,79 @@
+// Monitor demo: standing invariants re-checked incrementally per delta.
+//
+// A small fabric routes traffic from an edge switch through a firewall to
+// a server. We register three standing invariants — the server stays
+// reachable, all flows traverse the firewall, and the fabric stays
+// loop-free — then stream rule updates and watch the monitor flag only
+// the transitions, re-evaluating only the invariants each delta could
+// affect.
+//
+// Run with: go run ./examples/monitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deltanet"
+)
+
+func main() {
+	c := deltanet.New()
+	edge := c.AddSwitch("edge")
+	fw := c.AddSwitch("firewall")
+	srv := c.AddSwitch("server")
+	backdoor := c.AddSwitch("backdoor")
+
+	edgeFw := c.AddLink(edge, fw)
+	fwSrv := c.AddLink(fw, srv)
+	edgeBd := c.AddLink(edge, backdoor)
+	bdSrv := c.AddLink(backdoor, srv)
+
+	// Standing invariants: registered once, kept current forever after.
+	m := c.Monitor()
+	reachID, st := m.Register(deltanet.WatchReachable(edge, srv))
+	fmt.Printf("registered: server reachable from edge      -> %s\n", st)
+	wpID, st := m.Register(deltanet.WatchWaypoint(edge, srv, fw))
+	fmt.Printf("registered: all edge->server flows via fw   -> %s\n", st)
+	loopID, st := m.Register(deltanet.WatchLoopFree())
+	fmt.Printf("registered: loop freedom                    -> %s\n", st)
+
+	apply := func(what string, rep deltanet.Report, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s\n", what)
+		if len(rep.Events) == 0 {
+			fmt.Println("  (no verdict transitions)")
+		}
+		for _, ev := range rep.Events {
+			fmt.Printf("  !! %s %s -- %s\n", ev.Kind, ev.Spec, ev.Detail)
+		}
+	}
+
+	// Bring up the sanctioned path: edge -> firewall -> server.
+	rep, err := c.InsertPrefixRule(1, edge, edgeFw, "10.0.0.0/8", 10)
+	apply("insert edge->firewall route for 10/8", rep, err)
+	rep, err = c.InsertPrefixRule(2, fw, fwSrv, "10.0.0.0/8", 10)
+	apply("insert firewall->server route for 10/8 (path complete)", rep, err)
+
+	// A misconfiguration bypasses the firewall for one /16.
+	rep, err = c.InsertPrefixRule(3, edge, edgeBd, "10.7.0.0/16", 20)
+	apply("insert higher-priority edge->backdoor route for 10.7/16", rep, err)
+	rep, err = c.InsertPrefixRule(4, backdoor, bdSrv, "10.7.0.0/16", 10)
+	apply("insert backdoor->server route (firewall bypassed!)", rep, err)
+
+	// Roll the bypass back.
+	rep, err = c.RemoveRule(4)
+	apply("remove backdoor->server route", rep, err)
+
+	// Current cached verdicts, no recomputation.
+	fmt.Println("\nfinal verdicts:")
+	for _, id := range []deltanet.InvariantID{reachID, wpID, loopID} {
+		st, detail, _ := m.Status(id)
+		fmt.Printf("  invariant %d: %-8s (%s)\n", id, st, detail)
+	}
+	stats := m.Stats()
+	fmt.Printf("\nmonitor stats: %d registered, %d evaluations, %d skipped, %d events\n",
+		stats.Registered, stats.Evaluations, stats.Skips, stats.Events)
+}

@@ -32,48 +32,7 @@ type FailureImpact struct {
 // rerouting happened — the instant after the failure, before the
 // controller reacts.
 func ReachableAvoiding(n *core.Network, from, to netgraph.NodeID, failed map[netgraph.LinkID]bool) *bitset.Set {
-	g := n.Graph()
-	reach := make([]*bitset.Set, g.NumNodes())
-	inQueue := make([]bool, g.NumNodes())
-	queue := []netgraph.NodeID{from}
-	inQueue[from] = true
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		inQueue[v] = false
-		for _, lid := range g.Out(v) {
-			if failed[lid] {
-				continue
-			}
-			label := n.Label(lid)
-			if label.Empty() {
-				continue
-			}
-			var contribution *bitset.Set
-			if v == from {
-				contribution = label
-			} else {
-				contribution = bitset.Intersect(reach[v], label)
-				if contribution.Empty() {
-					continue
-				}
-			}
-			w := g.Link(lid).Dst
-			if reach[w] == nil {
-				reach[w] = bitset.New(n.MaxAtomID())
-			}
-			before := reach[w].Len()
-			reach[w].UnionWith(contribution)
-			if reach[w].Len() != before && !inQueue[w] && w != from {
-				queue = append(queue, w)
-				inQueue[w] = true
-			}
-		}
-	}
-	if reach[to] == nil {
-		return bitset.New(0)
-	}
-	return reach[to]
+	return at(fixpoint{avoid: netgraph.NoNode, failed: failed}.run(n, from), to)
 }
 
 // AnalyzeFailure computes the impact of failing a combination of links.

@@ -3,6 +3,7 @@ package check
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"deltanet/internal/core"
 	"deltanet/internal/intervalmap"
@@ -13,6 +14,46 @@ import (
 // fan-out overhead dominates. Shared by every call site that wants the
 // size-based choice (FindLoopsDeltaAuto).
 const parallelDeltaThreshold = 64
+
+// RunParallel invokes fn(i) for every i in [0, n) over a bounded worker
+// pool — the paper's §6 parallelization pattern, shared by the delta loop
+// check and the invariant monitor. workers ≤ 0 selects GOMAXPROCS; when
+// the pool would not pay for itself (one worker or one job) the calls run
+// serially on the caller's goroutine. fn must be safe to call concurrently
+// for distinct indices.
+func RunParallel(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // FindLoopsDeltaAuto picks the serial or parallel delta loop check by
 // delta size: merged batch deltas with many label additions fan out over
@@ -35,9 +76,6 @@ func FindLoopsDeltaParallel(n *core.Network, d *core.Delta, workers int) []Loop 
 	if d == nil || len(d.Added) == 0 {
 		return nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	// Deduplicate atoms first; one walk per affected atom.
 	seen := map[intervalmap.AtomID]core.LinkAtom{}
 	for _, la := range d.Added {
@@ -45,42 +83,23 @@ func FindLoopsDeltaParallel(n *core.Network, d *core.Delta, workers int) []Loop 
 			seen[la.Atom] = la
 		}
 	}
-	type job struct {
-		atom intervalmap.AtomID
-		la   core.LinkAtom
-	}
-	jobs := make([]job, 0, len(seen))
-	for atom, la := range seen {
-		jobs = append(jobs, job{atom, la})
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	jobs := make([]core.LinkAtom, 0, len(seen))
+	for _, la := range seen {
+		jobs = append(jobs, la)
 	}
 	var (
 		mu    sync.Mutex
 		loops []Loop
-		wg    sync.WaitGroup
-		next  = make(chan job, len(jobs))
 	)
-	for _, j := range jobs {
-		next <- j
-	}
-	close(next)
 	g := n.Graph()
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for j := range next {
-				l := g.Link(j.la.Link)
-				if loop, ok := traceLoop(n, l.Src, j.atom); ok {
-					mu.Lock()
-					loops = append(loops, loop)
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	RunParallel(workers, len(jobs), func(i int) {
+		la := jobs[i]
+		l := g.Link(la.Link)
+		if loop, ok := traceLoop(n, l.Src, la.Atom); ok {
+			mu.Lock()
+			loops = append(loops, loop)
+			mu.Unlock()
+		}
+	})
 	return loops
 }

@@ -7,17 +7,32 @@ import (
 	"deltanet/internal/netgraph"
 )
 
-// Reachable computes the set of atoms (packets) that can flow from node
-// from to node to along some forwarding path — the paper's design goal 1:
-// "efficiently find all packets that can reach a node B from A" in one
-// query rather than one SAT call per witness.
-//
-// It runs a monotone worklist fixpoint: reach[v] is the set of atoms that
-// can arrive at v starting from from; an atom propagates over link v→w iff
-// it is in reach[v] ∩ label[v→w]. Injection at from is unrestricted (all
-// atoms), so reach[from] is conceptually the full space; the returned set
-// is reach[to] restricted to atoms that exist on some link.
-func Reachable(n *core.Network, from, to netgraph.NodeID) *bitset.Set {
+// fixpoint configures one run of the monotone reachability worklist that
+// underlies Reachable, Waypoint and ReachableAvoiding. The three queries
+// differ only in which edges they are willing to traverse and in what they
+// read off the resulting reach vector, so they share one implementation.
+type fixpoint struct {
+	// avoid is a node whose out-links are not traversed (flows may arrive
+	// at it but not continue); NoNode disables it. Waypoint checks use it.
+	avoid netgraph.NodeID
+	// failed masks out links entirely (nil = none). Failure analyses use
+	// it.
+	failed map[netgraph.LinkID]bool
+	// deps, when non-nil, records every link the fixpoint examined. This
+	// is the dependency set incremental monitors key dirtiness on: a label
+	// change on any link NOT recorded here cannot alter the result,
+	// because that link's source node was unreachable and nothing else
+	// changed. (Any new path out of the reached region must begin with an
+	// edge out of a reached node, and all such edges are recorded —
+	// including currently empty-labelled ones.)
+	deps *bitset.Set
+}
+
+// run executes the fixpoint from node from and returns the full reach
+// vector: reach[v] is the set of atoms that can arrive at v starting from
+// from (nil where nothing arrives). Injection at from is unrestricted (all
+// atoms), so reach[from] is conceptually the full space.
+func (o fixpoint) run(n *core.Network, from netgraph.NodeID) []*bitset.Set {
 	g := n.Graph()
 	reach := make([]*bitset.Set, g.NumNodes())
 	inQueue := make([]bool, g.NumNodes())
@@ -28,12 +43,20 @@ func Reachable(n *core.Network, from, to netgraph.NodeID) *bitset.Set {
 		v := queue[0]
 		queue = queue[1:]
 		inQueue[v] = false
+		if v == o.avoid {
+			continue // flows must not pass through
+		}
 		for _, lid := range g.Out(v) {
+			if o.failed != nil && o.failed[lid] {
+				continue
+			}
+			if o.deps != nil {
+				o.deps.Add(int(lid))
+			}
 			label := n.Label(lid)
 			if label.Empty() {
 				continue
 			}
-			l := g.Link(lid)
 			var contribution *bitset.Set
 			if v == from {
 				// Everything the first hop admits.
@@ -44,7 +67,7 @@ func Reachable(n *core.Network, from, to netgraph.NodeID) *bitset.Set {
 					continue
 				}
 			}
-			w := l.Dst
+			w := g.Link(lid).Dst
 			if reach[w] == nil {
 				reach[w] = bitset.New(n.MaxAtomID())
 			}
@@ -56,10 +79,39 @@ func Reachable(n *core.Network, from, to netgraph.NodeID) *bitset.Set {
 			}
 		}
 	}
+	return reach
+}
+
+// at extracts one entry of a reach vector, never returning nil.
+func at(reach []*bitset.Set, to netgraph.NodeID) *bitset.Set {
 	if reach[to] == nil {
 		return bitset.New(0)
 	}
 	return reach[to]
+}
+
+// Reachable computes the set of atoms (packets) that can flow from node
+// from to node to along some forwarding path — the paper's design goal 1:
+// "efficiently find all packets that can reach a node B from A" in one
+// query rather than one SAT call per witness.
+func Reachable(n *core.Network, from, to netgraph.NodeID) *bitset.Set {
+	return at(fixpoint{avoid: netgraph.NoNode}.run(n, from), to)
+}
+
+// ReachableDeps is Reachable with dependency recording: every link the
+// query examined is added to deps. A later label change on a link outside
+// deps cannot change the result, which is what lets the monitor subsystem
+// skip re-evaluation (see fixpoint.deps).
+func ReachableDeps(n *core.Network, from, to netgraph.NodeID, deps *bitset.Set) *bitset.Set {
+	return at(fixpoint{avoid: netgraph.NoNode, deps: deps}.run(n, from), to)
+}
+
+// ReachFrom computes the full single-source reach vector (reach[v] may be
+// nil where nothing arrives), recording examined links into deps when it
+// is non-nil. Group queries such as isolation evaluate one fixpoint per
+// source instead of one per pair.
+func ReachFrom(n *core.Network, from netgraph.NodeID, deps *bitset.Set) []*bitset.Set {
+	return fixpoint{avoid: netgraph.NoNode, deps: deps}.run(n, from)
 }
 
 // AffectedByLinkFailure answers the paper's exemplar "what if" query
@@ -129,6 +181,27 @@ type BlackHole struct {
 	Atoms *bitset.Set
 }
 
+// BlackHoleAtoms returns the atoms some in-link delivers to v that v
+// neither forwards nor drops — v's black-hole traffic. The result is never
+// nil; an empty set means v handles everything it receives. Incremental
+// monitors re-evaluate this per candidate node instead of scanning every
+// node.
+func BlackHoleAtoms(n *core.Network, v netgraph.NodeID) *bitset.Set {
+	g := n.Graph()
+	incoming := bitset.New(0)
+	for _, lid := range g.In(v) {
+		incoming.UnionWith(n.Label(lid))
+	}
+	if incoming.Empty() {
+		return incoming
+	}
+	// Subtract everything v forwards or drops.
+	for _, lid := range g.Out(v) {
+		incoming.DifferenceWith(n.Label(lid))
+	}
+	return incoming
+}
+
 // FindBlackHoles reports, for every node, the atoms that some in-link
 // delivers but that no rule at the node matches. Edge nodes that are
 // legitimate traffic sinks can be excluded via the sinks set (nil means no
@@ -140,19 +213,8 @@ func FindBlackHoles(n *core.Network, sinks map[netgraph.NodeID]bool) []BlackHole
 		if sinks[v] || (g.DropNode() != netgraph.NoNode && v == g.DropNode()) {
 			continue
 		}
-		incoming := bitset.New(0)
-		for _, lid := range g.In(v) {
-			incoming.UnionWith(n.Label(lid))
-		}
-		if incoming.Empty() {
-			continue
-		}
-		// Subtract everything v forwards or drops.
-		for _, lid := range g.Out(v) {
-			incoming.DifferenceWith(n.Label(lid))
-		}
-		if !incoming.Empty() {
-			out = append(out, BlackHole{Node: v, Atoms: incoming})
+		if atoms := BlackHoleAtoms(n, v); !atoms.Empty() {
+			out = append(out, BlackHole{Node: v, Atoms: atoms})
 		}
 	}
 	return out
@@ -186,47 +248,13 @@ func Isolated(n *core.Network, groupA, groupB []netgraph.NodeID, atoms *bitset.S
 // nothing must remain reachable. It returns the atoms that bypass the
 // waypoint (empty when the property holds).
 func Waypoint(n *core.Network, from, to, waypoint netgraph.NodeID) *bitset.Set {
-	g := n.Graph()
-	// Fixpoint identical to Reachable but refusing to traverse waypoint.
-	reach := make([]*bitset.Set, g.NumNodes())
-	inQueue := make([]bool, g.NumNodes())
-	queue := []netgraph.NodeID{from}
-	inQueue[from] = true
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		inQueue[v] = false
-		if v == waypoint {
-			continue // flows must not pass through
-		}
-		for _, lid := range g.Out(v) {
-			label := n.Label(lid)
-			if label.Empty() {
-				continue
-			}
-			var contribution *bitset.Set
-			if v == from {
-				contribution = label
-			} else {
-				contribution = bitset.Intersect(reach[v], label)
-				if contribution.Empty() {
-					continue
-				}
-			}
-			w := g.Link(lid).Dst
-			if reach[w] == nil {
-				reach[w] = bitset.New(n.MaxAtomID())
-			}
-			before := reach[w].Len()
-			reach[w].UnionWith(contribution)
-			if reach[w].Len() != before && !inQueue[w] && w != from {
-				queue = append(queue, w)
-				inQueue[w] = true
-			}
-		}
-	}
-	if reach[to] == nil {
-		return bitset.New(0)
-	}
-	return reach[to]
+	return at(fixpoint{avoid: waypoint}.run(n, from), to)
+}
+
+// WaypointDeps is Waypoint with dependency recording into deps, as
+// ReachableDeps is to Reachable. The waypoint's own out-links are never
+// recorded: flows through them traverse the waypoint by definition, so
+// changes there cannot alter the bypass set.
+func WaypointDeps(n *core.Network, from, to, waypoint netgraph.NodeID, deps *bitset.Set) *bitset.Set {
+	return at(fixpoint{avoid: waypoint, deps: deps}.run(n, from), to)
 }

@@ -1,0 +1,56 @@
+package ipnet
+
+import "testing"
+
+// FuzzParsePrefix checks that every accepted input yields a well-formed
+// prefix that survives round-trips: its interval lies inside the IPv4
+// space, re-parsing its canonical String form reproduces it, and
+// PrefixFromInterval inverts Interval exactly.
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{
+		"10.0.0.0/8",
+		"0.0.0.10/31",
+		"255.255.255.255",
+		"1.2.3.4/0",
+		"0.0.0.0/32",
+		"192.168.100.14/24",
+		"1.2.3.4/33",  // length out of range
+		"1.2.3/8",     // too few octets
+		"1.2.3.4.5/8", // too many octets
+		"1.2.3.4/",    // empty length
+		"256.0.0.1",   // octet out of range
+		"",
+		"/8",
+		"a.b.c.d/8",
+		"1.2.3.4/08",
+		" 1.2.3.4/8",
+		"10.0.0.0/8/8",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return // rejected inputs only need to not crash
+		}
+		if p.Bits != 32 || p.Len < 0 || p.Len > 32 {
+			t.Fatalf("ParsePrefix(%q) = malformed %+v", s, p)
+		}
+		iv := p.Interval()
+		if !IPv4.Contains(iv) {
+			t.Fatalf("ParsePrefix(%q): interval %v outside IPv4 space", s, iv)
+		}
+		if p.Addr&(iv.Size()-1) != 0 {
+			t.Fatalf("ParsePrefix(%q): host bits not masked in %+v", s, p)
+		}
+		again, err := ParsePrefix(p.String())
+		if err != nil || again != p {
+			t.Fatalf("ParsePrefix(%q) = %v, but reparse of %q = %v, %v",
+				s, p, p.String(), again, err)
+		}
+		back, ok := PrefixFromInterval(IPv4, iv)
+		if !ok || back != p {
+			t.Fatalf("PrefixFromInterval(%v) = %v, %v; want %v", iv, back, ok, p)
+		}
+	})
+}

@@ -1,0 +1,380 @@
+// Package monitor is Delta-net's incremental invariant monitor: callers
+// register standing invariants (reachability, waypointing, isolation,
+// loop freedom, black-hole freedom) and the monitor keeps each one's
+// verdict current as rule updates stream through the engine.
+//
+// The whole point of Delta-net (paper §3.3) is that every rule update
+// yields a delta-graph, so invariants should be re-checked from that
+// delta rather than recomputed from scratch. The monitor realizes this
+// for arbitrary standing queries with a dependency index: each
+// evaluation records the set of links it examined, and an update only
+// re-evaluates the invariants whose dependency set intersects the
+// update's changed labels (plus the structurally-global checks, which
+// re-evaluate incrementally from the delta itself). Re-evaluations fan
+// out over the check package's worker pool, and verdict transitions are
+// emitted as Violation/Cleared events to subscribers.
+//
+// Concurrency: Apply, Register, Unregister, Subscribe and the query
+// methods are safe to call from multiple goroutines, but the monitor
+// only reads the network — the caller must guarantee the network is not
+// mutated during a call (the Checker's single-writer discipline and the
+// server's RWMutex both do).
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"deltanet/internal/bitset"
+	"deltanet/internal/check"
+	"deltanet/internal/core"
+)
+
+// ID identifies one registered invariant within a monitor.
+type ID int64
+
+// Status is an invariant's current verdict.
+type Status uint8
+
+const (
+	// Holds means the invariant was satisfied at the last evaluation.
+	Holds Status = iota
+	// Violated means the invariant was falsified at the last evaluation.
+	Violated
+)
+
+func (s Status) String() string {
+	if s == Violated {
+		return "violated"
+	}
+	return "holds"
+}
+
+// EventKind distinguishes the two verdict transitions.
+type EventKind uint8
+
+const (
+	// Violation is the Holds -> Violated transition.
+	Violation EventKind = iota
+	// Cleared is the Violated -> Holds transition.
+	Cleared
+)
+
+func (k EventKind) String() string {
+	if k == Cleared {
+		return "cleared"
+	}
+	return "violation"
+}
+
+// Event records one verdict transition. Seq increases monotonically
+// across all events of a monitor, so subscribers can order and detect
+// gaps.
+type Event struct {
+	Seq    uint64
+	ID     ID
+	Spec   Spec
+	Kind   EventKind
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("event %d %s %s", e.ID, e.Kind, e.Spec)
+}
+
+// invariant pairs a registered spec with its cached monitor state.
+type invariant struct {
+	id   ID
+	spec Spec
+	st   state
+}
+
+// Stats summarizes a monitor's work so far.
+type Stats struct {
+	// Registered is the current number of standing invariants.
+	Registered int
+	// Evaluations counts invariant re-evaluations triggered by deltas
+	// (registration-time and RecheckAll evaluations excluded).
+	Evaluations uint64
+	// Skips counts invariants left untouched by a delta because their
+	// dependency set did not intersect the changed labels — the
+	// incremental win.
+	Skips uint64
+	// Events counts verdict transitions emitted.
+	Events uint64
+}
+
+// Monitor maintains standing invariants over one network.
+type Monitor struct {
+	mu      sync.Mutex
+	net     *core.Network
+	workers int
+
+	invs   map[ID]*invariant
+	order  []ID // registration order, for deterministic event emission
+	nextID ID
+	seq    uint64
+
+	subs map[*Subscription]struct{}
+
+	evals, skips, events uint64
+}
+
+// New returns a monitor over the network. workers bounds the evaluation
+// fan-out; ≤ 0 selects GOMAXPROCS.
+func New(net *core.Network, workers int) *Monitor {
+	return &Monitor{
+		net:     net,
+		workers: workers,
+		invs:    map[ID]*invariant{},
+		subs:    map[*Subscription]struct{}{},
+	}
+}
+
+// Register adds a standing invariant, evaluates it immediately, and
+// returns its id and initial status. Registration emits no event: events
+// are transitions, and a fresh invariant has nothing to transition from.
+func (m *Monitor) Register(s Spec) (ID, Status) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inv := &invariant{id: m.nextID, spec: s}
+	m.nextID++
+	v := s.eval(m.net, nil, &inv.st)
+	inv.st.status = statusOf(v)
+	inv.st.detail = v.detail
+	inv.st.linksAtEval = m.net.Graph().NumLinks()
+	m.invs[inv.id] = inv
+	m.order = append(m.order, inv.id)
+	return inv.id, inv.st.status
+}
+
+// Unregister removes an invariant; it reports whether the id was
+// registered.
+func (m *Monitor) Unregister(id ID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.invs[id]; !ok {
+		return false
+	}
+	delete(m.invs, id)
+	for i, v := range m.order {
+		if v == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Status returns an invariant's cached verdict and its human-readable
+// detail.
+func (m *Monitor) Status(id ID) (Status, string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inv, ok := m.invs[id]
+	if !ok {
+		return 0, "", false
+	}
+	return inv.st.status, inv.st.detail, true
+}
+
+// InvariantInfo describes one registered invariant and its cached
+// verdict.
+type InvariantInfo struct {
+	ID     ID
+	Spec   Spec
+	Status Status
+	Detail string
+}
+
+// Invariants lists the registered invariants in registration order with
+// their cached verdicts — the snapshot a fresh subscriber pairs with the
+// event stream.
+func (m *Monitor) Invariants() []InvariantInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]InvariantInfo, 0, len(m.order))
+	for _, id := range m.order {
+		inv := m.invs[id]
+		out = append(out, InvariantInfo{ID: inv.id, Spec: inv.spec, Status: inv.st.status, Detail: inv.st.detail})
+	}
+	return out
+}
+
+// NumRegistered returns the current number of standing invariants.
+func (m *Monitor) NumRegistered() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.invs)
+}
+
+// Stats returns the monitor's work counters.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Registered:  len(m.invs),
+		Evaluations: m.evals,
+		Skips:       m.skips,
+		Events:      m.events,
+	}
+}
+
+// Apply consumes one update's delta-graph: invariants whose dependency
+// sets intersect the changed labels are re-evaluated (fanned out over the
+// worker pool) and verdict transitions are returned in registration order
+// and published to subscribers. Call it after every InsertRule,
+// RemoveRule, or ApplyBatch, before the delta is reused.
+func (m *Monitor) Apply(d *core.Delta) []Event {
+	return m.ApplyWithLoops(d, nil, false)
+}
+
+// ApplyWithLoops is Apply for callers that already ran the per-update
+// delta loop check: when loopsKnown is true, loops is taken as that
+// check's authoritative result for d (it may be empty) and a registered
+// LoopFree invariant reuses it instead of re-walking the delta.
+func (m *Monitor) ApplyWithLoops(d *core.Delta, loops []check.Loop, loopsKnown bool) []Event {
+	if d == nil || d.Empty() {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.invs) == 0 {
+		return nil
+	}
+	changed := bitset.New(m.net.Graph().NumLinks())
+	for _, la := range d.Added {
+		changed.Add(int(la.Link))
+	}
+	for _, la := range d.Removed {
+		changed.Add(int(la.Link))
+	}
+	var dirty []*invariant
+	for _, id := range m.order {
+		inv := m.invs[id]
+		if inv.spec.dirty(&inv.st, d, changed) {
+			dirty = append(dirty, inv)
+		} else {
+			m.skips++
+		}
+	}
+	m.evals += uint64(len(dirty))
+	return m.evaluate(dirty, &applyCtx{d: d, loops: loops, loopsKnown: loopsKnown})
+}
+
+// RecheckAll re-evaluates every registered invariant from scratch,
+// ignoring dependency sets — the audit path, and the naive baseline the
+// benchmarks compare Apply against. Transitions are returned and
+// published exactly as for Apply.
+func (m *Monitor) RecheckAll() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	all := make([]*invariant, 0, len(m.order))
+	for _, id := range m.order {
+		all = append(all, m.invs[id])
+	}
+	return m.evaluate(all, nil)
+}
+
+// evaluate runs the given invariants (in parallel), applies their new
+// verdicts, and publishes transitions. Caller holds m.mu.
+func (m *Monitor) evaluate(invs []*invariant, ctx *applyCtx) []Event {
+	if len(invs) == 0 {
+		return nil
+	}
+	verdicts := make([]verdict, len(invs))
+	check.RunParallel(m.workers, len(invs), func(i int) {
+		verdicts[i] = invs[i].spec.eval(m.net, ctx, &invs[i].st)
+	})
+	numLinks := m.net.Graph().NumLinks()
+	var events []Event
+	for i, inv := range invs {
+		newStatus := statusOf(verdicts[i])
+		inv.st.detail = verdicts[i].detail
+		inv.st.linksAtEval = numLinks
+		if newStatus == inv.st.status {
+			continue
+		}
+		inv.st.status = newStatus
+		kind := Cleared
+		if newStatus == Violated {
+			kind = Violation
+		}
+		m.seq++
+		events = append(events, Event{
+			Seq:    m.seq,
+			ID:     inv.id,
+			Spec:   inv.spec,
+			Kind:   kind,
+			Detail: verdicts[i].detail,
+		})
+	}
+	m.publish(events)
+	return events
+}
+
+func statusOf(v verdict) Status {
+	if v.violated {
+		return Violated
+	}
+	return Holds
+}
+
+// Subscription delivers a monitor's events to one consumer. Receive from
+// C; when the sender outpaces the consumer, events are dropped rather
+// than blocking the update path, and Dropped counts them.
+type Subscription struct {
+	// C carries the events. It is closed by Cancel.
+	C <-chan Event
+
+	m       *Monitor
+	ch      chan Event
+	dropped uint64 // guarded by m.mu
+}
+
+// Subscribe registers an event consumer with the given channel buffer
+// (≤ 0 selects a default of 64).
+func (m *Monitor) Subscribe(buf int) *Subscription {
+	if buf <= 0 {
+		buf = 64
+	}
+	s := &Subscription{m: m, ch: make(chan Event, buf)}
+	s.C = s.ch
+	m.mu.Lock()
+	m.subs[s] = struct{}{}
+	m.mu.Unlock()
+	return s
+}
+
+// Cancel removes the subscription and closes C. It is idempotent.
+func (s *Subscription) Cancel() {
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	if _, ok := s.m.subs[s]; ok {
+		delete(s.m.subs, s)
+		close(s.ch)
+	}
+}
+
+// Dropped returns the number of events lost to a full buffer.
+func (s *Subscription) Dropped() uint64 {
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	return s.dropped
+}
+
+// publish fans events out to subscribers without blocking: the update
+// path must never wait on a slow consumer. Caller holds m.mu, which also
+// serializes against Cancel's close.
+func (m *Monitor) publish(events []Event) {
+	m.events += uint64(len(events))
+	for _, ev := range events {
+		for sub := range m.subs {
+			select {
+			case sub.ch <- ev:
+			default:
+				sub.dropped++
+			}
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"deltanet/internal/check"
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+)
+
+// line4 builds a -> b -> c -> d and returns the graph, nodes, and links.
+func line4() (*netgraph.Graph, []netgraph.NodeID, []netgraph.LinkID) {
+	g := netgraph.New()
+	var nodes []netgraph.NodeID
+	for _, name := range []string{"a", "b", "c", "d"} {
+		nodes = append(nodes, g.AddNode(name))
+	}
+	var links []netgraph.LinkID
+	for i := 0; i+1 < len(nodes); i++ {
+		links = append(links, g.AddLink(nodes[i], nodes[i+1]))
+	}
+	return g, nodes, links
+}
+
+func mustInsert(t *testing.T, n *core.Network, m *Monitor, r core.Rule) []Event {
+	t.Helper()
+	var d core.Delta
+	if err := n.InsertRuleInto(r, &d); err != nil {
+		t.Fatal(err)
+	}
+	return m.Apply(&d)
+}
+
+func mustRemove(t *testing.T, n *core.Network, m *Monitor, id core.RuleID) []Event {
+	t.Helper()
+	var d core.Delta
+	if err := n.RemoveRuleInto(id, &d); err != nil {
+		t.Fatal(err)
+	}
+	return m.Apply(&d)
+}
+
+// TestTransitions walks one invariant through violation and clearing and
+// checks the events and cached status at each step.
+func TestTransitions(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+
+	id, st := m.Register(Reachable{From: nodes[0], To: nodes[2]})
+	if st != Violated {
+		t.Fatalf("empty data plane: status %v, want violated", st)
+	}
+
+	// a->b alone does not reach c: no transition.
+	ev := mustInsert(t, n, m, core.Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: ipnet.Interval{Lo: 0, Hi: 100}, Priority: 1})
+	if len(ev) != 0 {
+		t.Fatalf("partial path events: %v", ev)
+	}
+
+	// b->c completes the path: Cleared.
+	ev = mustInsert(t, n, m, core.Rule{ID: 2, Source: nodes[1], Link: links[1],
+		Match: ipnet.Interval{Lo: 0, Hi: 100}, Priority: 1})
+	if len(ev) != 1 || ev[0].Kind != Cleared || ev[0].ID != id {
+		t.Fatalf("clear events: %v", ev)
+	}
+	if st, _, _ := m.Status(id); st != Holds {
+		t.Fatalf("status after clear: %v", st)
+	}
+
+	// Removing the first hop breaks it again: Violation.
+	ev = mustRemove(t, n, m, 1)
+	if len(ev) != 1 || ev[0].Kind != Violation || ev[0].ID != id {
+		t.Fatalf("violation events: %v", ev)
+	}
+	if ev[0].Seq != 2 {
+		t.Fatalf("event seq: %d, want 2", ev[0].Seq)
+	}
+}
+
+// TestDependencySkipping verifies the incremental core: churn in one
+// component must not re-evaluate invariants whose dependency sets live in
+// another.
+func TestDependencySkipping(t *testing.T) {
+	g := netgraph.New()
+	// Two disconnected 2-node components.
+	a1, a2 := g.AddNode("a1"), g.AddNode("a2")
+	b1, b2 := g.AddNode("b1"), g.AddNode("b2")
+	la := g.AddLink(a1, a2)
+	lb := g.AddLink(b1, b2)
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+
+	var d core.Delta
+	if err := n.InsertRuleInto(core.Rule{ID: 1, Source: a1, Link: la,
+		Match: ipnet.Interval{Lo: 0, Hi: 50}, Priority: 1}, &d); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InsertRuleInto(core.Rule{ID: 2, Source: b1, Link: lb,
+		Match: ipnet.Interval{Lo: 0, Hi: 50}, Priority: 1}, &d); err != nil {
+		t.Fatal(err)
+	}
+
+	m.Register(Reachable{From: a1, To: a2})
+	m.Register(Reachable{From: b1, To: b2})
+
+	// Churn only component A.
+	for i := 0; i < 10; i++ {
+		mustInsert(t, n, m, core.Rule{ID: core.RuleID(100 + i), Source: a1, Link: la,
+			Match: ipnet.Interval{Lo: uint64(100 + i), Hi: uint64(200 + i)}, Priority: 5})
+	}
+	// Component A's invariant depends only on la, B's only on lb: every
+	// one of the 10 updates must evaluate A and skip B.
+	st := m.Stats()
+	if st.Evaluations != 10 || st.Skips != 10 {
+		t.Fatalf("stats %+v: want 10 evaluations and 10 skips", st)
+	}
+	if got, _, _ := m.Status(1); got != Holds {
+		t.Fatalf("component-B invariant status: %v", got)
+	}
+}
+
+// TestUnregister: an unregistered invariant stops producing events and
+// queries fail.
+func TestUnregister(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	id, _ := m.Register(Reachable{From: nodes[0], To: nodes[1]})
+	if !m.Unregister(id) {
+		t.Fatal("unregister known id failed")
+	}
+	if m.Unregister(id) {
+		t.Fatal("double unregister succeeded")
+	}
+	if _, _, ok := m.Status(id); ok {
+		t.Fatal("status of unregistered id")
+	}
+	if ev := mustInsert(t, n, m, core.Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: ipnet.Interval{Lo: 0, Hi: 10}, Priority: 1}); len(ev) != 0 {
+		t.Fatalf("events after unregister: %v", ev)
+	}
+}
+
+// TestSubscription: events reach subscribers; a full buffer drops rather
+// than blocks; cancel closes the channel.
+func TestSubscription(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	m.Register(Reachable{From: nodes[0], To: nodes[1]})
+
+	sub := m.Subscribe(1)
+	done := make(chan []Event)
+	go func() {
+		var got []Event
+		for ev := range sub.C {
+			got = append(got, ev)
+		}
+		done <- got
+	}()
+
+	mustInsert(t, n, m, core.Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: ipnet.Interval{Lo: 0, Hi: 10}, Priority: 1}) // Cleared
+	mustRemove(t, n, m, 1) // Violation
+	sub.Cancel()
+	sub.Cancel() // idempotent
+
+	got := <-done
+	if len(got)+int(sub.Dropped()) != 2 {
+		t.Fatalf("delivered %d + dropped %d, want 2 total", len(got), sub.Dropped())
+	}
+	if len(got) == 0 {
+		t.Fatal("everything dropped from an actively drained subscription")
+	}
+}
+
+// TestSubscriberDrop: an undrained buffer of size 1 must drop the second
+// event, not deadlock the update path.
+func TestSubscriberDrop(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	m.Register(Reachable{From: nodes[0], To: nodes[1]})
+	sub := m.Subscribe(1)
+	mustInsert(t, n, m, core.Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: ipnet.Interval{Lo: 0, Hi: 10}, Priority: 1})
+	mustRemove(t, n, m, 1)
+	if sub.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", sub.Dropped())
+	}
+	sub.Cancel()
+}
+
+// churnTopo builds a topology with cycles (so loops can form), dead ends
+// (so black holes can form), and enough nodes for interesting queries:
+// a ring 0..5 with chords and two stub nodes hanging off it.
+func churnTopo() (*netgraph.Graph, []netgraph.NodeID, []netgraph.LinkID) {
+	g := netgraph.New()
+	var nodes []netgraph.NodeID
+	for i := 0; i < 8; i++ {
+		nodes = append(nodes, g.AddNode(fmt.Sprintf("n%d", i)))
+	}
+	var links []netgraph.LinkID
+	addLink := func(a, b int) {
+		links = append(links, g.AddLink(nodes[a], nodes[b]))
+	}
+	for i := 0; i < 6; i++ { // ring
+		addLink(i, (i+1)%6)
+	}
+	addLink(0, 3) // chords
+	addLink(4, 1)
+	addLink(2, 6) // stubs
+	addLink(5, 7)
+	return g, nodes, links
+}
+
+// TestEquivalenceUnderChurn is the monitor's ground-truth test: under a
+// randomized insert/remove/batch workload, after EVERY update, every
+// cached verdict must equal a from-scratch evaluation of the same query.
+func TestEquivalenceUnderChurn(t *testing.T) {
+	for _, gc := range []bool{false, true} {
+		gc := gc
+		t.Run(fmt.Sprintf("gc=%v", gc), func(t *testing.T) {
+			testEquivalenceUnderChurn(t, gc)
+		})
+	}
+}
+
+func testEquivalenceUnderChurn(t *testing.T, gc bool) {
+	rng := rand.New(rand.NewSource(42))
+	g, nodes, links := churnTopo()
+	n := core.NewNetwork(g, core.Options{GC: gc})
+	m := New(n, 0)
+
+	sinks := map[netgraph.NodeID]bool{nodes[6]: true, nodes[7]: true}
+
+	// One oracle per registered invariant: violated, from scratch?
+	type regInv struct {
+		id     ID
+		spec   Spec
+		oracle func() bool
+	}
+	var invs []regInv
+	reg := func(s Spec, oracle func() bool) {
+		id, _ := m.Register(s)
+		invs = append(invs, regInv{id: id, spec: s, oracle: oracle})
+	}
+	for i := 0; i < 6; i++ {
+		from, to := nodes[i], nodes[(i+3)%8]
+		reg(Reachable{From: from, To: to}, func() bool {
+			return check.Reachable(n, from, to).Empty()
+		})
+	}
+	for i := 0; i < 4; i++ {
+		from, to, via := nodes[i], nodes[(i+2)%6], nodes[(i+1)%6]
+		reg(Waypoint{From: from, To: to, Via: via}, func() bool {
+			return !check.Waypoint(n, from, to, via).Empty()
+		})
+	}
+	ga := []netgraph.NodeID{nodes[0], nodes[1]}
+	gb := []netgraph.NodeID{nodes[6], nodes[7]}
+	reg(Isolated{GroupA: ga, GroupB: gb}, func() bool {
+		return check.Isolated(n, ga, gb, nil) != nil
+	})
+	reg(LoopFree{}, func() bool {
+		return len(check.FindLoopsAll(n)) > 0
+	})
+	reg(BlackHoleFree{Sinks: sinks}, func() bool {
+		return len(check.FindBlackHoles(n, sinks)) > 0
+	})
+
+	verify := func(step int, what string) {
+		t.Helper()
+		for _, inv := range invs {
+			got, detail, ok := m.Status(inv.id)
+			if !ok {
+				t.Fatalf("step %d: invariant %d vanished", step, inv.id)
+			}
+			want := Holds
+			if inv.oracle() {
+				want = Violated
+			}
+			if got != want {
+				t.Fatalf("step %d (%s): %v: monitor says %v (%s), scratch says %v",
+					step, what, inv.spec, got, detail, want)
+			}
+		}
+	}
+
+	var live []core.RuleID
+	nextID := core.RuleID(1)
+	randomRule := func() core.Rule {
+		l := links[rng.Intn(len(links))]
+		src := g.Link(l).Src
+		lo := uint64(rng.Intn(1 << 12))
+		r := core.Rule{
+			ID:       nextID,
+			Source:   src,
+			Link:     l,
+			Match:    ipnet.Interval{Lo: lo, Hi: lo + 1 + uint64(rng.Intn(1<<10))},
+			Priority: core.Priority(rng.Intn(8)),
+		}
+		if rng.Intn(8) == 0 { // occasional explicit drop rule
+			r.Link = netgraph.NoLink
+		}
+		nextID++
+		return r
+	}
+
+	var d core.Delta
+	for step := 0; step < 250; step++ {
+		switch {
+		case step%10 == 9: // atomic batch of inserts and removals
+			var ops []core.BatchOp
+			removed := map[core.RuleID]bool{}
+			for k := 0; k < 1+rng.Intn(5); k++ {
+				if len(live) > 0 && rng.Intn(2) == 0 {
+					id := live[rng.Intn(len(live))]
+					if removed[id] {
+						continue
+					}
+					removed[id] = true
+					ops = append(ops, core.RemoveOp(id))
+				} else {
+					r := randomRule()
+					live = append(live, r.ID)
+					ops = append(ops, core.InsertOp(r))
+				}
+			}
+			if err := n.ApplyBatch(ops, &d, 0); err != nil {
+				t.Fatal(err)
+			}
+			var kept []core.RuleID
+			for _, id := range live {
+				if !removed[id] {
+					kept = append(kept, id)
+				}
+			}
+			live = kept
+			m.Apply(&d)
+			verify(step, "batch")
+		case len(live) > 0 && rng.Intn(5) < 2: // removal
+			i := rng.Intn(len(live))
+			id := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if err := n.RemoveRuleInto(id, &d); err != nil {
+				t.Fatal(err)
+			}
+			m.Apply(&d)
+			verify(step, "remove")
+		default: // insertion, via the caller-ran-the-loop-check path the
+			// Checker and server use
+			r := randomRule()
+			live = append(live, r.ID)
+			if err := n.InsertRuleInto(r, &d); err != nil {
+				t.Fatal(err)
+			}
+			m.ApplyWithLoops(&d, check.FindLoopsDelta(n, &d), true)
+			verify(step, "insert")
+		}
+	}
+
+	// The workload must have exercised the incremental machinery, not just
+	// re-evaluated everything every time.
+	st := m.Stats()
+	if st.Skips == 0 {
+		t.Fatalf("stats %+v: dependency tracking never skipped anything", st)
+	}
+	if st.Events == 0 {
+		t.Fatalf("stats %+v: churn produced no verdict transitions", st)
+	}
+
+	// RecheckAll agrees with the incrementally maintained verdicts.
+	if ev := m.RecheckAll(); len(ev) != 0 {
+		t.Fatalf("RecheckAll found stale verdicts: %v", ev)
+	}
+}
+
+// TestConcurrentSubscribersAndQueries exercises the monitor's lock
+// discipline under -race: updates stream while subscribers drain and
+// other goroutines query.
+func TestConcurrentSubscribersAndQueries(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	id, _ := m.Register(Reachable{From: nodes[0], To: nodes[1]})
+	m.Register(LoopFree{})
+
+	sub := m.Subscribe(16)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range sub.C {
+		}
+	}()
+	queries := make(chan struct{})
+	go func() {
+		defer close(queries)
+		for i := 0; i < 200; i++ {
+			m.Status(id)
+			m.Stats()
+			m.NumRegistered()
+		}
+	}()
+
+	for i := 0; i < 100; i++ {
+		mustInsert(t, n, m, core.Rule{ID: core.RuleID(i + 1), Source: nodes[0], Link: links[0],
+			Match: ipnet.Interval{Lo: 0, Hi: 10}, Priority: 1})
+		mustRemove(t, n, m, core.RuleID(i+1))
+	}
+	<-queries
+	sub.Cancel()
+	<-drained
+}

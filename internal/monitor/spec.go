@@ -1,0 +1,276 @@
+package monitor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"deltanet/internal/bitset"
+	"deltanet/internal/check"
+	"deltanet/internal/core"
+	"deltanet/internal/netgraph"
+)
+
+// Spec is a standing invariant the monitor keeps continuously checked.
+// A Spec is pure description — all cached verdict and dependency state
+// lives in the monitor — so the same Spec value may be registered with
+// several monitors.
+//
+// The String form doubles as the server wire syntax for the W command
+// ("reach 0 2", "waypoint 0 3 1", "isolated 0,1 4,5", "loopfree",
+// "blackholefree").
+type Spec interface {
+	fmt.Stringer
+
+	// dirty reports whether the delta could change the invariant's
+	// verdict, given the bookkeeping from its last evaluation. changed is
+	// the set of links with label changes in d (never empty).
+	dirty(st *state, d *core.Delta, changed *bitset.Set) bool
+
+	// eval (re-)evaluates the invariant against the live network and
+	// refreshes st's dependency bookkeeping. ctx carries the triggering
+	// delta plus any results the caller already computed from it; nil
+	// means a full evaluation (registration, RecheckAll). eval runs
+	// concurrently with evals of OTHER invariants, so it must only read
+	// the network and write its own st.
+	eval(n *core.Network, ctx *applyCtx, st *state) verdict
+}
+
+// applyCtx is one Apply call's context: the delta and, optionally, the
+// per-update loop check's result so a LoopFree invariant need not repeat
+// it (the Checker and server both run that check anyway).
+type applyCtx struct {
+	d          *core.Delta
+	loops      []check.Loop
+	loopsKnown bool // loops is authoritative for d (it may be empty)
+}
+
+// verdict is one evaluation's outcome.
+type verdict struct {
+	violated bool
+	detail   string
+}
+
+// state is the monitor's cached bookkeeping for one registered invariant:
+// the verdict of the last evaluation plus whatever that evaluation needs
+// to decide, next delta, whether it must run again.
+type state struct {
+	status Status
+	detail string
+
+	// deps holds the links the last evaluation examined; nil means the
+	// invariant depends on everything (LoopFree, BlackHoleFree). A delta
+	// touching no dep link cannot flip the verdict (see check.fixpoint's
+	// deps documentation for the argument).
+	deps *bitset.Set
+
+	// linksAtEval is the topology's link count when deps was recorded.
+	// Links added later are out-links of some node, so a change on one is
+	// conservatively treated as a dependency hit.
+	linksAtEval int
+
+	// bhNodes caches BlackHoleFree's currently violating nodes so a delta
+	// only re-examines nodes incident to changed links plus these.
+	bhNodes *bitset.Set
+}
+
+// depsHit is the shared dirtiness test for dependency-tracked invariants.
+func depsHit(st *state, changed *bitset.Set) bool {
+	if st.deps == nil {
+		return true
+	}
+	if changed.Max() >= st.linksAtEval {
+		return true // link born after the last evaluation
+	}
+	return st.deps.Intersects(changed)
+}
+
+// Reachable asserts that at least one packet can flow from From to To.
+type Reachable struct {
+	From, To netgraph.NodeID
+}
+
+func (r Reachable) String() string { return fmt.Sprintf("reach %d %d", r.From, r.To) }
+
+func (r Reachable) dirty(st *state, _ *core.Delta, changed *bitset.Set) bool {
+	return depsHit(st, changed)
+}
+
+func (r Reachable) eval(n *core.Network, _ *applyCtx, st *state) verdict {
+	deps := bitset.New(n.Graph().NumLinks())
+	atoms := check.ReachableDeps(n, r.From, r.To, deps)
+	st.deps = deps
+	if atoms.Empty() {
+		return verdict{violated: true, detail: "no packets can flow"}
+	}
+	return verdict{detail: fmt.Sprintf("%d atom(s) can flow", atoms.Len())}
+}
+
+// Waypoint asserts that every packet flowing from From to To traverses
+// Via.
+type Waypoint struct {
+	From, To, Via netgraph.NodeID
+}
+
+func (w Waypoint) String() string { return fmt.Sprintf("waypoint %d %d %d", w.From, w.To, w.Via) }
+
+func (w Waypoint) dirty(st *state, _ *core.Delta, changed *bitset.Set) bool {
+	return depsHit(st, changed)
+}
+
+func (w Waypoint) eval(n *core.Network, _ *applyCtx, st *state) verdict {
+	deps := bitset.New(n.Graph().NumLinks())
+	bypass := check.WaypointDeps(n, w.From, w.To, w.Via, deps)
+	st.deps = deps
+	if !bypass.Empty() {
+		return verdict{violated: true, detail: fmt.Sprintf("%d atom(s) bypass the waypoint", bypass.Len())}
+	}
+	return verdict{detail: "all flows traverse the waypoint"}
+}
+
+// Isolated asserts that no packet can flow from any node in GroupA to any
+// node in GroupB.
+type Isolated struct {
+	GroupA, GroupB []netgraph.NodeID
+}
+
+func (i Isolated) String() string {
+	return "isolated " + joinNodes(i.GroupA) + " " + joinNodes(i.GroupB)
+}
+
+func joinNodes(nodes []netgraph.NodeID) string {
+	parts := make([]string, len(nodes))
+	for i, v := range nodes {
+		parts[i] = strconv.Itoa(int(v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (i Isolated) dirty(st *state, _ *core.Delta, changed *bitset.Set) bool {
+	return depsHit(st, changed)
+}
+
+// eval runs one single-source fixpoint per GroupA node and stops at the
+// first leaking pair. On violation deps holds (at least) every link of the
+// witness pair's fixpoint, which suffices: the verdict can only flip back
+// to isolated if that pair's reachability changes, and any such change
+// touches a recorded link. On success deps covers every pair.
+func (i Isolated) eval(n *core.Network, _ *applyCtx, st *state) verdict {
+	deps := bitset.New(n.Graph().NumLinks())
+	st.deps = deps
+	for _, a := range i.GroupA {
+		reach := check.ReachFrom(n, a, deps)
+		for _, b := range i.GroupB {
+			if int(b) < len(reach) && reach[b] != nil && !reach[b].Empty() {
+				return verdict{
+					violated: true,
+					detail:   fmt.Sprintf("%d atom(s) leak %d -> %d", reach[b].Len(), a, b),
+				}
+			}
+		}
+	}
+	return verdict{detail: "groups are isolated"}
+}
+
+// LoopFree asserts that the data plane contains no forwarding loops.
+type LoopFree struct{}
+
+func (LoopFree) String() string { return "loopfree" }
+
+// dirty: while loop-free, only label additions can close a cycle
+// (removals only break paths), so removal-only deltas are skipped. While
+// violated, any change may clear or keep the loop.
+func (LoopFree) dirty(st *state, d *core.Delta, _ *bitset.Set) bool {
+	if st.status == Violated {
+		return true
+	}
+	return len(d.Added) > 0
+}
+
+// eval: from a loop-free state any new loop must involve a net-added
+// (link, atom) label — the §4.3.1 argument, applied to the merged delta —
+// so walking forward from the delta's additions is a complete check (and
+// when the caller already ran it, its result is reused rather than
+// recomputed). From a violated state removals may have broken the loop
+// elsewhere, so the full scan runs.
+func (LoopFree) eval(n *core.Network, ctx *applyCtx, st *state) verdict {
+	st.deps = nil // dirtiness is decided structurally, not by link set
+	var loops []check.Loop
+	switch {
+	case ctx != nil && st.status == Holds && ctx.loopsKnown:
+		loops = ctx.loops
+	case ctx != nil && st.status == Holds:
+		loops = check.FindLoopsDeltaAuto(n, ctx.d, 0)
+	default:
+		loops = check.FindLoopsAll(n)
+	}
+	if len(loops) > 0 {
+		iv, _ := n.AtomInterval(loops[0].Atom)
+		return verdict{
+			violated: true,
+			detail:   fmt.Sprintf("%d looping atom(s), e.g. %v through %d node(s)", len(loops), iv, len(loops[0].Nodes)-1),
+		}
+	}
+	return verdict{detail: "no forwarding loops"}
+}
+
+// BlackHoleFree asserts that no node silently discards traffic it
+// receives: every delivered atom is forwarded or explicitly dropped.
+// Sinks lists nodes that legitimately terminate flows (nil = none).
+type BlackHoleFree struct {
+	Sinks map[netgraph.NodeID]bool
+}
+
+func (BlackHoleFree) String() string { return "blackholefree" }
+
+// dirty: any label change can create or clear a hole at the changed
+// link's endpoints, so every delta re-evaluates — but eval only touches
+// those endpoints plus previously violating nodes.
+func (BlackHoleFree) dirty(*state, *core.Delta, *bitset.Set) bool { return true }
+
+func (b BlackHoleFree) eval(n *core.Network, ctx *applyCtx, st *state) verdict {
+	g := n.Graph()
+	st.deps = nil
+	if ctx == nil || st.bhNodes == nil {
+		// Full scan; cache the violating node set for incremental mode.
+		st.bhNodes = bitset.New(g.NumNodes())
+		for _, h := range check.FindBlackHoles(n, b.Sinks) {
+			st.bhNodes.Add(int(h.Node))
+		}
+		return b.verdictFrom(st)
+	}
+	// A node's black-hole set reads only its in- and out-link labels, so
+	// only nodes incident to a changed link can change status; previously
+	// violating nodes are rechecked so clears are seen.
+	candidates := st.bhNodes.Clone()
+	for _, la := range ctx.d.Added {
+		l := g.Link(la.Link)
+		candidates.Add(int(l.Src))
+		candidates.Add(int(l.Dst))
+	}
+	for _, la := range ctx.d.Removed {
+		l := g.Link(la.Link)
+		candidates.Add(int(l.Src))
+		candidates.Add(int(l.Dst))
+	}
+	candidates.ForEach(func(v int) bool {
+		node := netgraph.NodeID(v)
+		if b.Sinks[node] || (g.DropNode() != netgraph.NoNode && node == g.DropNode()) {
+			return true
+		}
+		if check.BlackHoleAtoms(n, node).Empty() {
+			st.bhNodes.Remove(v)
+		} else {
+			st.bhNodes.Add(v)
+		}
+		return true
+	})
+	return b.verdictFrom(st)
+}
+
+func (BlackHoleFree) verdictFrom(st *state) verdict {
+	if n := st.bhNodes.Len(); n > 0 {
+		return verdict{violated: true, detail: fmt.Sprintf("%d node(s) black-hole traffic, first node %d", n, st.bhNodes.Min())}
+	}
+	return verdict{detail: "no black holes"}
+}

@@ -16,7 +16,10 @@
 //	B <n>                                -> (multi-line, see below)
 //	reach <srcID> <dstID>                -> ok reach <count>
 //	whatif <linkID>                      -> ok whatif atoms=<n> edges=<m>
-//	stats                                -> ok stats rules=<r> atoms=<a> links=<l>
+//	W <spec>                             -> ok watch <id> <holds|violated>
+//	unwatch <id>                         -> ok unwatch <id>
+//	watch                                -> ok watching (streaming; see below)
+//	stats                                -> ok stats rules=<r> atoms=<a> links=<l> nodes=<v> watch=<w>
 //	quit                                 -> connection closed
 //
 // B introduces an atomic batch: the client sends "B <n>" followed by
@@ -32,6 +35,37 @@
 // (see core.ApplyBatch), so a heavy update stream pays one loop check per
 // batch rather than one per rule.
 //
+// W registers a standing invariant with the shared incremental monitor
+// (internal/monitor): after every mutation, only the invariants whose
+// dependency sets intersect the update's delta are re-checked. The spec
+// grammar is:
+//
+//	W reach <srcID> <dstID>
+//	W waypoint <srcID> <dstID> <viaID>
+//	W isolated <id,id,...> <id,id,...>
+//	W loopfree
+//	W blackholefree
+//
+// Invariants are shared across connections: any client may register,
+// unwatch, or observe them.
+//
+// watch switches the connection into streaming mode: the "ok watching"
+// response is followed by one snapshot line per registered invariant,
+//
+//	status <id> <holds|violated> <spec> -- <detail>
+//
+// (taken after the subscription is live, so a transition racing the
+// subscription is never silently missed), and from then on verdict
+// transitions caused by any connection's mutations are pushed
+// asynchronously as lines of the form
+//
+//	event <id> <violation|cleared> <spec> -- <detail>
+//
+// interleaved between (never inside) regular response lines; the
+// connection keeps accepting requests. A slow streaming consumer never
+// stalls verification: events overflowing the subscription buffer are
+// dropped, not queued unboundedly.
+//
 // Errors are reported as "err <message>" and do not close the connection,
 // with one exception: a bad batch header ("B" with a missing, unparseable,
 // or out-of-range size) closes the connection after the error, because the
@@ -40,7 +74,8 @@
 // The engine is a single shared data plane; mutations (node, link, I, R,
 // B) are serialized under a write lock, preserving the order guarantees a
 // data plane checker needs, while read-only requests (reach, whatif,
-// stats) run concurrently under a read lock.
+// stats, W, unwatch) run concurrently under a read lock (the monitor has
+// its own internal lock for registration bookkeeping).
 package server
 
 import (
@@ -54,6 +89,7 @@ import (
 	"deltanet/internal/check"
 	"deltanet/internal/core"
 	"deltanet/internal/ipnet"
+	"deltanet/internal/monitor"
 	"deltanet/internal/netgraph"
 )
 
@@ -63,22 +99,33 @@ type Server struct {
 	graph *netgraph.Graph
 	net   *core.Network
 	delta core.Delta
+	mon   *monitor.Monitor
 
 	wg        sync.WaitGroup
 	listener  net.Listener
 	closeOnce sync.Once
 	closed    chan struct{}
+
+	connMu sync.Mutex // guards conns
+	conns  map[net.Conn]struct{}
 }
 
 // New returns a server over a fresh empty data plane.
 func New(opts core.Options) *Server {
 	g := netgraph.New()
+	n := core.NewNetwork(g, opts)
 	return &Server{
 		graph:  g,
-		net:    core.NewNetwork(g, opts),
+		net:    n,
+		mon:    monitor.New(n, 0),
 		closed: make(chan struct{}),
+		conns:  map[net.Conn]struct{}{},
 	}
 }
+
+// Monitor exposes the shared standing-invariant monitor (for preloading
+// invariants before serving).
+func (s *Server) Monitor() *monitor.Monitor { return s.mon }
 
 // Network exposes the underlying engine (for preloading a snapshot before
 // serving).
@@ -114,13 +161,40 @@ func (s *Server) Serve(l net.Listener) error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			if !s.track(conn) {
+				conn.Close() // raced Close; shut the accepted conn down
+				return
+			}
+			defer s.untrack(conn)
 			s.handle(conn)
 		}()
 	}
 }
 
-// Close stops accepting and waits for in-flight connections to finish. It
-// is idempotent: second and later calls wait like the first and return nil.
+// track registers a live connection so Close can unblock it; it reports
+// false when the server is already closing.
+func (s *Server) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	delete(s.conns, conn)
+}
+
+// Close stops accepting, closes live connections (a watcher idling in a
+// read would otherwise hold shutdown hostage), and waits for in-flight
+// handlers to finish. It is idempotent: second and later calls wait like
+// the first and return nil.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
@@ -131,37 +205,100 @@ func (s *Server) Close() error {
 		if l != nil {
 			err = l.Close()
 		}
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
 	})
 	s.wg.Wait()
 	return err
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 4096), 1<<20)
 	w := bufio.NewWriter(conn)
+
+	// Once the connection enters watch mode a streamer goroutine shares
+	// the writer with the request loop; wmu keeps whole lines atomic.
+	var wmu sync.Mutex
+	var sub *monitor.Subscription
+	var streamWG sync.WaitGroup
+	defer func() {
+		// Close before waiting: a streamer can be blocked mid-write on a
+		// client that stopped reading, and only the close unblocks it.
+		conn.Close()
+		if sub != nil {
+			sub.Cancel() // closes the channel; the streamer drains and exits
+			streamWG.Wait()
+		}
+	}()
+	writeLine := func(line string) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		fmt.Fprintln(w, line)
+		return w.Flush()
+	}
+
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
 		if line == "quit" {
-			w.Flush()
 			return
 		}
 		var resp string
 		fatal := false
-		if fields := strings.Fields(line); fields[0] == "B" {
+		switch fields := strings.Fields(line); {
+		case fields[0] == "B":
 			resp, fatal = s.readAndApplyBatch(fields, sc)
-		} else {
+		case fields[0] == "watch" && len(fields) == 1:
+			if sub != nil {
+				resp = "err already watching"
+				break
+			}
+			sub = s.mon.Subscribe(eventBuffer)
+			// Acknowledge before the first event can be written.
+			if writeLine("ok watching") != nil {
+				return
+			}
+			// Snapshot taken AFTER subscribing: a transition racing the
+			// subscription shows up as an event, a status line, or both —
+			// never as silence — so the client's view starts authoritative.
+			for _, info := range s.mon.Invariants() {
+				if writeLine(fmt.Sprintf("status %d %s %s -- %s",
+					info.ID, info.Status, info.Spec, info.Detail)) != nil {
+					return
+				}
+			}
+			streamWG.Add(1)
+			go func(c <-chan monitor.Event) {
+				defer streamWG.Done()
+				for ev := range c {
+					if writeLine(formatEvent(ev)) != nil {
+						return
+					}
+				}
+			}(sub.C)
+			continue
+		default:
 			resp = s.dispatch(line)
 		}
-		fmt.Fprintln(w, resp)
-		if err := w.Flush(); err != nil || fatal {
+		if err := writeLine(resp); err != nil || fatal {
 			return
 		}
 	}
+}
+
+// eventBuffer is a watch subscription's channel capacity; events beyond
+// it are dropped rather than stalling mutations (the monitor counts
+// drops).
+const eventBuffer = 256
+
+func formatEvent(ev monitor.Event) string {
+	return fmt.Sprintf("event %d %s %s -- %s", ev.ID, ev.Kind, ev.Spec, ev.Detail)
 }
 
 // maxBatch bounds a B request's line count, and maxBatchBytes its
@@ -221,6 +358,7 @@ func (s *Server) readAndApplyBatch(fields []string, sc *bufio.Scanner) (resp str
 		return "err " + err.Error(), false
 	}
 	loops := check.FindLoopsDeltaAuto(s.net, &s.delta, 0)
+	s.mon.ApplyWithLoops(&s.delta, loops, true)
 	var b strings.Builder
 	fmt.Fprintf(&b, "ok batch n=%d atoms=%d loops=%d", count, s.net.NumAtoms(), len(loops))
 	for _, l := range loops {
@@ -275,11 +413,15 @@ func (s *Server) parseUpdate(fields []string) (core.BatchOp, string) {
 }
 
 // dispatch executes one request under the engine lock: read-only requests
-// share the read lock, mutations take the write lock.
+// (including monitor registration, which only reads the data plane) share
+// the read lock, mutations take the write lock.
 func (s *Server) dispatch(line string) string {
 	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "err empty request"
+	}
 	switch fields[0] {
-	case "reach", "whatif", "stats":
+	case "reach", "whatif", "stats", "W", "unwatch":
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 	default:
@@ -312,6 +454,7 @@ func (s *Server) dispatch(line string) string {
 			return "err " + err.Error()
 		}
 		loops := check.FindLoopsDelta(s.net, &s.delta)
+		s.mon.ApplyWithLoops(&s.delta, loops, true)
 		return s.updateResponse(loops)
 	case "R":
 		op, errmsg := s.parseUpdate(fields)
@@ -321,6 +464,7 @@ func (s *Server) dispatch(line string) string {
 		if err := s.net.RemoveRuleInto(op.Rule.ID, &s.delta); err != nil {
 			return "err " + err.Error()
 		}
+		s.mon.Apply(&s.delta)
 		return s.updateResponse(nil)
 	case "reach":
 		a, b, err := twoInts(fields)
@@ -339,11 +483,104 @@ func (s *Server) dispatch(line string) string {
 		}
 		sub := check.AffectedByLinkFailure(s.net, netgraph.LinkID(l))
 		return fmt.Sprintf("ok whatif atoms=%d edges=%d", sub.Affected.Len(), sub.NumEdges())
+	case "W":
+		spec, errmsg := s.parseSpec(fields[1:])
+		if errmsg != "" {
+			return "err " + errmsg
+		}
+		id, status := s.mon.Register(spec)
+		return fmt.Sprintf("ok watch %d %s", id, status)
+	case "unwatch":
+		if len(fields) != 2 {
+			return "err usage: unwatch <id>"
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return "err bad watch id"
+		}
+		if !s.mon.Unregister(monitor.ID(id)) {
+			return "err unknown watch id"
+		}
+		return "ok unwatch " + fields[1]
 	case "stats":
-		return fmt.Sprintf("ok stats rules=%d atoms=%d links=%d",
-			s.net.NumRules(), s.net.NumAtoms(), s.graph.NumLinks())
+		return fmt.Sprintf("ok stats rules=%d atoms=%d links=%d nodes=%d watch=%d",
+			s.net.NumRules(), s.net.NumAtoms(), s.graph.NumLinks(),
+			s.graph.NumNodes(), s.mon.NumRegistered())
 	default:
 		return "err unknown command " + fields[0]
+	}
+}
+
+// parseSpec parses the W command's invariant grammar, validating node ids
+// against the topology. Callers must hold at least the read lock.
+func (s *Server) parseSpec(fields []string) (monitor.Spec, string) {
+	const usage = "usage: W reach <a> <b> | W waypoint <a> <b> <via> | W isolated <a,...> <b,...> | W loopfree | W blackholefree"
+	if len(fields) == 0 {
+		return nil, usage
+	}
+	node := func(f string) (netgraph.NodeID, bool) {
+		v, err := strconv.Atoi(f)
+		if err != nil || !s.validNode(v) {
+			return 0, false
+		}
+		return netgraph.NodeID(v), true
+	}
+	group := func(f string) ([]netgraph.NodeID, bool) {
+		parts := strings.Split(f, ",")
+		out := make([]netgraph.NodeID, 0, len(parts))
+		for _, p := range parts {
+			v, ok := node(p)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, v)
+		}
+		return out, true
+	}
+	switch fields[0] {
+	case "reach":
+		if len(fields) != 3 {
+			return nil, usage
+		}
+		a, okA := node(fields[1])
+		b, okB := node(fields[2])
+		if !okA || !okB {
+			return nil, "unknown node id"
+		}
+		return monitor.Reachable{From: a, To: b}, ""
+	case "waypoint":
+		if len(fields) != 4 {
+			return nil, usage
+		}
+		a, okA := node(fields[1])
+		b, okB := node(fields[2])
+		v, okV := node(fields[3])
+		if !okA || !okB || !okV {
+			return nil, "unknown node id"
+		}
+		return monitor.Waypoint{From: a, To: b, Via: v}, ""
+	case "isolated":
+		if len(fields) != 3 {
+			return nil, usage
+		}
+		ga, okA := group(fields[1])
+		gb, okB := group(fields[2])
+		if !okA || !okB {
+			return nil, "unknown node id"
+		}
+		return monitor.Isolated{GroupA: ga, GroupB: gb}, ""
+	case "loopfree":
+		if len(fields) != 1 {
+			return nil, usage
+		}
+		return monitor.LoopFree{}, ""
+	case "blackholefree":
+		if len(fields) != 1 {
+			return nil, usage
+		}
+		return monitor.BlackHoleFree{}, ""
+	default:
+		return nil, usage
 	}
 }
 

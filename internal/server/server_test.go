@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"deltanet/internal/core"
 	"deltanet/internal/ipnet"
@@ -79,7 +80,7 @@ func TestProtocolSession(t *testing.T) {
 	if got := c.roundTrip(t, "I 1 0 0 0 1000 10"); !strings.HasPrefix(got, "ok atoms=") {
 		t.Fatalf("insert: %q", got)
 	}
-	if got := c.roundTrip(t, "stats"); got != "ok stats rules=1 atoms=2 links=1" {
+	if got := c.roundTrip(t, "stats"); got != "ok stats rules=1 atoms=2 links=1 nodes=2 watch=0" {
 		t.Fatalf("stats: %q", got)
 	}
 	if got := c.roundTrip(t, "reach 0 1"); got != "ok reach 1" {
@@ -91,7 +92,7 @@ func TestProtocolSession(t *testing.T) {
 	if got := c.roundTrip(t, "R 1"); !strings.HasPrefix(got, "ok atoms=") {
 		t.Fatalf("remove: %q", got)
 	}
-	if got := c.roundTrip(t, "stats"); got != "ok stats rules=0 atoms=2 links=1" {
+	if got := c.roundTrip(t, "stats"); got != "ok stats rules=0 atoms=2 links=1 nodes=2 watch=0" {
 		t.Fatalf("stats after remove: %q", got)
 	}
 }
@@ -430,5 +431,198 @@ func TestPreloadedServer(t *testing.T) {
 	defer c.close()
 	if got := c.roundTrip(t, "stats"); !strings.Contains(got, "rules=1") {
 		t.Fatalf("preload missing: %q", got)
+	}
+}
+
+// TestWatchRegistration: W registers standing invariants, unwatch removes
+// them, stats reports the count, bad specs error.
+func TestWatchRegistration(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+	c := dial(t, addr)
+	defer c.close()
+
+	c.roundTrip(t, "node a")
+	c.roundTrip(t, "node b")
+	c.roundTrip(t, "node c")
+	c.roundTrip(t, "link 0 1") // a->b
+	c.roundTrip(t, "link 1 2") // b->c
+
+	// Empty data plane: reachability is violated, loop freedom holds.
+	if got := c.roundTrip(t, "W reach 0 2"); got != "ok watch 0 violated" {
+		t.Fatalf("W reach: %q", got)
+	}
+	if got := c.roundTrip(t, "W loopfree"); got != "ok watch 1 holds" {
+		t.Fatalf("W loopfree: %q", got)
+	}
+	if got := c.roundTrip(t, "W waypoint 0 2 1"); got != "ok watch 2 holds" {
+		t.Fatalf("W waypoint: %q", got)
+	}
+	if got := c.roundTrip(t, "W isolated 0 2"); got != "ok watch 3 holds" {
+		t.Fatalf("W isolated: %q", got)
+	}
+	if got := c.roundTrip(t, "W blackholefree"); got != "ok watch 4 holds" {
+		t.Fatalf("W blackholefree: %q", got)
+	}
+	if got := c.roundTrip(t, "stats"); !strings.Contains(got, "watch=5") {
+		t.Fatalf("stats: %q", got)
+	}
+	if got := c.roundTrip(t, "unwatch 3"); got != "ok unwatch 3" {
+		t.Fatalf("unwatch: %q", got)
+	}
+	if got := c.roundTrip(t, "unwatch 3"); !strings.HasPrefix(got, "err") {
+		t.Fatalf("double unwatch: %q", got)
+	}
+	if got := c.roundTrip(t, "stats"); !strings.Contains(got, "watch=4") {
+		t.Fatalf("stats after unwatch: %q", got)
+	}
+	for _, req := range []string{
+		"W", "W bogus", "W reach 0", "W reach 0 99", "W waypoint 0 1",
+		"W isolated 0,x 1", "W isolated 0 99", "unwatch", "unwatch x",
+	} {
+		if got := c.roundTrip(t, req); !strings.HasPrefix(got, "err") {
+			t.Fatalf("%q -> %q, want err", req, got)
+		}
+	}
+}
+
+// TestWatchStreaming: a watching connection receives transition events
+// caused by another connection's mutations, interleaved with its own
+// request/response traffic.
+func TestWatchStreaming(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+
+	setup := dial(t, addr)
+	setup.roundTrip(t, "node a")
+	setup.roundTrip(t, "node b")
+	setup.roundTrip(t, "node c")
+	setup.roundTrip(t, "link 0 1")
+	setup.roundTrip(t, "link 1 2")
+	setup.close()
+
+	watcher := dial(t, addr)
+	defer watcher.close()
+	if got := watcher.roundTrip(t, "W reach 0 2"); got != "ok watch 0 violated" {
+		t.Fatalf("register: %q", got)
+	}
+	if got := watcher.roundTrip(t, "watch"); got != "ok watching" {
+		t.Fatalf("watch: %q", got)
+	}
+	// The post-subscription snapshot: one status line per invariant.
+	if !watcher.r.Scan() {
+		t.Fatalf("no status snapshot: %v", watcher.r.Err())
+	}
+	if got := watcher.r.Text(); !strings.HasPrefix(got, "status 0 violated reach 0 2") {
+		t.Fatalf("status snapshot: %q", got)
+	}
+	if got := watcher.roundTrip(t, "watch"); got != "err already watching" {
+		t.Fatalf("double watch: %q", got)
+	}
+
+	mutator := dial(t, addr)
+	defer mutator.close()
+	mutator.roundTrip(t, "I 1 0 0 0 100 1") // a->b
+	mutator.roundTrip(t, "I 2 1 1 0 100 1") // b->c: path complete
+
+	if !watcher.r.Scan() {
+		t.Fatalf("no event: %v", watcher.r.Err())
+	}
+	if got := watcher.r.Text(); !strings.HasPrefix(got, "event 0 cleared reach 0 2") {
+		t.Fatalf("cleared event: %q", got)
+	}
+
+	// The watching connection still answers requests.
+	if got := watcher.roundTrip(t, "stats"); !strings.HasPrefix(got, "ok stats") {
+		t.Fatalf("stats while watching: %q", got)
+	}
+
+	mutator.roundTrip(t, "R 2")
+	if !watcher.r.Scan() {
+		t.Fatalf("no violation event: %v", watcher.r.Err())
+	}
+	if got := watcher.r.Text(); !strings.HasPrefix(got, "event 0 violation reach 0 2") {
+		t.Fatalf("violation event: %q", got)
+	}
+}
+
+// TestWatchStreamingBatch: one atomic batch produces the transition events
+// of its merged delta.
+func TestWatchStreamingBatch(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+
+	watcher := dial(t, addr)
+	defer watcher.close()
+	watcher.roundTrip(t, "node a")
+	watcher.roundTrip(t, "node b")
+	watcher.roundTrip(t, "node c")
+	watcher.roundTrip(t, "link 0 1")
+	watcher.roundTrip(t, "link 1 2")
+	watcher.roundTrip(t, "W reach 0 2")
+	watcher.roundTrip(t, "W loopfree")
+	if got := watcher.roundTrip(t, "watch"); got != "ok watching" {
+		t.Fatalf("watch: %q", got)
+	}
+	for i := 0; i < 2; i++ { // snapshot of the two registered invariants
+		if !watcher.r.Scan() || !strings.HasPrefix(watcher.r.Text(), "status ") {
+			t.Fatalf("status snapshot %d: %q (%v)", i, watcher.r.Text(), watcher.r.Err())
+		}
+	}
+
+	mutator := dial(t, addr)
+	defer mutator.close()
+	if got := mutator.sendBatch(t, []string{
+		"I 1 0 0 0 100 1",
+		"I 2 1 1 0 100 1",
+	}); !strings.HasPrefix(got, "ok batch") {
+		t.Fatalf("batch: %q", got)
+	}
+	if !watcher.r.Scan() {
+		t.Fatalf("no event: %v", watcher.r.Err())
+	}
+	if got := watcher.r.Text(); !strings.HasPrefix(got, "event 0 cleared reach 0 2") {
+		t.Fatalf("batch event: %q", got)
+	}
+}
+
+// TestCloseUnblocksIdleWatcher: Close must not wait for clients to
+// disconnect voluntarily — a watcher idling in streaming mode (the
+// designed long-lived usage) is closed by the server.
+func TestCloseUnblocksIdleWatcher(t *testing.T) {
+	s := New(core.Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+
+	w := dial(t, l.Addr().String())
+	defer w.close()
+	w.roundTrip(t, "node a")
+	if got := w.roundTrip(t, "watch"); got != "ok watching" {
+		t.Fatalf("watch: %q", got)
+	}
+	idle := dial(t, l.Addr().String()) // a plain idle connection, too
+	defer idle.close()
+	idle.roundTrip(t, "stats")
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil && !strings.Contains(err.Error(), "use of closed") {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on connected clients")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	// Both clients observe the disconnect.
+	if w.r.Scan() {
+		t.Fatalf("watcher got line after close: %q", w.r.Text())
 	}
 }

@@ -1,0 +1,78 @@
+package deltanet
+
+import "deltanet/internal/monitor"
+
+// This file exposes the incremental invariant monitor: standing queries
+// that are re-checked per delta rather than recomputed from scratch.
+// Register invariants on Checker.Monitor(); every subsequent InsertRule,
+// RemoveRule or ApplyBatch marks the invariants whose dependency sets
+// intersect the update's changed labels as dirty, re-evaluates only
+// those, and reports Violation/Cleared transitions in Report.Events and
+// to subscribers.
+
+type (
+	// Monitor maintains standing invariants over the checker's network.
+	Monitor = monitor.Monitor
+	// Invariant is a standing property the monitor keeps checked; build
+	// one with the Watch* constructors.
+	Invariant = monitor.Spec
+	// InvariantID identifies a registered invariant.
+	InvariantID = monitor.ID
+	// InvariantStatus is a cached verdict: InvariantHolds or
+	// InvariantViolated.
+	InvariantStatus = monitor.Status
+	// MonitorEvent is one verdict transition (violation or clearing).
+	MonitorEvent = monitor.Event
+	// MonitorStats summarizes the monitor's incremental work.
+	MonitorStats = monitor.Stats
+	// MonitorSubscription delivers events to one consumer; see
+	// Monitor.Subscribe.
+	MonitorSubscription = monitor.Subscription
+)
+
+// Re-exported verdict and transition constants.
+const (
+	InvariantHolds    = monitor.Holds
+	InvariantViolated = monitor.Violated
+	MonitorViolation  = monitor.Violation
+	MonitorCleared    = monitor.Cleared
+)
+
+// WatchReachable asserts that at least one packet can flow from one
+// switch to another.
+func WatchReachable(from, to SwitchID) Invariant {
+	return monitor.Reachable{From: from, To: to}
+}
+
+// WatchWaypoint asserts that every packet flowing between two switches
+// traverses the waypoint.
+func WatchWaypoint(from, to, via SwitchID) Invariant {
+	return monitor.Waypoint{From: from, To: to, Via: via}
+}
+
+// WatchIsolated asserts that no packet can flow from any switch in
+// groupA to any switch in groupB.
+func WatchIsolated(groupA, groupB []SwitchID) Invariant {
+	return monitor.Isolated{GroupA: groupA, GroupB: groupB}
+}
+
+// WatchLoopFree asserts that the data plane contains no forwarding
+// loops.
+func WatchLoopFree() Invariant { return monitor.LoopFree{} }
+
+// WatchBlackHoleFree asserts that no switch silently discards traffic it
+// receives; sinks lists switches that legitimately terminate flows.
+func WatchBlackHoleFree(sinks map[SwitchID]bool) Invariant {
+	return monitor.BlackHoleFree{Sinks: sinks}
+}
+
+// Monitor returns the checker's standing-invariant monitor, creating it
+// on first use (with the checker's BatchWorkers as its evaluation
+// fan-out). Once any invariant is registered, every update's Report (and
+// BatchReport) carries the verdict transitions it caused in Events.
+func (c *Checker) Monitor() *Monitor {
+	if c.monitor == nil {
+		c.monitor = monitor.New(c.net, c.BatchWorkers)
+	}
+	return c.monitor
+}

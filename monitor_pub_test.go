@@ -1,0 +1,96 @@
+package deltanet
+
+import (
+	"testing"
+)
+
+// chain3 builds a -> b -> c and returns the checker, switches, and links.
+func chain3(t *testing.T) (*Checker, [3]SwitchID, [2]LinkID) {
+	t.Helper()
+	c := New()
+	a := c.AddSwitch("a")
+	b := c.AddSwitch("b")
+	d := c.AddSwitch("c")
+	return c, [3]SwitchID{a, b, d}, [2]LinkID{c.AddLink(a, b), c.AddLink(b, d)}
+}
+
+// TestMonitorThroughChecker: invariants registered on Checker.Monitor()
+// produce transition events in every Report without further plumbing.
+func TestMonitorThroughChecker(t *testing.T) {
+	c, sw, _ := chain3(t)
+	m := c.Monitor()
+	if m != c.Monitor() {
+		t.Fatal("Monitor() not idempotent")
+	}
+	id, st := m.Register(WatchReachable(sw[0], sw[2]))
+	if st != InvariantViolated {
+		t.Fatalf("initial status: %v", st)
+	}
+
+	rep, err := c.InsertPrefixRule(1, sw[0], 0, "10.0.0.0/8", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Events) != 0 {
+		t.Fatalf("half a path caused events: %v", rep.Events)
+	}
+	rep, err = c.InsertPrefixRule(2, sw[1], 1, "10.0.0.0/8", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Kind != MonitorCleared || rep.Events[0].ID != id {
+		t.Fatalf("events: %v", rep.Events)
+	}
+
+	rep, err = c.RemoveRule(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Events) != 1 || rep.Events[0].Kind != MonitorViolation {
+		t.Fatalf("events after remove: %v", rep.Events)
+	}
+}
+
+// TestMonitorThroughBatch: one atomic batch reports the transitions of
+// its merged delta in BatchReport.Events.
+func TestMonitorThroughBatch(t *testing.T) {
+	c, sw, links := chain3(t)
+	m := c.Monitor()
+	m.Register(WatchReachable(sw[0], sw[2]))
+	m.Register(WatchWaypoint(sw[0], sw[2], sw[1]))
+	m.Register(WatchLoopFree())
+	m.Register(WatchBlackHoleFree(map[SwitchID]bool{sw[2]: true}))
+	m.Register(WatchIsolated([]SwitchID{sw[0]}, []SwitchID{sw[2]}))
+
+	prefix := MustParseInterval(t, "10.0.0.0/8")
+	rep, err := c.ApplyBatch([]BatchOp{
+		InsertOp(Rule{ID: 1, Source: sw[0], Link: links[0], Match: prefix, Priority: 1}),
+		InsertOp(Rule{ID: 2, Source: sw[1], Link: links[1], Match: prefix, Priority: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reachable clears; Isolated(a, c) becomes violated in the same batch.
+	var cleared, violated int
+	for _, ev := range rep.Events {
+		switch ev.Kind {
+		case MonitorCleared:
+			cleared++
+		case MonitorViolation:
+			violated++
+		}
+	}
+	if cleared != 1 || violated != 1 {
+		t.Fatalf("batch events: %v", rep.Events)
+	}
+}
+
+// MustParseInterval converts a CIDR string for test literals.
+func MustParseInterval(t *testing.T, cidr string) Interval {
+	t.Helper()
+	p, err := ParsePrefix(cidr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Interval()
+}

@@ -1,0 +1,136 @@
+package deltanet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// whatifTopo builds a 5-switch mesh on two checkers so batch and
+// sequential application can be compared link by link.
+func whatifTopo() (*Checker, *Checker, []SwitchID, []LinkID) {
+	build := func() (*Checker, []SwitchID, []LinkID) {
+		c := New(WithoutLoopChecking())
+		var sw []SwitchID
+		for i := 0; i < 5; i++ {
+			sw = append(sw, c.AddSwitch(fmt.Sprintf("s%d", i)))
+		}
+		var links []LinkID
+		for i := range sw {
+			for j := range sw {
+				if i != j {
+					links = append(links, c.AddLink(sw[i], sw[j]))
+				}
+			}
+		}
+		return c, sw, links
+	}
+	a, sw, links := build()
+	b, _, _ := build()
+	return a, b, sw, links
+}
+
+// TestWhatIfAfterBatchMatchesSequential: the failure subgraph computed
+// after an atomic batch must be identical, link for link and atom range
+// for atom range, to one computed after the same updates applied one at a
+// time — ApplyBatch's dedup/compaction must not perturb what-if analyses.
+func TestWhatIfAfterBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	batchC, seqC, _, links := whatifTopo()
+
+	nextID := RuleID(1)
+	var live []RuleID
+	randomOps := func(n int) []BatchOp {
+		var ops []BatchOp
+		removed := map[RuleID]bool{}
+		for k := 0; k < n; k++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				id := live[rng.Intn(len(live))]
+				if removed[id] {
+					continue
+				}
+				removed[id] = true
+				ops = append(ops, RemoveOp(id))
+				continue
+			}
+			l := links[rng.Intn(len(links))]
+			lo := uint64(rng.Intn(1 << 14))
+			r := Rule{
+				ID:       nextID,
+				Source:   batchC.Network().Graph().Link(l).Src,
+				Link:     l,
+				Match:    Interval{Lo: lo, Hi: lo + 1 + uint64(rng.Intn(1<<12))},
+				Priority: Priority(rng.Intn(16)),
+			}
+			nextID++
+			live = append(live, r.ID)
+			ops = append(ops, InsertOp(r))
+		}
+		var kept []RuleID
+		for _, id := range live {
+			if !removed[id] {
+				kept = append(kept, id)
+			}
+		}
+		live = kept
+		return ops
+	}
+
+	for round := 0; round < 8; round++ {
+		ops := randomOps(12)
+		if _, err := batchC.ApplyBatch(ops); err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			var err error
+			if op.Insert {
+				_, err = seqC.InsertRule(op.Rule)
+			} else {
+				_, err = seqC.RemoveRule(op.Rule.ID)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if !BehaviourEqual(batchC, seqC) {
+			t.Fatalf("round %d: behaviours diverge", round)
+		}
+		for _, l := range links {
+			bs := batchC.WhatIfLinkFails(l)
+			ss := seqC.WhatIfLinkFails(l)
+			if got, want := fingerprint(batchC, l, bs.Links, bs.Labels, bs.Affected),
+				fingerprint(seqC, l, ss.Links, ss.Labels, ss.Affected); got != want {
+				t.Fatalf("round %d link %d:\nbatch: %s\nseq:   %s", round, l, got, want)
+			}
+		}
+	}
+}
+
+// fingerprint canonicalizes a failure subgraph by rendering every
+// affected label as merged address intervals (atom ids may differ between
+// the two engines; address ranges may not).
+func fingerprint(c *Checker, failed LinkID, links []LinkID, labels []*AtomSet, affected *AtomSet) string {
+	s := fmt.Sprintf("fail=%d affected=%v", failed, rangesOf(c, affected))
+	for i, l := range links {
+		s += fmt.Sprintf(" %d=%v", l, rangesOf(c, labels[i]))
+	}
+	return s
+}
+
+// rangesOf converts an atom set to merged address intervals.
+func rangesOf(c *Checker, atoms *AtomSet) []Interval {
+	var out []Interval
+	c.Network().ForEachAtom(func(id AtomID, iv Interval) bool {
+		if !atoms.Contains(int(id)) {
+			return true
+		}
+		if n := len(out); n > 0 && out[n-1].Hi == iv.Lo {
+			out[n-1].Hi = iv.Hi
+		} else {
+			out = append(out, iv)
+		}
+		return true
+	})
+	return out
+}
