@@ -5,11 +5,15 @@
 // Usage:
 //
 //	dnserve [-addr host:port] [-gc] [-trace file] [-batch n]
+//	        [-burst-deltas n] [-burst-age d]
 //
 // With -trace, the topology and insertions of the trace are preloaded
 // before serving; -batch n applies the preload as atomic batches of n
 // rules through the parallel batch pipeline instead of one rule at a
-// time. See internal/server for the protocol (including the B command).
+// time. -burst-deltas/-burst-age preconfigure the monitor's coalescing
+// burst mode (equivalent to the protocol's burst command; -burst-age also
+// starts the background flusher). See internal/server for the protocol
+// (including the B, W, burst, and flush commands).
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 
 	"deltanet/internal/core"
+	"deltanet/internal/monitor"
 	"deltanet/internal/netgraph"
 	"deltanet/internal/server"
 	"deltanet/internal/trace"
@@ -29,12 +34,20 @@ func main() {
 	gc := flag.Bool("gc", false, "enable atom garbage collection")
 	traceFile := flag.String("trace", "", "preload this trace's topology and insertions")
 	batch := flag.Int("batch", 1, "preload batch size (>1 uses the parallel batch pipeline)")
+	burstDeltas := flag.Int("burst-deltas", 0, "coalesce this many deltas per monitor burst (>=2 enables)")
+	burstAge := flag.Duration("burst-age", 0, "flush a pending monitor burst at this age (>0 enables)")
 	flag.Parse()
 	if *batch < 1 {
 		fatal(fmt.Errorf("-batch must be >= 1, got %d", *batch))
 	}
+	if *burstDeltas < 0 || *burstAge < 0 {
+		fatal(fmt.Errorf("-burst-deltas and -burst-age must be non-negative"))
+	}
 
 	s := server.New(core.Options{GC: *gc})
+	if *burstDeltas >= 2 || *burstAge > 0 {
+		s.SetBurst(monitor.BurstConfig{MaxDeltas: *burstDeltas, MaxAge: *burstAge})
+	}
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {

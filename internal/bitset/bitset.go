@@ -189,6 +189,46 @@ func (s *Set) OrAnd(a, b *Set) bool {
 	return changed
 }
 
+// AndOf overwrites s with a ∩ b, reusing s's capacity — the allocation-free
+// form of Intersect for hot paths that keep a scratch set (the reachability
+// fixpoint's per-hop contribution, the monitor's dirty marking).
+func (s *Set) AndOf(a, b *Set) {
+	n := len(a.words)
+	if len(b.words) < n {
+		n = len(b.words)
+	}
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+	} else {
+		s.words = s.words[:n]
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// NextSet returns the smallest element ≥ v, or -1 if no such element
+// exists — the resumable iteration primitive (NextSet(0) is Min).
+func (s *Set) NextSet(v int) int {
+	if v < 0 {
+		v = 0
+	}
+	w := v / wordBits
+	if w >= len(s.words) {
+		return -1
+	}
+	// Mask off the bits below v in the first word.
+	if cur := s.words[w] &^ ((1 << (uint(v) % wordBits)) - 1); cur != 0 {
+		return w*wordBits + bits.TrailingZeros64(cur)
+	}
+	for i := w + 1; i < len(s.words); i++ {
+		if s.words[i] != 0 {
+			return i*wordBits + bits.TrailingZeros64(s.words[i])
+		}
+	}
+	return -1
+}
+
 // Intersects reports whether s and o share at least one element, without
 // allocating.
 func (s *Set) Intersects(o *Set) bool {

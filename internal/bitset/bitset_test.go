@@ -338,3 +338,59 @@ func BenchmarkOrAnd4096(b *testing.B) {
 		x.OrAnd(y, z)
 	}
 }
+
+func TestNextSet(t *testing.T) {
+	s := FromSlice([]int{3, 64, 65, 200})
+	cases := []struct{ from, want int }{
+		{-5, 3}, {0, 3}, {3, 3}, {4, 64}, {64, 64}, {65, 65}, {66, 200},
+		{200, 200}, {201, -1}, {10_000, -1},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := New(0).NextSet(0); got != -1 {
+		t.Errorf("empty NextSet(0) = %d, want -1", got)
+	}
+	// Walking via NextSet enumerates exactly the elements.
+	var walked []int
+	for v := s.NextSet(0); v >= 0; v = s.NextSet(v + 1) {
+		walked = append(walked, v)
+	}
+	if want := s.Slice(); !slicesEqual(walked, want) {
+		t.Errorf("NextSet walk %v, want %v", walked, want)
+	}
+}
+
+func TestAndOf(t *testing.T) {
+	a := FromSlice([]int{1, 5, 70, 128, 300})
+	b := FromSlice([]int{5, 70, 301})
+	s := New(512) // oversized scratch: AndOf must shrink it
+	s.Add(400)    // stale content must vanish
+	s.AndOf(a, b)
+	if want := Intersect(a, b); !s.Equal(want) {
+		t.Errorf("AndOf = %v, want %v", s, want)
+	}
+	// Different operand sizes, reusing the same scratch.
+	s.AndOf(b, a)
+	if want := Intersect(a, b); !s.Equal(want) {
+		t.Errorf("AndOf reversed = %v, want %v", s, want)
+	}
+	s.AndOf(a, New(0))
+	if !s.Empty() {
+		t.Errorf("AndOf with empty = %v, want empty", s)
+	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

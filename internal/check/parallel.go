@@ -55,6 +55,47 @@ func RunParallel(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// RunSharded invokes fn(worker, i) for every i in [0, n), partitioning the
+// index space into contiguous per-worker queues: worker w owns one slice of
+// [0, n) and processes it in order. Unlike RunParallel's dynamic work
+// stealing, the static queues give each worker a stable identity and a
+// cache-friendly contiguous range, so callers can keep per-worker scratch
+// (evaluation queues, result buffers) without any locking — the sharding
+// hook the invariant monitor fans its dirty-set evaluations out over.
+// workers ≤ 0 selects GOMAXPROCS; one worker or one job runs serially on
+// the caller's goroutine as worker 0.
+func RunSharded(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		// Queue w is [w*n/workers, (w+1)*n/workers): contiguous, and the
+		// sizes differ by at most one.
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(w, i)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
 // FindLoopsDeltaAuto picks the serial or parallel delta loop check by
 // delta size: merged batch deltas with many label additions fan out over
 // the worker pool, while the common 1–2 atom delta stays serial.

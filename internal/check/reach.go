@@ -38,6 +38,7 @@ func (o fixpoint) run(n *core.Network, from netgraph.NodeID) []*bitset.Set {
 	inQueue := make([]bool, g.NumNodes())
 	queue := []netgraph.NodeID{from}
 	inQueue[from] = true
+	scratch := bitset.New(0) // reused per hop; UnionWith below copies out of it
 
 	for len(queue) > 0 {
 		v := queue[0]
@@ -62,10 +63,11 @@ func (o fixpoint) run(n *core.Network, from netgraph.NodeID) []*bitset.Set {
 				// Everything the first hop admits.
 				contribution = label
 			} else {
-				contribution = bitset.Intersect(reach[v], label)
-				if contribution.Empty() {
+				scratch.AndOf(reach[v], label)
+				if scratch.Empty() {
 					continue
 				}
+				contribution = scratch
 			}
 			w := g.Link(lid).Dst
 			if reach[w] == nil {

@@ -1,0 +1,193 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+)
+
+// TestBurstCountTrigger: with MaxDeltas=3, the first two updates only
+// coalesce (no events, stale cached verdict), and the third flushes the
+// merged delta, emitting one event stamped with the coalesced update
+// range.
+func TestBurstCountTrigger(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	m.SetBurst(BurstConfig{MaxDeltas: 3})
+	id, st := m.Register(Reachable{From: nodes[0], To: nodes[3]})
+	if st != Violated {
+		t.Fatalf("initial status: %v", st)
+	}
+
+	// Three inserts complete the a->b->c->d path; only the third (which
+	// trips the flush) may report events.
+	for i, link := range links {
+		ev := mustInsert(t, n, m, core.Rule{ID: core.RuleID(i + 1), Source: nodes[i], Link: link,
+			Match: ipnet.Interval{Lo: 0, Hi: 100}, Priority: 1})
+		if i < 2 {
+			if len(ev) != 0 {
+				t.Fatalf("update %d emitted before flush: %v", i, ev)
+			}
+			if got := m.Pending(); got != i+1 {
+				t.Fatalf("update %d: pending = %d, want %d", i, got, i+1)
+			}
+			if got, _, _ := m.Status(id); got != Violated {
+				t.Fatalf("update %d: cached verdict flipped mid-burst", i)
+			}
+		} else {
+			if len(ev) != 1 || ev[0].Kind != Cleared || ev[0].ID != id {
+				t.Fatalf("flush events: %v", ev)
+			}
+			if ev[0].FirstUpdate != 1 || ev[0].LastUpdate != 3 {
+				t.Fatalf("event update range %d:%d, want 1:3", ev[0].FirstUpdate, ev[0].LastUpdate)
+			}
+		}
+	}
+	if got, _, _ := m.Status(id); got != Holds {
+		t.Fatalf("status after flush: %v", got)
+	}
+	st2 := m.Stats()
+	if st2.Bursts != 1 || st2.Coalesced != 3 || st2.Pending != 0 {
+		t.Fatalf("stats %+v: want 1 burst of 3 coalesced deltas, none pending", st2)
+	}
+	// One evaluation for the whole burst, not one per update.
+	if st2.Evaluations != 1 {
+		t.Fatalf("stats %+v: want exactly 1 evaluation for the burst", st2)
+	}
+}
+
+// TestBurstExplicitFlush: Flush evaluates a partial burst immediately and
+// is a no-op when nothing is pending.
+func TestBurstExplicitFlush(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	m.SetBurst(BurstConfig{MaxDeltas: 100})
+	id, _ := m.Register(Reachable{From: nodes[0], To: nodes[1]})
+
+	if ev := m.Flush(); ev != nil {
+		t.Fatalf("flush of empty burst: %v", ev)
+	}
+	if ev := mustInsert(t, n, m, core.Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: ipnet.Interval{Lo: 0, Hi: 100}, Priority: 1}); len(ev) != 0 {
+		t.Fatalf("coalesced update emitted: %v", ev)
+	}
+	ev := m.Flush()
+	if len(ev) != 1 || ev[0].Kind != Cleared || ev[0].ID != id {
+		t.Fatalf("flush events: %v", ev)
+	}
+	if ev[0].FirstUpdate != 1 || ev[0].LastUpdate != 1 {
+		t.Fatalf("event update range %d:%d, want 1:1", ev[0].FirstUpdate, ev[0].LastUpdate)
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending after flush: %d", m.Pending())
+	}
+}
+
+// TestBurstAgeTrigger: with only MaxAge set, an Apply that finds the
+// pending burst old enough flushes it.
+func TestBurstAgeTrigger(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	m.SetBurst(BurstConfig{MaxAge: 5 * time.Millisecond})
+	id, _ := m.Register(Reachable{From: nodes[0], To: nodes[1]})
+
+	if ev := mustInsert(t, n, m, core.Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: ipnet.Interval{Lo: 0, Hi: 100}, Priority: 1}); len(ev) != 0 {
+		t.Fatalf("young burst flushed immediately: %v", ev)
+	}
+	time.Sleep(10 * time.Millisecond)
+	// An unrelated update on the other link now trips the age trigger;
+	// the flush evaluates the whole merged window.
+	ev := mustInsert(t, n, m, core.Rule{ID: 2, Source: nodes[1], Link: links[1],
+		Match: ipnet.Interval{Lo: 0, Hi: 100}, Priority: 1})
+	if len(ev) != 1 || ev[0].ID != id || ev[0].Kind != Cleared {
+		t.Fatalf("age-triggered flush events: %v", ev)
+	}
+	if ev[0].FirstUpdate != 1 || ev[0].LastUpdate != 2 {
+		t.Fatalf("event update range %d:%d, want 1:2", ev[0].FirstUpdate, ev[0].LastUpdate)
+	}
+}
+
+// TestBurstCancellingUpdates: an insert and its removal coalesced into
+// one burst cancel out — the flush must not report a transition, and the
+// cached verdict must match a from-scratch evaluation.
+func TestBurstCancellingUpdates(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	m.SetBurst(BurstConfig{MaxDeltas: 2})
+	id, _ := m.Register(Reachable{From: nodes[0], To: nodes[1]})
+
+	ev := mustInsert(t, n, m, core.Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: ipnet.Interval{Lo: 0, Hi: 100}, Priority: 1})
+	if len(ev) != 0 {
+		t.Fatalf("first update emitted: %v", ev)
+	}
+	ev = mustRemove(t, n, m, 1)
+	if len(ev) != 0 {
+		t.Fatalf("cancelled burst emitted: %v", ev)
+	}
+	if got, _, _ := m.Status(id); got != Violated {
+		t.Fatalf("status after cancelled burst: %v, want violated", got)
+	}
+}
+
+// TestRecheckAllAbsorbsPendingBurst: RecheckAll covers everything a
+// buffered burst could have dirtied, so the pending burst is dropped and
+// verdicts still come out right.
+func TestRecheckAllAbsorbsPendingBurst(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	m.SetBurst(BurstConfig{MaxDeltas: 100})
+	id, _ := m.Register(Reachable{From: nodes[0], To: nodes[1]})
+
+	mustInsert(t, n, m, core.Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: ipnet.Interval{Lo: 0, Hi: 100}, Priority: 1})
+	ev := m.RecheckAll()
+	if len(ev) != 1 || ev[0].ID != id || ev[0].Kind != Cleared {
+		t.Fatalf("RecheckAll events: %v", ev)
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending after RecheckAll: %d", m.Pending())
+	}
+	if ev := m.Flush(); ev != nil {
+		t.Fatalf("flush after RecheckAll: %v", ev)
+	}
+}
+
+// TestDisableBurstAbsorbsPending: if bursting is disabled while deltas
+// are still buffered and no explicit Flush intervenes, the next Apply
+// must absorb the buffered window rather than evaluate against its own
+// delta alone.
+func TestDisableBurstAbsorbsPending(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	m.SetBurst(BurstConfig{MaxDeltas: 100})
+	id, _ := m.Register(Reachable{From: nodes[0], To: nodes[2]})
+
+	// Buffered: the first hop of the a->c path.
+	mustInsert(t, n, m, core.Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: ipnet.Interval{Lo: 0, Hi: 100}, Priority: 1})
+	m.SetBurst(BurstConfig{}) // disabled with one delta still pending
+
+	// The completing hop arrives through the now-unbursted path; its
+	// evaluation must see the merged window and clear the invariant.
+	ev := mustInsert(t, n, m, core.Rule{ID: 2, Source: nodes[1], Link: links[1],
+		Match: ipnet.Interval{Lo: 0, Hi: 100}, Priority: 1})
+	if len(ev) != 1 || ev[0].ID != id || ev[0].Kind != Cleared {
+		t.Fatalf("absorbing apply events: %v", ev)
+	}
+	if ev[0].FirstUpdate != 1 || ev[0].LastUpdate != 2 {
+		t.Fatalf("event update range %d:%d, want 1:2", ev[0].FirstUpdate, ev[0].LastUpdate)
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending after absorption: %d", m.Pending())
+	}
+}

@@ -1,0 +1,159 @@
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"deltanet/internal/bitset"
+)
+
+// indexShards is the number of link shards in the dependency index. Links
+// are dense integers, so link % indexShards spreads a topology's links
+// evenly; 16 shards keep lock contention negligible up to hundreds of
+// concurrent registrations without bloating the per-monitor footprint.
+const indexShards = 16
+
+// depIndex is the monitor's sharded dependency index: for every link, the
+// set of invariant slots whose last evaluation depended on it. Dirty
+// marking on an update is then one bitmap union per changed link instead
+// of a scan over every registered invariant — the partitioned-state design
+// (NFork's lesson applied to the monitor) that makes 10⁵ standing
+// invariants affordable.
+//
+// Links born after an invariant's last evaluation must conservatively
+// dirty it (a new out-link can extend reachability the old evaluation
+// never saw). The index realizes that rule structurally: when it grows to
+// cover new links, each new link's bitmap is seeded with every currently
+// dep-tracked slot ("born dirty"), and an invariant's next evaluation
+// clears the seeds its fresh dependency set does not confirm.
+//
+// Locking: each shard has its own RWMutex; growth is serialized by growMu.
+// Shard mutexes are leaves — nothing else is acquired under them — so
+// callers may hold any of the monitor's other locks.
+type depIndex struct {
+	growMu sync.Mutex   // serializes growth
+	upTo   atomic.Int64 // links [0, upTo) have bitmaps
+
+	shards [indexShards]indexShard
+}
+
+type indexShard struct {
+	mu sync.RWMutex
+	// byLink[link/indexShards] is the slot bitmap of link; the shard owns
+	// links ≡ its index (mod indexShards).
+	byLink []*bitset.Set
+}
+
+// growTo extends the index to cover links [0, numLinks), seeding each new
+// link's bitmap with seed (the dep-tracked slots at the time of growth —
+// see the born-dirty rule above). Callers pass a snapshot of the
+// monitor's depSlots taken under regMu.
+func (ix *depIndex) growTo(numLinks int, seed *bitset.Set) {
+	if int(ix.upTo.Load()) >= numLinks {
+		return
+	}
+	ix.growMu.Lock()
+	defer ix.growMu.Unlock()
+	from := int(ix.upTo.Load())
+	if from >= numLinks {
+		return
+	}
+	for l := from; l < numLinks; l++ {
+		sh := &ix.shards[l%indexShards]
+		sh.mu.Lock()
+		for len(sh.byLink) <= l/indexShards {
+			sh.byLink = append(sh.byLink, nil)
+		}
+		sh.byLink[l/indexShards] = seed.Clone()
+		sh.mu.Unlock()
+	}
+	ix.upTo.Store(int64(numLinks))
+}
+
+// collect unions into dirty the slot bitmaps of every changed link. Links
+// ≥ upTo are ignored; callers growTo first, so none exist by the time a
+// delta naming them is applied.
+func (ix *depIndex) collect(changed, dirty *bitset.Set) {
+	changed.ForEach(func(l int) bool {
+		sh := &ix.shards[l%indexShards]
+		sh.mu.RLock()
+		if i := l / indexShards; i < len(sh.byLink) && sh.byLink[i] != nil {
+			dirty.UnionWith(sh.byLink[i])
+		}
+		sh.mu.RUnlock()
+		return true
+	})
+}
+
+func (ix *depIndex) set(link, slot int) {
+	sh := &ix.shards[link%indexShards]
+	sh.mu.Lock()
+	if i := link / indexShards; i < len(sh.byLink) && sh.byLink[i] != nil {
+		sh.byLink[i].Add(slot)
+	}
+	sh.mu.Unlock()
+}
+
+func (ix *depIndex) clear(link, slot int) {
+	sh := &ix.shards[link%indexShards]
+	sh.mu.Lock()
+	if i := link / indexShards; i < len(sh.byLink) && sh.byLink[i] != nil {
+		sh.byLink[i].Remove(slot)
+	}
+	sh.mu.Unlock()
+}
+
+// insert indexes a slot's freshly recorded dependency set (deps non-nil).
+func (ix *depIndex) insert(slot int, deps *bitset.Set) {
+	deps.ForEach(func(l int) bool {
+		ix.set(l, slot)
+		return true
+	})
+}
+
+// update re-indexes a slot after a re-evaluation: oldDeps/oldUpTo are the
+// dependency set and link count of the previous evaluation (the slot's
+// bits live in oldDeps plus the born-dirty range [oldUpTo, upTo)), newDeps
+// is the fresh set. A nil set means "not dep-tracked" on that side.
+func (ix *depIndex) update(slot int, oldDeps *bitset.Set, oldUpTo int, newDeps *bitset.Set) {
+	upTo := int(ix.upTo.Load())
+	in := func(s *bitset.Set, l int) bool { return s != nil && s.Contains(l) }
+	// Clear stale bits: previous deps and born-dirty seeds the new
+	// evaluation did not confirm.
+	if oldDeps != nil {
+		oldDeps.ForEach(func(l int) bool {
+			if !in(newDeps, l) {
+				ix.clear(l, slot)
+			}
+			return true
+		})
+		for l := oldUpTo; l < upTo; l++ {
+			if !in(newDeps, l) {
+				ix.clear(l, slot)
+			}
+		}
+	}
+	// Set fresh bits; re-setting a surviving bit or seed is harmless.
+	if newDeps != nil {
+		newDeps.ForEach(func(l int) bool {
+			if !in(oldDeps, l) {
+				ix.set(l, slot)
+			}
+			return true
+		})
+	}
+}
+
+// removeSlot erases every bit a slot may own: its recorded deps plus the
+// born-dirty range. Must run before the slot number is reused.
+func (ix *depIndex) removeSlot(slot int, deps *bitset.Set, depsUpTo int) {
+	if deps != nil {
+		deps.ForEach(func(l int) bool {
+			ix.clear(l, slot)
+			return true
+		})
+	}
+	for l, upTo := depsUpTo, int(ix.upTo.Load()); l < upTo; l++ {
+		ix.clear(l, slot)
+	}
+}

@@ -6,31 +6,44 @@
 // The whole point of Delta-net (paper §3.3) is that every rule update
 // yields a delta-graph, so invariants should be re-checked from that
 // delta rather than recomputed from scratch. The monitor realizes this
-// for arbitrary standing queries with a dependency index: each
-// evaluation records the set of links it examined, and an update only
-// re-evaluates the invariants whose dependency set intersects the
-// update's changed labels (plus the structurally-global checks, which
-// re-evaluate incrementally from the delta itself). Re-evaluations fan
-// out over the check package's worker pool, and verdict transitions are
-// emitted as Violation/Cleared events to subscribers.
+// for arbitrary standing queries with a sharded dependency index: each
+// evaluation records the set of links it examined, the index maps every
+// link to the bitmap of invariants depending on it, and an update dirties
+// exactly the union of the changed links' bitmaps — an index intersection
+// instead of a scan over every registered invariant (plus the
+// structurally-global checks, which re-evaluate incrementally from the
+// delta itself). Re-evaluations fan out over per-worker queues
+// (check.RunSharded), and verdict transitions are emitted as
+// Violation/Cleared events to subscribers.
 //
-// Concurrency: Apply, Register, Unregister, Subscribe and the query
-// methods are safe to call from multiple goroutines, but the monitor
-// only reads the network — the caller must guarantee the network is not
-// mutated during a call (the Checker's single-writer discipline and the
-// server's RWMutex both do).
+// Under heavy churn the monitor can additionally coalesce updates: with a
+// burst configuration set (SetBurst), consecutive deltas are merged
+// (core.Delta.Merge) and each dirty invariant is re-evaluated once per
+// burst rather than once per update, trading event latency for
+// throughput. See BurstConfig.
+//
+// Concurrency: all exported methods are safe to call from multiple
+// goroutines, but the monitor only reads the network — the caller must
+// guarantee the network is not mutated during a call (the Checker's
+// single-writer discipline and the server's RWMutex both do).
+// Registration and unregistration take striped and per-invariant locks
+// only, so they do not stall a concurrent Apply's evaluation pass.
 package monitor
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"deltanet/internal/bitset"
 	"deltanet/internal/check"
 	"deltanet/internal/core"
 )
 
-// ID identifies one registered invariant within a monitor.
+// ID identifies one registered invariant within a monitor. IDs are
+// assigned in registration order and never reused.
 type ID int64
 
 // Status is an invariant's current verdict.
@@ -69,13 +82,17 @@ func (k EventKind) String() string {
 
 // Event records one verdict transition. Seq increases monotonically
 // across all events of a monitor, so subscribers can order and detect
-// gaps.
+// gaps. FirstUpdate and LastUpdate delimit the (inclusive) range of
+// update sequence numbers whose coalesced delta produced the event: they
+// are equal outside burst mode, and span the merged burst inside it.
 type Event struct {
-	Seq    uint64
-	ID     ID
-	Spec   Spec
-	Kind   EventKind
-	Detail string
+	Seq         uint64
+	ID          ID
+	Spec        Spec
+	Kind        EventKind
+	Detail      string
+	FirstUpdate uint64
+	LastUpdate  uint64
 }
 
 func (e Event) String() string {
@@ -85,14 +102,30 @@ func (e Event) String() string {
 // invariant pairs a registered spec with its cached monitor state.
 type invariant struct {
 	id   ID
+	slot int // dense bitmap index; reused after final unregistration
 	spec Spec
+	key  string // canonical dedup key (specKey)
+
+	// refs counts live registrations of this spec (guarded by m.regMu):
+	// re-registering an identical spec returns the same invariant with
+	// refs incremented, and only the final Unregister removes it.
+	refs int
+
+	// mu guards st and dead. Held during every evaluation of this
+	// invariant, so Status and the dedup path in Register observe fully
+	// evaluated state.
+	mu   sync.Mutex
+	dead bool
 	st   state
 }
 
 // Stats summarizes a monitor's work so far.
 type Stats struct {
-	// Registered is the current number of standing invariants.
+	// Registered is the current number of standing invariants (distinct;
+	// refcounted re-registrations do not add).
 	Registered int
+	// Updates counts deltas consumed by Apply.
+	Updates uint64
 	// Evaluations counts invariant re-evaluations triggered by deltas
 	// (registration-time and RecheckAll evaluations excluded).
 	Evaluations uint64
@@ -102,77 +135,231 @@ type Stats struct {
 	Skips uint64
 	// Events counts verdict transitions emitted.
 	Events uint64
+	// Bursts counts evaluation passes that coalesced at least one delta,
+	// and Coalesced the total deltas merged into them. Pending is the
+	// number of deltas currently buffered awaiting a flush.
+	Bursts    uint64
+	Coalesced uint64
+	Pending   int
+}
+
+// regStripes is the number of registration stripes. ID lookups (Status,
+// Unregister, Invariants) lock only their stripe, so queries from many
+// connections do not serialize on one registration mutex.
+const regStripes = 16
+
+type regStripe struct {
+	mu   sync.RWMutex
+	invs map[ID]*invariant
 }
 
 // Monitor maintains standing invariants over one network.
+//
+// Lock ordering (outer first): applyMu → inv.mu → regMu → index locks →
+// eventMu. Stripe mutexes are acquired under inv.mu or on their own,
+// never the reverse; inv.mu is never acquired while holding regMu, a
+// stripe mutex, or eventMu.
 type Monitor struct {
-	mu      sync.Mutex
 	net     *core.Network
 	workers int
 
-	invs   map[ID]*invariant
-	order  []ID // registration order, for deterministic event emission
-	nextID ID
-	seq    uint64
+	// applyMu serializes evaluation passes (Apply, Flush, RecheckAll) and
+	// guards the burst state below it.
+	applyMu        sync.Mutex
+	burst          BurstConfig
+	updSeq         uint64
+	pending        core.Delta
+	pendingChanged *bitset.Set
+	pendingCount   int
+	pendingFirst   uint64 // update seq of the first coalesced delta
+	pendingSince   time.Time
 
-	subs map[*Subscription]struct{}
+	// regMu guards the structural registration state: the dedup map, the
+	// slot table, and the slot classification bitmaps. It is never held
+	// during an evaluation.
+	regMu       sync.RWMutex
+	byKey       map[string]*invariant
+	slots       []*invariant // slot -> invariant; nil = free
+	freeSlots   *bitset.Set
+	depSlots    *bitset.Set // slots whose last evaluation recorded a deps set
+	globalSlots *bitset.Set // slots with structural (delta-driven) dirtiness
 
-	evals, skips, events uint64
+	stripes [regStripes]regStripe
+	nextID  atomic.Int64
+	regd    atomic.Int64 // current number of registered invariants
+
+	index depIndex
+
+	// flatScan, when set, bypasses the dependency index and marks dirty
+	// invariants with the pre-sharding O(registered) scan — the ablation
+	// baseline the benchmarks compare the index against.
+	flatScan atomic.Bool
+
+	eventMu sync.Mutex
+	seq     uint64
+	subs    map[*Subscription]struct{}
+
+	evals, skips, events, bursts, coalesced atomic.Uint64
 }
 
 // New returns a monitor over the network. workers bounds the evaluation
 // fan-out; ≤ 0 selects GOMAXPROCS.
 func New(net *core.Network, workers int) *Monitor {
-	return &Monitor{
-		net:     net,
-		workers: workers,
-		invs:    map[ID]*invariant{},
-		subs:    map[*Subscription]struct{}{},
+	m := &Monitor{
+		net:            net,
+		workers:        workers,
+		byKey:          map[string]*invariant{},
+		freeSlots:      bitset.New(0),
+		depSlots:       bitset.New(0),
+		globalSlots:    bitset.New(0),
+		pendingChanged: bitset.New(0),
+		subs:           map[*Subscription]struct{}{},
 	}
+	for i := range m.stripes {
+		m.stripes[i].invs = map[ID]*invariant{}
+	}
+	return m
 }
+
+func (m *Monitor) stripe(id ID) *regStripe { return &m.stripes[uint64(id)%regStripes] }
+
+// SetFlatScan toggles the pre-sharding dirty-marking path (a full scan
+// calling every invariant's dirty test) in place of the dependency
+// index. It exists as the ablation baseline for benchmarks and
+// equivalence tests; production callers should leave it off.
+func (m *Monitor) SetFlatScan(on bool) { m.flatScan.Store(on) }
 
 // Register adds a standing invariant, evaluates it immediately, and
 // returns its id and initial status. Registration emits no event: events
 // are transitions, and a fresh invariant has nothing to transition from.
+//
+// Registrations are refcounted by spec: registering a spec identical to a
+// live one returns the existing id (and its current status) and adds a
+// reference, so flapping clients re-registering the same watch cannot
+// grow the monitor without bound. Each Register must be balanced by one
+// Unregister.
 func (m *Monitor) Register(s Spec) (ID, Status) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	inv := &invariant{id: m.nextID, spec: s}
-	m.nextID++
-	v := s.eval(m.net, nil, &inv.st)
+	k := specKey(s)
+	m.regMu.Lock()
+	if inv := m.byKey[k]; inv != nil {
+		inv.refs++
+		m.regMu.Unlock()
+		// Wait out a concurrent initial evaluation, then read the verdict.
+		inv.mu.Lock()
+		st := inv.st.status
+		inv.mu.Unlock()
+		return inv.id, st
+	}
+	inv := &invariant{
+		id:   ID(m.nextID.Add(1) - 1),
+		slot: m.allocSlotLocked(),
+		spec: s,
+		key:  k,
+		refs: 1,
+	}
+	inv.mu.Lock() // uncontended: inv is not yet published
+	m.byKey[k] = inv
+	m.slots[inv.slot] = inv
+	m.regMu.Unlock()
+	m.regd.Add(1)
+
+	str := m.stripe(inv.id)
+	str.mu.Lock()
+	str.invs[inv.id] = inv
+	str.mu.Unlock()
+
+	// The expensive part — the initial evaluation — runs under inv.mu
+	// only, so it stalls neither Apply's evaluation pass nor other
+	// registrations.
+	v := inv.spec.eval(m.net, nil, &inv.st)
 	inv.st.status = statusOf(v)
 	inv.st.detail = v.detail
-	inv.st.linksAtEval = m.net.Graph().NumLinks()
-	m.invs[inv.id] = inv
-	m.order = append(m.order, inv.id)
-	return inv.id, inv.st.status
+	numLinks := m.net.Graph().NumLinks()
+	inv.st.linksAtEval = numLinks
+
+	m.regMu.Lock()
+	m.index.growTo(numLinks, m.depSlots)
+	if inv.st.deps != nil {
+		m.depSlots.Add(inv.slot)
+	} else {
+		m.globalSlots.Add(inv.slot)
+	}
+	m.regMu.Unlock()
+	if inv.st.deps != nil {
+		m.index.insert(inv.slot, inv.st.deps)
+	}
+	st := inv.st.status
+	inv.mu.Unlock()
+	return inv.id, st
 }
 
-// Unregister removes an invariant; it reports whether the id was
+// allocSlotLocked returns a free slot number. Caller holds regMu.
+func (m *Monitor) allocSlotLocked() int {
+	if s := m.freeSlots.NextSet(0); s >= 0 {
+		m.freeSlots.Remove(s)
+		return s
+	}
+	m.slots = append(m.slots, nil)
+	return len(m.slots) - 1
+}
+
+// Unregister releases one reference to an invariant; the registration is
+// removed when the last reference goes. It reports whether the id was
 // registered.
 func (m *Monitor) Unregister(id ID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.invs[id]; !ok {
+	str := m.stripe(id)
+	str.mu.RLock()
+	inv := str.invs[id]
+	str.mu.RUnlock()
+	if inv == nil {
 		return false
 	}
-	delete(m.invs, id)
-	for i, v := range m.order {
-		if v == id {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
-		}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	m.regMu.Lock()
+	if inv.dead {
+		// Lost a race against the final Unregister of the same id.
+		m.regMu.Unlock()
+		return false
 	}
+	inv.refs--
+	if inv.refs > 0 {
+		m.regMu.Unlock()
+		return true
+	}
+	inv.dead = true
+	delete(m.byKey, inv.key)
+	m.slots[inv.slot] = nil
+	m.depSlots.Remove(inv.slot)
+	m.globalSlots.Remove(inv.slot)
+	// Erase the slot's index bits BEFORE freeSlots republishes the slot
+	// number: a concurrent Register reusing it must not have its fresh
+	// bits wiped by this removal. Safe against a concurrent evaluation
+	// pass: evaluations hold inv.mu, so none is in flight on this
+	// invariant, and later ones see dead and skip.
+	m.index.removeSlot(inv.slot, inv.st.deps, inv.st.linksAtEval)
+	m.freeSlots.Add(inv.slot)
+	m.regMu.Unlock()
+	m.regd.Add(-1)
+	str.mu.Lock()
+	delete(str.invs, id)
+	str.mu.Unlock()
 	return true
 }
 
 // Status returns an invariant's cached verdict and its human-readable
-// detail.
+// detail. In burst mode the verdict is as of the last flush.
 func (m *Monitor) Status(id ID) (Status, string, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	inv, ok := m.invs[id]
-	if !ok {
+	str := m.stripe(id)
+	str.mu.RLock()
+	inv := str.invs[id]
+	str.mu.RUnlock()
+	if inv == nil {
+		return 0, "", false
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if inv.dead {
 		return 0, "", false
 	}
 	return inv.st.status, inv.st.detail, true
@@ -191,40 +378,64 @@ type InvariantInfo struct {
 // their cached verdicts — the snapshot a fresh subscriber pairs with the
 // event stream.
 func (m *Monitor) Invariants() []InvariantInfo {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]InvariantInfo, 0, len(m.order))
-	for _, id := range m.order {
-		inv := m.invs[id]
-		out = append(out, InvariantInfo{ID: inv.id, Spec: inv.spec, Status: inv.st.status, Detail: inv.st.detail})
+	invs := m.sortedByID()
+	out := make([]InvariantInfo, 0, len(invs))
+	for _, inv := range invs {
+		inv.mu.Lock()
+		if !inv.dead {
+			out = append(out, InvariantInfo{ID: inv.id, Spec: inv.spec, Status: inv.st.status, Detail: inv.st.detail})
+		}
+		inv.mu.Unlock()
 	}
 	return out
 }
 
 // NumRegistered returns the current number of standing invariants.
-func (m *Monitor) NumRegistered() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.invs)
+func (m *Monitor) NumRegistered() int { return int(m.regd.Load()) }
+
+// sortedByID gathers every registered invariant from the stripes, sorted
+// by id — which is registration order, since ids are assigned
+// monotonically and never reused.
+func (m *Monitor) sortedByID() []*invariant {
+	var all []*invariant
+	for i := range m.stripes {
+		str := &m.stripes[i]
+		str.mu.RLock()
+		for _, inv := range str.invs {
+			all = append(all, inv)
+		}
+		str.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	return all
 }
 
 // Stats returns the monitor's work counters.
 func (m *Monitor) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.applyMu.Lock()
+	upd, pending := m.updSeq, m.pendingCount
+	m.applyMu.Unlock()
 	return Stats{
-		Registered:  len(m.invs),
-		Evaluations: m.evals,
-		Skips:       m.skips,
-		Events:      m.events,
+		Registered:  m.NumRegistered(),
+		Updates:     upd,
+		Evaluations: m.evals.Load(),
+		Skips:       m.skips.Load(),
+		Events:      m.events.Load(),
+		Bursts:      m.bursts.Load(),
+		Coalesced:   m.coalesced.Load(),
+		Pending:     pending,
 	}
 }
 
 // Apply consumes one update's delta-graph: invariants whose dependency
 // sets intersect the changed labels are re-evaluated (fanned out over the
-// worker pool) and verdict transitions are returned in registration order
-// and published to subscribers. Call it after every InsertRule,
+// per-worker queues) and verdict transitions are returned in registration
+// order and published to subscribers. Call it after every InsertRule,
 // RemoveRule, or ApplyBatch, before the delta is reused.
+//
+// In burst mode (SetBurst) the delta is usually only merged into the
+// pending burst and Apply returns nil; when the merge trips the flush
+// trigger, the coalesced delta is evaluated and those events returned.
 func (m *Monitor) Apply(d *core.Delta) []Event {
 	return m.ApplyWithLoops(d, nil, false)
 }
@@ -232,84 +443,199 @@ func (m *Monitor) Apply(d *core.Delta) []Event {
 // ApplyWithLoops is Apply for callers that already ran the per-update
 // delta loop check: when loopsKnown is true, loops is taken as that
 // check's authoritative result for d (it may be empty) and a registered
-// LoopFree invariant reuses it instead of re-walking the delta.
+// LoopFree invariant reuses it instead of re-walking the delta. In burst
+// mode the hint is dropped — a per-update result is stale for a merged
+// burst — and the flush re-derives loops from the coalesced delta.
 func (m *Monitor) ApplyWithLoops(d *core.Delta, loops []check.Loop, loopsKnown bool) []Event {
 	if d == nil || d.Empty() {
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.invs) == 0 {
+	m.applyMu.Lock()
+	defer m.applyMu.Unlock()
+	m.updSeq++
+	if m.burst.enabled() {
+		m.coalesceLocked(d)
+		if !m.shouldFlushLocked() {
+			return nil
+		}
+		return m.flushLocked()
+	}
+	if m.pendingCount > 0 {
+		// Bursting was disabled with deltas still buffered and no Flush in
+		// between: absorb them, or the incremental evaluations below would
+		// run against a delta that excludes the buffered changes.
+		m.coalesceLocked(d)
+		return m.flushLocked()
+	}
+	if m.regd.Load() == 0 {
 		return nil
 	}
-	changed := bitset.New(m.net.Graph().NumLinks())
+	changed := changedLinks(d, nil)
+	return m.evaluatePass(m.collectDirty(changed, d), &applyCtx{d: d, loops: loops, loopsKnown: loopsKnown}, m.updSeq, m.updSeq)
+}
+
+// changedLinks accumulates into dst (allocating if nil) the set of links
+// with label changes in d.
+func changedLinks(d *core.Delta, dst *bitset.Set) *bitset.Set {
+	if dst == nil {
+		dst = bitset.New(0)
+	}
 	for _, la := range d.Added {
-		changed.Add(int(la.Link))
+		dst.Add(int(la.Link))
 	}
 	for _, la := range d.Removed {
-		changed.Add(int(la.Link))
+		dst.Add(int(la.Link))
 	}
-	var dirty []*invariant
-	for _, id := range m.order {
-		inv := m.invs[id]
-		if inv.spec.dirty(&inv.st, d, changed) {
-			dirty = append(dirty, inv)
-		} else {
-			m.skips++
+	return dst
+}
+
+// collectDirty returns the invariants an update with the given changed
+// links must re-evaluate, sorted by id (= registration order). Caller
+// holds applyMu.
+func (m *Monitor) collectDirty(changed *bitset.Set, d *core.Delta) []*invariant {
+	if m.flatScan.Load() {
+		return m.collectDirtyFlat(changed, d)
+	}
+	numLinks := m.net.Graph().NumLinks()
+	if int(m.index.upTo.Load()) < numLinks {
+		m.regMu.RLock()
+		seed := m.depSlots.Clone()
+		m.regMu.RUnlock()
+		m.index.growTo(numLinks, seed)
+	}
+
+	// Sized lazily by the first union: len(m.slots) is regMu-guarded, and
+	// the index bitmaps are already slot-capacity words.
+	dirty := bitset.New(0)
+	m.index.collect(changed, dirty)
+
+	m.regMu.RLock()
+	cands := make([]*invariant, 0, dirty.Len()+m.globalSlots.Len())
+	dirty.ForEach(func(s int) bool {
+		if inv := m.slots[s]; inv != nil {
+			cands = append(cands, inv)
 		}
+		return true
+	})
+	var globals []*invariant
+	m.globalSlots.ForEach(func(s int) bool {
+		if inv := m.slots[s]; inv != nil {
+			globals = append(globals, inv)
+		}
+		return true
+	})
+	m.regMu.RUnlock()
+
+	// Global invariants decide dirtiness structurally from the delta.
+	for _, inv := range globals {
+		inv.mu.Lock()
+		if !inv.dead && inv.spec.dirty(&inv.st, d, changed) {
+			cands = append(cands, inv)
+		}
+		inv.mu.Unlock()
 	}
-	m.evals += uint64(len(dirty))
-	return m.evaluate(dirty, &applyCtx{d: d, loops: loops, loopsKnown: loopsKnown})
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+	return cands
+}
+
+// collectDirtyFlat is the pre-sharding baseline: every registered
+// invariant's dirty test runs against the changed set. Filtering the
+// already-sorted gather preserves registration order.
+func (m *Monitor) collectDirtyFlat(changed *bitset.Set, d *core.Delta) []*invariant {
+	var cands []*invariant
+	for _, inv := range m.sortedByID() {
+		inv.mu.Lock()
+		if !inv.dead && inv.spec.dirty(&inv.st, d, changed) {
+			cands = append(cands, inv)
+		}
+		inv.mu.Unlock()
+	}
+	return cands
 }
 
 // RecheckAll re-evaluates every registered invariant from scratch,
 // ignoring dependency sets — the audit path, and the naive baseline the
 // benchmarks compare Apply against. Transitions are returned and
-// published exactly as for Apply.
+// published exactly as for Apply. A pending burst is absorbed: the full
+// re-evaluation covers everything the buffered deltas could have dirtied.
 func (m *Monitor) RecheckAll() []Event {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	all := make([]*invariant, 0, len(m.order))
-	for _, id := range m.order {
-		all = append(all, m.invs[id])
+	m.applyMu.Lock()
+	defer m.applyMu.Unlock()
+	first := m.updSeq
+	if m.pendingCount > 0 {
+		first = m.pendingFirst
+		m.bursts.Add(1)
+		m.resetPendingLocked()
 	}
-	return m.evaluate(all, nil)
+	return m.evaluatePass(m.sortedByID(), nil, first, m.updSeq)
 }
 
-// evaluate runs the given invariants (in parallel), applies their new
-// verdicts, and publishes transitions. Caller holds m.mu.
-func (m *Monitor) evaluate(invs []*invariant, ctx *applyCtx) []Event {
-	if len(invs) == 0 {
+// evaluatePass re-evaluates cands (sorted by id) over per-worker queues,
+// re-indexes their dependency sets, and emits verdict transitions stamped
+// with the update range [updFirst, updLast]. Caller holds applyMu.
+func (m *Monitor) evaluatePass(cands []*invariant, ctx *applyCtx, updFirst, updLast uint64) []Event {
+	live := int(m.regd.Load())
+	if len(cands) < live {
+		m.skips.Add(uint64(live - len(cands)))
+	}
+	if len(cands) == 0 {
 		return nil
 	}
-	verdicts := make([]verdict, len(invs))
-	check.RunParallel(m.workers, len(invs), func(i int) {
-		verdicts[i] = invs[i].spec.eval(m.net, ctx, &invs[i].st)
-	})
 	numLinks := m.net.Graph().NumLinks()
-	var events []Event
-	for i, inv := range invs {
-		newStatus := statusOf(verdicts[i])
-		inv.st.detail = verdicts[i].detail
+	type outcome struct {
+		evaluated bool
+		was, now  Status
+		detail    string
+	}
+	outs := make([]outcome, len(cands))
+	var evaluated atomic.Uint64
+	check.RunSharded(m.workers, len(cands), func(_, i int) {
+		inv := cands[i]
+		inv.mu.Lock()
+		defer inv.mu.Unlock()
+		if inv.dead {
+			return
+		}
+		oldDeps, oldUpTo := inv.st.deps, inv.st.linksAtEval
+		was := inv.st.status
+		v := inv.spec.eval(m.net, ctx, &inv.st)
+		inv.st.status = statusOf(v)
+		inv.st.detail = v.detail
 		inv.st.linksAtEval = numLinks
-		if newStatus == inv.st.status {
+		// Re-index under inv.mu so a racing Unregister cannot interleave
+		// its bit erasure with ours.
+		m.index.update(inv.slot, oldDeps, oldUpTo, inv.st.deps)
+		outs[i] = outcome{evaluated: true, was: was, now: inv.st.status, detail: v.detail}
+		evaluated.Add(1)
+	})
+	if ctx != nil {
+		m.evals.Add(evaluated.Load())
+	}
+
+	var events []Event
+	m.eventMu.Lock()
+	for i, inv := range cands {
+		o := outs[i]
+		if !o.evaluated || o.now == o.was {
 			continue
 		}
-		inv.st.status = newStatus
 		kind := Cleared
-		if newStatus == Violated {
+		if o.now == Violated {
 			kind = Violation
 		}
 		m.seq++
 		events = append(events, Event{
-			Seq:    m.seq,
-			ID:     inv.id,
-			Spec:   inv.spec,
-			Kind:   kind,
-			Detail: verdicts[i].detail,
+			Seq:         m.seq,
+			ID:          inv.id,
+			Spec:        inv.spec,
+			Kind:        kind,
+			Detail:      o.detail,
+			FirstUpdate: updFirst,
+			LastUpdate:  updLast,
 		})
 	}
-	m.publish(events)
+	m.publishLocked(events)
+	m.eventMu.Unlock()
 	return events
 }
 
@@ -329,7 +655,7 @@ type Subscription struct {
 
 	m       *Monitor
 	ch      chan Event
-	dropped uint64 // guarded by m.mu
+	dropped atomic.Uint64
 }
 
 // Subscribe registers an event consumer with the given channel buffer
@@ -340,16 +666,16 @@ func (m *Monitor) Subscribe(buf int) *Subscription {
 	}
 	s := &Subscription{m: m, ch: make(chan Event, buf)}
 	s.C = s.ch
-	m.mu.Lock()
+	m.eventMu.Lock()
 	m.subs[s] = struct{}{}
-	m.mu.Unlock()
+	m.eventMu.Unlock()
 	return s
 }
 
 // Cancel removes the subscription and closes C. It is idempotent.
 func (s *Subscription) Cancel() {
-	s.m.mu.Lock()
-	defer s.m.mu.Unlock()
+	s.m.eventMu.Lock()
+	defer s.m.eventMu.Unlock()
 	if _, ok := s.m.subs[s]; ok {
 		delete(s.m.subs, s)
 		close(s.ch)
@@ -357,23 +683,19 @@ func (s *Subscription) Cancel() {
 }
 
 // Dropped returns the number of events lost to a full buffer.
-func (s *Subscription) Dropped() uint64 {
-	s.m.mu.Lock()
-	defer s.m.mu.Unlock()
-	return s.dropped
-}
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 
-// publish fans events out to subscribers without blocking: the update
-// path must never wait on a slow consumer. Caller holds m.mu, which also
-// serializes against Cancel's close.
-func (m *Monitor) publish(events []Event) {
-	m.events += uint64(len(events))
+// publishLocked fans events out to subscribers without blocking: the
+// update path must never wait on a slow consumer. Caller holds eventMu,
+// which also serializes against Cancel's close.
+func (m *Monitor) publishLocked(events []Event) {
+	m.events.Add(uint64(len(events)))
 	for _, ev := range events {
 		for sub := range m.subs {
 			select {
 			case sub.ch <- ev:
 			default:
-				sub.dropped++
+				sub.dropped.Add(1)
 			}
 		}
 	}

@@ -3,8 +3,10 @@ package monitor
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
+	"deltanet/internal/bitset"
 	"deltanet/internal/check"
 	"deltanet/internal/core"
 	"deltanet/internal/ipnet"
@@ -416,4 +418,328 @@ func TestConcurrentSubscribersAndQueries(t *testing.T) {
 	<-queries
 	sub.Cancel()
 	<-drained
+}
+
+// TestRegisterRefcount: registering an identical spec returns the same id
+// with a reference added; the registration survives until the last
+// Unregister releases it.
+func TestRegisterRefcount(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	id1, _ := m.Register(Reachable{From: nodes[0], To: nodes[1]})
+	id2, _ := m.Register(Reachable{From: nodes[0], To: nodes[1]})
+	if id1 != id2 {
+		t.Fatalf("duplicate spec got distinct ids %d, %d", id1, id2)
+	}
+	if got := m.NumRegistered(); got != 1 {
+		t.Fatalf("NumRegistered = %d, want 1 (deduped)", got)
+	}
+	other, _ := m.Register(Reachable{From: nodes[1], To: nodes[2]})
+	if other == id1 {
+		t.Fatal("distinct spec shared an id")
+	}
+	if !m.Unregister(id1) {
+		t.Fatal("first unregister failed")
+	}
+	// One reference remains: still registered, still evaluated.
+	if _, _, ok := m.Status(id1); !ok {
+		t.Fatal("refcounted invariant vanished after one unregister")
+	}
+	if ev := mustInsert(t, n, m, core.Rule{ID: 1, Source: nodes[0], Link: links[0],
+		Match: ipnet.Interval{Lo: 0, Hi: 10}, Priority: 1}); len(ev) != 1 {
+		t.Fatalf("refcounted invariant not evaluated: %v", ev)
+	}
+	if !m.Unregister(id1) {
+		t.Fatal("second unregister failed")
+	}
+	if _, _, ok := m.Status(id1); ok {
+		t.Fatal("invariant survived final unregister")
+	}
+	if m.Unregister(id1) {
+		t.Fatal("triple unregister succeeded")
+	}
+	// Re-registering now allocates a fresh id (ids are never reused).
+	id3, _ := m.Register(Reachable{From: nodes[0], To: nodes[1]})
+	if id3 == id1 {
+		t.Fatalf("id %d reused after final unregister", id3)
+	}
+}
+
+// TestBlackHoleFreeSinksNotConflated: BlackHoleFree registrations with
+// different sink sets are distinct invariants (the wire String form hides
+// the sinks, the dedup key must not).
+func TestBlackHoleFreeSinksNotConflated(t *testing.T) {
+	g, nodes, _ := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	a, _ := m.Register(BlackHoleFree{})
+	b, _ := m.Register(BlackHoleFree{Sinks: map[netgraph.NodeID]bool{nodes[3]: true}})
+	if a == b {
+		t.Fatal("different sink sets conflated")
+	}
+	c, _ := m.Register(BlackHoleFree{Sinks: map[netgraph.NodeID]bool{nodes[3]: true}})
+	if b != c {
+		t.Fatal("identical sink sets not deduped")
+	}
+}
+
+// TestIndexBornDirtyLinks: a link added after an invariant's last
+// evaluation must conservatively dirty it — the index seeds new links
+// with every dep-tracked invariant, and a precise re-evaluation then
+// clears the seeds it does not confirm.
+func TestIndexBornDirtyLinks(t *testing.T) {
+	g := netgraph.New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	la := g.AddLink(a, b)
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	id, st := m.Register(Reachable{From: a, To: c})
+	if st != Violated {
+		t.Fatalf("initial status: %v", st)
+	}
+
+	// A new link b->c appears, then a rule on it plus the a->b hop: the
+	// first update touches only the born-after link, and must still dirty
+	// the invariant.
+	lb := g.AddLink(b, c)
+	mustInsert(t, n, m, core.Rule{ID: 1, Source: a, Link: la,
+		Match: ipnet.Interval{Lo: 0, Hi: 10}, Priority: 1})
+	ev := mustInsert(t, n, m, core.Rule{ID: 2, Source: b, Link: lb,
+		Match: ipnet.Interval{Lo: 0, Hi: 10}, Priority: 1})
+	if len(ev) != 1 || ev[0].ID != id || ev[0].Kind != Cleared {
+		t.Fatalf("born-dirty link missed: %v", ev)
+	}
+
+	// After the re-evaluation the seeds are precise again: a rule on a
+	// link out of a node unreachable from a must be skipped (the fixpoint
+	// from a never examines d's out-links).
+	d := g.AddNode("d")
+	ld := g.AddLink(d, c)
+	before := m.Stats()
+	mustInsert(t, n, m, core.Rule{ID: 3, Source: d, Link: ld,
+		Match: ipnet.Interval{Lo: 0, Hi: 10}, Priority: 1})
+	// The new link dirties once (born dirty), and the re-evaluation drops
+	// it from the dependency set...
+	mid := m.Stats()
+	if mid.Evaluations != before.Evaluations+1 {
+		t.Fatalf("born-dirty evaluation missing: %+v -> %+v", before, mid)
+	}
+	// ...so further churn on it is skipped.
+	mustInsert(t, n, m, core.Rule{ID: 4, Source: d, Link: ld,
+		Match: ipnet.Interval{Lo: 20, Hi: 30}, Priority: 1})
+	after := m.Stats()
+	if after.Evaluations != mid.Evaluations || after.Skips != mid.Skips+1 {
+		t.Fatalf("unrelated new link not skipped after re-evaluation: %+v -> %+v", mid, after)
+	}
+}
+
+// TestConcurrentRegistrationChurn emulates the server's lock discipline
+// under -race: a writer mutates the data plane and applies deltas under a
+// write lock while reader goroutines register, query, and unregister
+// (including deliberate dedup collisions) under read locks.
+func TestConcurrentRegistrationChurn(t *testing.T) {
+	g, nodes, links := line4()
+	n := core.NewNetwork(g, core.Options{})
+	m := New(n, 0)
+	m.Register(Reachable{From: nodes[0], To: nodes[3]})
+
+	var lk sync.RWMutex
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				lk.RLock()
+				// Half the goroutines fight over the same spec (dedup
+				// path), half register distinct ones.
+				var s Spec
+				if w%2 == 0 {
+					s = Waypoint{From: nodes[0], To: nodes[2], Via: nodes[1]}
+				} else {
+					s = Reachable{From: nodes[w%4], To: nodes[(w+i)%4]}
+				}
+				id, _ := m.Register(s)
+				m.Status(id)
+				m.Invariants()
+				m.Unregister(id)
+				lk.RUnlock()
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		lk.Lock()
+		var d core.Delta
+		if err := n.InsertRuleInto(core.Rule{ID: core.RuleID(i + 10), Source: nodes[i%3], Link: links[i%3],
+			Match: ipnet.Interval{Lo: 0, Hi: 50}, Priority: core.Priority(i % 5)}, &d); err != nil {
+			t.Error(err)
+			lk.Unlock()
+			break
+		}
+		m.Apply(&d)
+		if i%2 == 1 {
+			if err := n.RemoveRuleInto(core.RuleID(i+10), &d); err != nil {
+				t.Error(err)
+				lk.Unlock()
+				break
+			}
+			m.Apply(&d)
+		}
+		lk.Unlock()
+	}
+	wg.Wait()
+	if ev := m.RecheckAll(); len(ev) != 0 {
+		t.Fatalf("stale verdicts after concurrent churn: %v", ev)
+	}
+}
+
+// TestShardedEquivalence10K is the scale ground-truth test for the
+// sharded index and burst mode: three monitors over one data plane — the
+// sharded index, the pre-sharding flat scan, and a bursting monitor —
+// consume an identical randomized churn stream at 10⁴ standing
+// reachability invariants, and every cached verdict must equal a
+// from-scratch fixpoint oracle. The sharded and flat monitors must also
+// agree exactly on what they evaluated: the index is a data structure
+// swap, not a semantics change.
+func TestShardedEquivalence10K(t *testing.T) {
+	const numNodes, numInv = 128, 10_000
+	rng := rand.New(rand.NewSource(7))
+
+	g := netgraph.New()
+	nodes := make([]netgraph.NodeID, numNodes)
+	for i := range nodes {
+		nodes[i] = g.AddNode(fmt.Sprintf("n%d", i))
+	}
+	var links []netgraph.LinkID
+	for i := range nodes { // ring + chords: cycles, fan-in, fan-out
+		links = append(links, g.AddLink(nodes[i], nodes[(i+1)%numNodes]))
+		if i%3 == 0 {
+			links = append(links, g.AddLink(nodes[i], nodes[(i+numNodes/2)%numNodes]))
+		}
+	}
+	n := core.NewNetwork(g, core.Options{})
+
+	sharded := New(n, 0)
+	flat := New(n, 0)
+	flat.SetFlatScan(true)
+	burst := New(n, 0)
+	burst.SetBurst(BurstConfig{MaxDeltas: 7})
+
+	// Register the same 10⁴ pairs, diagonal by diagonal, on all three.
+	type pair struct{ from, to netgraph.NodeID }
+	var pairs []pair
+	ids := make([][3]ID, 0, numInv)
+	for d := 1; len(pairs) < numInv; d++ {
+		for i := 0; i < numNodes && len(pairs) < numInv; i++ {
+			p := pair{nodes[i], nodes[(i+d)%numNodes]}
+			pairs = append(pairs, p)
+			s := Reachable{From: p.from, To: p.to}
+			i1, _ := sharded.Register(s)
+			i2, _ := flat.Register(s)
+			i3, _ := burst.Register(s)
+			ids = append(ids, [3]ID{i1, i2, i3})
+		}
+	}
+
+	// Oracle: one single-source fixpoint per distinct source answers all
+	// its pairs.
+	verify := func(step int, monitors map[string]*Monitor) {
+		t.Helper()
+		reach := map[netgraph.NodeID][]*bitset.Set{}
+		for i, p := range pairs {
+			r, ok := reach[p.from]
+			if !ok {
+				r = check.ReachFrom(n, p.from, nil)
+				reach[p.from] = r
+			}
+			want := Holds
+			if int(p.to) >= len(r) || r[p.to] == nil || r[p.to].Empty() {
+				want = Violated
+			}
+			for which, m := range monitors {
+				idx := 0
+				if which == "flat" {
+					idx = 1
+				} else if which == "burst" {
+					idx = 2
+				}
+				got, _, ok := m.Status(ids[i][idx])
+				if !ok {
+					t.Fatalf("step %d: %s lost invariant %d", step, which, ids[i][idx])
+				}
+				if got != want {
+					t.Fatalf("step %d: %s disagrees with oracle on %v->%v: got %v want %v",
+						step, which, p.from, p.to, got, want)
+				}
+			}
+		}
+	}
+
+	var live []core.RuleID
+	nextID := core.RuleID(1)
+	var d core.Delta
+	apply := func() {
+		sharded.Apply(&d)
+		flat.Apply(&d)
+		burst.Apply(&d)
+	}
+	const steps = 160
+	for step := 0; step < steps; step++ {
+		if len(live) > 4 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			id := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if err := n.RemoveRuleInto(id, &d); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			l := links[rng.Intn(len(links))]
+			lo := uint64(rng.Intn(1 << 10))
+			r := core.Rule{
+				ID: nextID, Source: g.Link(l).Src, Link: l,
+				Match:    ipnet.Interval{Lo: lo, Hi: lo + 1 + uint64(rng.Intn(1<<8))},
+				Priority: core.Priority(rng.Intn(4)),
+			}
+			nextID++
+			live = append(live, r.ID)
+			if err := n.InsertRuleInto(r, &d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		apply()
+		if step%40 == 39 {
+			// Mid-run spot check for the eagerly evaluated monitors (the
+			// bursting one is only comparable at a flush boundary).
+			verify(step, map[string]*Monitor{"sharded": sharded, "flat": flat})
+		}
+	}
+	burst.Flush()
+	verify(steps, map[string]*Monitor{"sharded": sharded, "flat": flat, "burst": burst})
+
+	// The index must reproduce the flat scan's dirty sets exactly: no
+	// topology growth happened mid-churn, so the conservative rules
+	// coincide and the evaluation counts must match.
+	ss, fs, bs := sharded.Stats(), flat.Stats(), burst.Stats()
+	if ss.Evaluations != fs.Evaluations {
+		t.Fatalf("sharded evaluated %d, flat %d — dirty sets diverged", ss.Evaluations, fs.Evaluations)
+	}
+	if ss.Skips == 0 || ss.Evaluations == 0 {
+		t.Fatalf("stats %+v: churn exercised nothing", ss)
+	}
+	// Bursting must have coalesced (fewer passes) yet not missed updates.
+	if bs.Coalesced != ss.Updates {
+		t.Fatalf("burst coalesced %d of %d updates", bs.Coalesced, ss.Updates)
+	}
+	if bs.Evaluations >= ss.Evaluations {
+		t.Fatalf("bursting did not reduce evaluations: %d vs %d", bs.Evaluations, ss.Evaluations)
+	}
+	// And the incrementally maintained verdicts survive an audit.
+	if ev := sharded.RecheckAll(); len(ev) != 0 {
+		t.Fatalf("RecheckAll found stale sharded verdicts: %v", ev)
+	}
+	if ev := burst.RecheckAll(); len(ev) != 0 {
+		t.Fatalf("RecheckAll found stale burst verdicts: %v", ev)
+	}
 }

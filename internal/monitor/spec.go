@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -34,6 +35,30 @@ type Spec interface {
 	// concurrently with evals of OTHER invariants, so it must only read
 	// the network and write its own st.
 	eval(n *core.Network, ctx *applyCtx, st *state) verdict
+}
+
+// specKey is the canonical identity registrations are refcounted by. The
+// wire String form is almost it; BlackHoleFree needs its sink set
+// appended, because sinks are not part of the wire syntax but do change
+// the invariant's meaning — two registrations with different sinks must
+// not be conflated.
+func specKey(s Spec) string {
+	b, ok := s.(BlackHoleFree)
+	if !ok || len(b.Sinks) == 0 {
+		return s.String()
+	}
+	sinks := make([]int, 0, len(b.Sinks))
+	for n, on := range b.Sinks {
+		if on {
+			sinks = append(sinks, int(n))
+		}
+	}
+	sort.Ints(sinks)
+	parts := make([]string, len(sinks))
+	for i, n := range sinks {
+		parts[i] = strconv.Itoa(n)
+	}
+	return b.String() + " sinks=" + strings.Join(parts, ",")
 }
 
 // applyCtx is one Apply call's context: the delta and, optionally, the

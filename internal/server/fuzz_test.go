@@ -24,6 +24,9 @@ func FuzzDispatch(f *testing.F) {
 		"W reach 0 1\nW waypoint 0 1 2\nW loopfree\nwatch\nI 1 0 0 0 50 1\n",
 		"W isolated 0,1 2\nunwatch 0\nunwatch 0\n",
 		"watch\nwatch\nquit\n",
+		"burst 2 0\nW reach 0 1\nI 1 0 0 0 100 1\nstats\nflush\nburst 0 0\n",
+		"burst 3 1\nI 1 0 0 0 100 1\nflush\n",
+		"burst\nburst 1\nburst x 0\nburst 0 x\nburst -1 -1\nflush extra\n",
 		"\n\n  \n",
 		"node\nlink\nI\nR\nreach\nwhatif\nstats extra\nW\nunwatch\n",
 		"quit\nI 1 0 0 0 100 1\n",
@@ -61,5 +64,8 @@ func FuzzDispatch(f *testing.F) {
 		case <-time.After(10 * time.Second):
 			t.Fatal("server session hung")
 		}
+		// A fuzzed burst command with an age can start the background
+		// flusher; Close reaps it so iterations don't leak goroutines.
+		s.Close()
 	})
 }

@@ -19,7 +19,9 @@
 //	W <spec>                             -> ok watch <id> <holds|violated>
 //	unwatch <id>                         -> ok unwatch <id>
 //	watch                                -> ok watching (streaming; see below)
-//	stats                                -> ok stats rules=<r> atoms=<a> links=<l> nodes=<v> watch=<w>
+//	burst <maxDeltas> <maxAgeMs>         -> ok burst deltas=<n> age=<ms>
+//	flush                                -> ok flush events=<k> pending=0
+//	stats                                -> ok stats rules=<r> atoms=<a> links=<l> nodes=<v> watch=<w> pending=<p>
 //	quit                                 -> connection closed
 //
 // B introduces an atomic batch: the client sends "B <n>" followed by
@@ -47,7 +49,25 @@
 //	W blackholefree
 //
 // Invariants are shared across connections: any client may register,
-// unwatch, or observe them.
+// unwatch, or observe them. Registrations are refcounted by spec — W for
+// a spec another client already watches returns the same id — and every
+// registration a connection made and has not unwatched is automatically
+// released when the connection closes, so a flapping client that
+// re-registers on every reconnect cannot grow the monitor without bound.
+// Invariants registered programmatically (Server.Monitor, e.g. dnserve
+// preloads) hold their own reference and survive all disconnects.
+//
+// burst configures coalescing burst mode on the shared monitor (see
+// monitor.BurstConfig): with maxDeltas ≥ 2 or maxAgeMs > 0, mutations
+// only merge their delta-graphs into a pending burst, and dirty
+// invariants are re-evaluated once per burst — when maxDeltas deltas have
+// coalesced, when a mutation finds the burst maxAgeMs old, or on an
+// explicit flush. While bursting, a mutation's response reports the
+// engine result (atoms, loops) as usual; invariant events simply arrive
+// at the next flush, stamped with the coalesced update range. When
+// maxAgeMs > 0 the server also flushes on a background ticker, bounding
+// event latency even when updates stop mid-burst. "burst 0 0" disables
+// coalescing (followed by an automatic flush of any pending burst).
 //
 // watch switches the connection into streaming mode: the "ok watching"
 // response is followed by one snapshot line per registered invariant,
@@ -59,7 +79,10 @@
 // transitions caused by any connection's mutations are pushed
 // asynchronously as lines of the form
 //
-//	event <id> <violation|cleared> <spec> -- <detail>
+//	event <id> <violation|cleared> <spec> upd=<first>:<last> -- <detail>
+//
+// where upd delimits the update sequence range whose (possibly coalesced,
+// see burst) delta produced the transition,
 //
 // interleaved between (never inside) regular response lines; the
 // connection keeps accepting requests. A slow streaming consumer never
@@ -74,8 +97,9 @@
 // The engine is a single shared data plane; mutations (node, link, I, R,
 // B) are serialized under a write lock, preserving the order guarantees a
 // data plane checker needs, while read-only requests (reach, whatif,
-// stats, W, unwatch) run concurrently under a read lock (the monitor has
-// its own internal lock for registration bookkeeping).
+// stats, W, unwatch, flush, burst) run concurrently under a read lock
+// (the monitor has its own internal locks for registration bookkeeping
+// and burst state).
 package server
 
 import (
@@ -85,6 +109,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"deltanet/internal/check"
 	"deltanet/internal/core"
@@ -108,6 +133,11 @@ type Server struct {
 
 	connMu sync.Mutex // guards conns
 	conns  map[net.Conn]struct{}
+
+	// flushMu guards the background burst flusher's lifecycle; flushStop
+	// is non-nil while a flusher goroutine runs.
+	flushMu   sync.Mutex
+	flushStop chan struct{}
 }
 
 // New returns a server over a fresh empty data plane.
@@ -126,6 +156,64 @@ func New(opts core.Options) *Server {
 // Monitor exposes the shared standing-invariant monitor (for preloading
 // invariants before serving).
 func (s *Server) Monitor() *monitor.Monitor { return s.mon }
+
+// SetBurst configures coalescing burst mode on the shared monitor (the
+// zero config disables it and flushes any pending burst), and manages the
+// background flusher that bounds event latency when cfg.MaxAge > 0. It is
+// what the protocol's burst command calls; dnserve's -burst flags call it
+// before serving. The caller must guarantee the data plane is stable for
+// the disable path's flush: hold at least the read lock (the protocol
+// path does), or call before serving starts.
+func (s *Server) SetBurst(cfg monitor.BurstConfig) {
+	s.mon.SetBurst(cfg)
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	if s.flushStop != nil {
+		close(s.flushStop)
+		s.flushStop = nil
+	}
+	if cfg.MaxAge <= 0 {
+		if cfg.MaxDeltas < 2 {
+			// Bursting is off: evaluate whatever was buffered under the
+			// old config so no events are stranded.
+			s.mon.Flush()
+		}
+		return
+	}
+	select {
+	case <-s.closed:
+		return // raced Close; don't start a flusher that nothing stops
+	default:
+	}
+	stop := make(chan struct{})
+	s.flushStop = stop
+	interval := cfg.MaxAge / 2
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-s.closed:
+				return
+			case <-t.C:
+				// The read lock keeps the data plane stable while the
+				// flush evaluates.
+				s.mu.RLock()
+				if s.mon.Pending() > 0 {
+					s.mon.Flush()
+				}
+				s.mu.RUnlock()
+			}
+		}
+	}()
+}
 
 // Network exposes the underlying engine (for preloading a snapshot before
 // serving).
@@ -220,6 +308,12 @@ func (s *Server) handle(conn net.Conn) {
 	sc.Buffer(make([]byte, 4096), 1<<20)
 	w := bufio.NewWriter(conn)
 
+	// owned counts the references this connection holds on each watched
+	// invariant (W increments, unwatch of an owned id decrements); the
+	// teardown below releases the leftovers so a disconnecting client
+	// cannot leak registrations.
+	owned := map[monitor.ID]int{}
+
 	// Once the connection enters watch mode a streamer goroutine shares
 	// the writer with the request loop; wmu keeps whole lines atomic.
 	var wmu sync.Mutex
@@ -232,6 +326,11 @@ func (s *Server) handle(conn net.Conn) {
 		if sub != nil {
 			sub.Cancel() // closes the channel; the streamer drains and exits
 			streamWG.Wait()
+		}
+		for id, n := range owned {
+			for ; n > 0; n-- {
+				s.mon.Unregister(id)
+			}
 		}
 	}()
 	writeLine := func(line string) error {
@@ -284,7 +383,7 @@ func (s *Server) handle(conn net.Conn) {
 			}(sub.C)
 			continue
 		default:
-			resp = s.dispatch(line)
+			resp = s.dispatch(line, owned)
 		}
 		if err := writeLine(resp); err != nil || fatal {
 			return
@@ -297,8 +396,12 @@ func (s *Server) handle(conn net.Conn) {
 // drops).
 const eventBuffer = 256
 
+// formatEvent renders one transition, including the (inclusive) range of
+// update sequence numbers whose coalesced delta produced it — upd=N:N for
+// a single update, upd=N:M for a flushed burst.
 func formatEvent(ev monitor.Event) string {
-	return fmt.Sprintf("event %d %s %s -- %s", ev.ID, ev.Kind, ev.Spec, ev.Detail)
+	return fmt.Sprintf("event %d %s %s upd=%d:%d -- %s",
+		ev.ID, ev.Kind, ev.Spec, ev.FirstUpdate, ev.LastUpdate, ev.Detail)
 }
 
 // maxBatch bounds a B request's line count, and maxBatchBytes its
@@ -413,15 +516,16 @@ func (s *Server) parseUpdate(fields []string) (core.BatchOp, string) {
 }
 
 // dispatch executes one request under the engine lock: read-only requests
-// (including monitor registration, which only reads the data plane) share
-// the read lock, mutations take the write lock.
-func (s *Server) dispatch(line string) string {
+// (including monitor registration and burst flushing, which only read the
+// data plane) share the read lock, mutations take the write lock. owned
+// is the calling connection's registration refcounts (see handle).
+func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return "err empty request"
 	}
 	switch fields[0] {
-	case "reach", "whatif", "stats", "W", "unwatch":
+	case "reach", "whatif", "stats", "W", "unwatch", "flush", "burst":
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 	default:
@@ -489,6 +593,7 @@ func (s *Server) dispatch(line string) string {
 			return "err " + errmsg
 		}
 		id, status := s.mon.Register(spec)
+		owned[id]++
 		return fmt.Sprintf("ok watch %d %s", id, status)
 	case "unwatch":
 		if len(fields) != 2 {
@@ -501,11 +606,33 @@ func (s *Server) dispatch(line string) string {
 		if !s.mon.Unregister(monitor.ID(id)) {
 			return "err unknown watch id"
 		}
+		// Account the released reference to this connection when it holds
+		// one, so the disconnect sweep doesn't release it twice.
+		if owned[monitor.ID(id)] > 0 {
+			owned[monitor.ID(id)]--
+		}
 		return "ok unwatch " + fields[1]
+	case "burst":
+		if len(fields) != 3 {
+			return "err usage: burst <maxDeltas> <maxAgeMs>"
+		}
+		deltas, err1 := strconv.Atoi(fields[1])
+		ageMs, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || deltas < 0 || ageMs < 0 {
+			return "err burst arguments must be non-negative integers"
+		}
+		s.SetBurst(monitor.BurstConfig{MaxDeltas: deltas, MaxAge: time.Duration(ageMs) * time.Millisecond})
+		return fmt.Sprintf("ok burst deltas=%d age=%d", deltas, ageMs)
+	case "flush":
+		if len(fields) != 1 {
+			return "err usage: flush"
+		}
+		events := s.mon.Flush()
+		return fmt.Sprintf("ok flush events=%d pending=0", len(events))
 	case "stats":
-		return fmt.Sprintf("ok stats rules=%d atoms=%d links=%d nodes=%d watch=%d",
+		return fmt.Sprintf("ok stats rules=%d atoms=%d links=%d nodes=%d watch=%d pending=%d",
 			s.net.NumRules(), s.net.NumAtoms(), s.graph.NumLinks(),
-			s.graph.NumNodes(), s.mon.NumRegistered())
+			s.graph.NumNodes(), s.mon.NumRegistered(), s.mon.Pending())
 	default:
 		return "err unknown command " + fields[0]
 	}

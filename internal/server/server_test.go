@@ -3,14 +3,20 @@ package server
 import (
 	"bufio"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"deltanet/internal/bitset"
+	"deltanet/internal/check"
 	"deltanet/internal/core"
 	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
 )
 
 // startServer returns a running server, its address, and a cleanup func.
@@ -80,7 +86,7 @@ func TestProtocolSession(t *testing.T) {
 	if got := c.roundTrip(t, "I 1 0 0 0 1000 10"); !strings.HasPrefix(got, "ok atoms=") {
 		t.Fatalf("insert: %q", got)
 	}
-	if got := c.roundTrip(t, "stats"); got != "ok stats rules=1 atoms=2 links=1 nodes=2 watch=0" {
+	if got := c.roundTrip(t, "stats"); got != "ok stats rules=1 atoms=2 links=1 nodes=2 watch=0 pending=0" {
 		t.Fatalf("stats: %q", got)
 	}
 	if got := c.roundTrip(t, "reach 0 1"); got != "ok reach 1" {
@@ -92,7 +98,7 @@ func TestProtocolSession(t *testing.T) {
 	if got := c.roundTrip(t, "R 1"); !strings.HasPrefix(got, "ok atoms=") {
 		t.Fatalf("remove: %q", got)
 	}
-	if got := c.roundTrip(t, "stats"); got != "ok stats rules=0 atoms=2 links=1 nodes=2 watch=0" {
+	if got := c.roundTrip(t, "stats"); got != "ok stats rules=0 atoms=2 links=1 nodes=2 watch=0 pending=0" {
 		t.Fatalf("stats after remove: %q", got)
 	}
 }
@@ -624,5 +630,331 @@ func TestCloseUnblocksIdleWatcher(t *testing.T) {
 	// Both clients observe the disconnect.
 	if w.r.Scan() {
 		t.Fatalf("watcher got line after close: %q", w.r.Text())
+	}
+}
+
+// TestBurstCommand: burst configures coalescing, mutations stop emitting
+// per-update events, flush evaluates the pending burst, and stats exposes
+// the pending count.
+func TestBurstCommand(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+	c := dial(t, addr)
+	defer c.close()
+	c.roundTrip(t, "node a")
+	c.roundTrip(t, "node b")
+	c.roundTrip(t, "link 0 1")
+	if got := c.roundTrip(t, "W reach 0 1"); got != "ok watch 0 violated" {
+		t.Fatalf("W: %q", got)
+	}
+	if got := c.roundTrip(t, "burst 100 0"); got != "ok burst deltas=100 age=0" {
+		t.Fatalf("burst: %q", got)
+	}
+	c.roundTrip(t, "I 1 0 0 0 100 1")
+	if got := c.roundTrip(t, "stats"); !strings.Contains(got, "pending=1") {
+		t.Fatalf("stats mid-burst: %q", got)
+	}
+	if got := c.roundTrip(t, "flush"); got != "ok flush events=1 pending=0" {
+		t.Fatalf("flush: %q", got)
+	}
+	if got := c.roundTrip(t, "stats"); !strings.Contains(got, "pending=0") {
+		t.Fatalf("stats after flush: %q", got)
+	}
+	// Disabling coalescing flushes implicitly: buffer one more delta,
+	// then turn bursting off and confirm nothing stays pending.
+	c.roundTrip(t, "R 1")
+	if got := c.roundTrip(t, "stats"); !strings.Contains(got, "pending=1") {
+		t.Fatalf("stats before disable: %q", got)
+	}
+	if got := c.roundTrip(t, "burst 0 0"); got != "ok burst deltas=0 age=0" {
+		t.Fatalf("burst off: %q", got)
+	}
+	if got := c.roundTrip(t, "stats"); !strings.Contains(got, "pending=0") {
+		t.Fatalf("stats after disable: %q", got)
+	}
+	for _, req := range []string{"burst", "burst 1", "burst x 0", "burst 0 x", "burst -1 0", "flush now"} {
+		if got := c.roundTrip(t, req); !strings.HasPrefix(got, "err") {
+			t.Fatalf("%q -> %q, want err", req, got)
+		}
+	}
+}
+
+// TestBurstAgeFlusher: with a MaxAge configured, the background flusher
+// evaluates a pending burst without any further protocol activity, and a
+// watching connection sees the event stamped with the coalesced range.
+func TestBurstAgeFlusher(t *testing.T) {
+	_, addr, cleanup := startServer(t)
+	defer cleanup()
+	c := dial(t, addr)
+	defer c.close()
+	c.roundTrip(t, "node a")
+	c.roundTrip(t, "node b")
+	c.roundTrip(t, "link 0 1")
+	c.roundTrip(t, "W reach 0 1")
+	if got := c.roundTrip(t, "burst 1000 20"); got != "ok burst deltas=1000 age=20" {
+		t.Fatalf("burst: %q", got)
+	}
+	if got := c.roundTrip(t, "watch"); got != "ok watching" {
+		t.Fatalf("watch: %q", got)
+	}
+	if !c.r.Scan() || !strings.HasPrefix(c.r.Text(), "status 0 violated") {
+		t.Fatalf("snapshot: %q", c.r.Text())
+	}
+	c.roundTrip(t, "I 1 0 0 0 100 1") // coalesced, not flushed
+	// No further requests: only the background flusher can deliver this.
+	if !c.r.Scan() {
+		t.Fatalf("no flusher event: %v", c.r.Err())
+	}
+	if got := c.r.Text(); !strings.HasPrefix(got, "event 0 cleared reach 0 1 upd=1:1") {
+		t.Fatalf("flusher event: %q", got)
+	}
+}
+
+// TestUnwatchOnDisconnect: a connection's registrations are refcounted
+// and auto-released when it closes; shared registrations survive until
+// every holder lets go.
+func TestUnwatchOnDisconnect(t *testing.T) {
+	s, addr, cleanup := startServer(t)
+	defer cleanup()
+	setup := dial(t, addr)
+	defer setup.close()
+	setup.roundTrip(t, "node a")
+	setup.roundTrip(t, "node b")
+	setup.roundTrip(t, "link 0 1")
+
+	a := dial(t, addr)
+	if got := a.roundTrip(t, "W reach 0 1"); got != "ok watch 0 violated" {
+		t.Fatalf("a W: %q", got)
+	}
+	a.roundTrip(t, "W loopfree")
+	b := dial(t, addr)
+	// Same spec from another connection: same id, one more reference.
+	if got := b.roundTrip(t, "W reach 0 1"); got != "ok watch 0 violated" {
+		t.Fatalf("b W: %q", got)
+	}
+	if got := setup.roundTrip(t, "stats"); !strings.Contains(got, "watch=2") {
+		t.Fatalf("stats: %q", got)
+	}
+
+	// a disconnects: its loopfree registration dies, but reach 0 1
+	// survives on b's reference.
+	a.close()
+	waitFor(t, func() bool { return s.Monitor().NumRegistered() == 1 })
+	if got := setup.roundTrip(t, "stats"); !strings.Contains(got, "watch=1") {
+		t.Fatalf("stats after a: %q", got)
+	}
+	if _, _, ok := s.Monitor().Status(0); !ok {
+		t.Fatal("shared registration died with first holder")
+	}
+
+	// An explicit unwatch releases b's reference; b's disconnect must not
+	// release it twice (the monitor would refuse anyway — ids are not
+	// reused — but the count must hit zero exactly once).
+	if got := b.roundTrip(t, "unwatch 0"); got != "ok unwatch 0" {
+		t.Fatalf("unwatch: %q", got)
+	}
+	b.close()
+	waitFor(t, func() bool { return s.Monitor().NumRegistered() == 0 })
+}
+
+// waitFor polls cond for up to 2s; registration teardown runs in the
+// connection handler after the socket closes, so tests must wait.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestWatchEquivalence10K is the wire-level ground truth for the sharded
+// index and burst mode at scale: 10⁴ standing invariants registered over
+// the protocol, randomized concurrent churn applied in bursts, and the
+// verdict a live watch connection reconstructs from its status snapshot
+// plus the event stream must match a from-scratch oracle for every
+// invariant.
+func TestWatchEquivalence10K(t *testing.T) {
+	const numNodes, chainLen, numInv = 128, 16, 10_000
+	s := New(core.Options{})
+	g := s.Graph()
+	for i := 0; i < numNodes; i++ {
+		g.AddNode(fmt.Sprintf("n%d", i))
+	}
+	// Disjoint chains: i -> i+1 within each chain of chainLen nodes. No
+	// cycles, so fixpoints stay tiny at 10⁴ invariants.
+	type link struct{ id, src int }
+	var links []link
+	for i := 0; i < numNodes-1; i++ {
+		if i%chainLen != chainLen-1 {
+			links = append(links, link{int(g.AddLink(netgraph.NodeID(i), netgraph.NodeID(i+1))), i})
+		}
+	}
+	// Sentinel pair on its own island: its event marks end-of-stream.
+	sa := g.AddNode("sentinelA")
+	sb := g.AddNode("sentinelB")
+	sl := g.AddLink(sa, sb)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	addr := l.Addr().String()
+	defer func() {
+		s.Close()
+		<-done
+	}()
+
+	// Register 10⁴ distinct reachability pairs, pipelined (write side in a
+	// goroutine so neither end blocks on full TCP buffers).
+	reg := dial(t, addr)
+	defer reg.close()
+	type pair struct{ from, to int }
+	pairs := make([]pair, 0, numInv)
+	for d := 1; len(pairs) < numInv; d++ {
+		for i := 0; i < numNodes && len(pairs) < numInv; i++ {
+			pairs = append(pairs, pair{i, (i + d) % numNodes})
+		}
+	}
+	go func() {
+		var b strings.Builder
+		for _, p := range pairs {
+			fmt.Fprintf(&b, "W reach %d %d\n", p.from, p.to)
+		}
+		fmt.Fprintf(&b, "W reach %d %d\n", sa, sb) // sentinel, id numInv
+		io.WriteString(reg.conn, b.String())
+	}()
+	for i := 0; i <= numInv; i++ {
+		if !reg.r.Scan() {
+			t.Fatalf("registration %d: %v", i, reg.r.Err())
+		}
+		if want := fmt.Sprintf("ok watch %d violated", i); reg.r.Text() != want {
+			t.Fatalf("registration %d: %q, want %q", i, reg.r.Text(), want)
+		}
+	}
+
+	// Watcher: snapshot, then a drain goroutine owns the event stream
+	// until the sentinel event arrives.
+	watcher := dial(t, addr)
+	defer watcher.close()
+	if got := watcher.roundTrip(t, "watch"); got != "ok watching" {
+		t.Fatalf("watch: %q", got)
+	}
+	verdict := make([]bool, numInv+1) // violated?
+	for i := 0; i <= numInv; i++ {
+		if !watcher.r.Scan() {
+			t.Fatalf("snapshot line %d: %v", i, watcher.r.Err())
+		}
+		f := strings.Fields(watcher.r.Text())
+		if len(f) < 3 || f[0] != "status" {
+			t.Fatalf("snapshot line %d: %q", i, watcher.r.Text())
+		}
+		id, _ := strconv.Atoi(f[1])
+		verdict[id] = f[2] == "violated"
+	}
+	drained := make(chan error, 1)
+	go func() {
+		for watcher.r.Scan() {
+			f := strings.Fields(watcher.r.Text())
+			if len(f) < 3 || f[0] != "event" {
+				drained <- fmt.Errorf("unexpected line in stream: %q", watcher.r.Text())
+				return
+			}
+			id, _ := strconv.Atoi(f[1])
+			verdict[id] = f[2] == "violation"
+			if id == numInv {
+				drained <- nil // the sentinel fires last, by construction
+				return
+			}
+		}
+		drained <- fmt.Errorf("stream ended: %v", watcher.r.Err())
+	}()
+
+	ctl := dial(t, addr)
+	defer ctl.close()
+	if got := ctl.roundTrip(t, "burst 8 0"); got != "ok burst deltas=8 age=0" {
+		t.Fatalf("burst: %q", got)
+	}
+
+	// Two mutators churn concurrently (disjoint rule-id spaces).
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			c := dial(t, addr)
+			defer c.close()
+			var live []int
+			for step := 0; step < 120; step++ {
+				var req string
+				if len(live) > 4 && rng.Intn(3) == 0 {
+					i := rng.Intn(len(live))
+					req = fmt.Sprintf("R %d", live[i])
+					live = append(live[:i], live[i+1:]...)
+				} else {
+					lk := links[rng.Intn(len(links))]
+					id := w*100000 + step
+					lo := rng.Intn(1 << 10)
+					req = fmt.Sprintf("I %d %d %d %d %d %d",
+						id, lk.src, lk.id, lo, lo+1+rng.Intn(1<<8), rng.Intn(4))
+					live = append(live, id)
+				}
+				if _, err := fmt.Fprintln(c.conn, req); err != nil {
+					t.Error(err)
+					return
+				}
+				if !c.r.Scan() || !strings.HasPrefix(c.r.Text(), "ok") {
+					t.Errorf("%q -> %q", req, c.r.Text())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := ctl.roundTrip(t, "flush"); !strings.HasPrefix(got, "ok flush") {
+		t.Fatalf("flush: %q", got)
+	}
+	if got := ctl.roundTrip(t, "burst 0 0"); !strings.HasPrefix(got, "ok burst") {
+		t.Fatalf("burst off: %q", got)
+	}
+	// Trip the sentinel (bursting is off, so its event is immediate and,
+	// the stream being FIFO, everything before it has been delivered).
+	if got := ctl.roundTrip(t, fmt.Sprintf("I 999999 %d %d 0 10 1", sa, sl)); !strings.HasPrefix(got, "ok") {
+		t.Fatalf("sentinel insert: %q", got)
+	}
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle: one from-scratch fixpoint per source; the server is idle
+	// now, so reading the engine directly is safe.
+	reachOf := map[int][]*bitset.Set{}
+	for i, p := range pairs {
+		r, ok := reachOf[p.from]
+		if !ok {
+			r = check.ReachFrom(s.Network(), netgraph.NodeID(p.from), nil)
+			reachOf[p.from] = r
+		}
+		wantViolated := p.to >= len(r) || r[p.to] == nil || r[p.to].Empty()
+		if verdict[i] != wantViolated {
+			t.Fatalf("invariant %d (reach %d %d): watch stream says violated=%v, oracle %v",
+				i, p.from, p.to, verdict[i], wantViolated)
+		}
+	}
+	if verdict[numInv] {
+		t.Fatal("sentinel still violated after its clearing event")
+	}
+	// The stream must have actually carried transitions, and the monitor
+	// must have coalesced the churn into bursts.
+	st := s.Monitor().Stats()
+	if st.Events == 0 || st.Bursts == 0 || st.Coalesced < 200 {
+		t.Fatalf("stats %+v: churn did not exercise bursting", st)
 	}
 }
