@@ -18,9 +18,14 @@
 // spec as a standing invariant (the server's W grammar, e.g. "reach 0 2",
 // "waypoint 0 3 1", "isolated 0,1 4,5", "loopfree", "blackholefree"),
 // prints the server's status snapshot of every registered invariant, then
-// streams verdict-transition events to stdout until the server closes the
-// connection or the process is interrupted. With no specs it reports and
-// follows the invariants other clients registered.
+// streams verdict-transition events to stdout. With no specs it reports
+// and follows the invariants other clients registered. The watch is
+// durable: on disconnect it reconnects (bounded retries with backoff),
+// re-registers its specs, and resumes with "watch since <seq>" from the
+// last event sequence number it saw, so a dnserve restart — e.g. one
+// bounced around a -state save/restore — costs no missed transitions as
+// long as the server's event backlog still covers the gap (and an
+// explicit gap line plus a fresh snapshot when it does not).
 package main
 
 import (
@@ -29,7 +34,9 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"deltanet/internal/check"
 	"deltanet/internal/core"
@@ -162,41 +169,118 @@ func printRanges(n *core.Network, atoms interface {
 	}
 }
 
+// watchRetries is how many consecutive failed reconnect attempts watch
+// tolerates before giving up (with backoff growing to watchBackoffMax,
+// about half a minute of server downtime in total); a session that
+// streams at least one line resets the counter.
+const (
+	watchRetries    = 10
+	watchBackoffMax = 3 * time.Second
+)
+
 // watch registers the given invariant specs with a dnserve instance and
-// tails the event stream to stdout.
+// tails the event stream to stdout. The session is durable: it records
+// the seq=<n> cursor of every event line, and when the connection drops
+// (server restart, network blip) it reconnects, re-registers the specs,
+// and resumes with "watch since <lastSeq>" — the server replays the
+// missed suffix, or sends an explicit gap line plus a fresh status
+// snapshot when the event backlog has truncated it.
 func watch(addr string, specs []string) {
+	var lastSeq uint64
+	for attempt := 0; ; attempt++ {
+		// Resume only with a real cursor. A session that never saw an
+		// event line leaves lastSeq at 0, and "watch since 0" would
+		// replay the server's entire pre-connection backlog as if those
+		// historical transitions were new; a plain "watch" re-anchors on
+		// the status snapshot instead.
+		streamed, err := watchSession(addr, specs, lastSeq > 0, &lastSeq)
+		if streamed {
+			attempt = 0
+		}
+		if err == nil {
+			return // interrupted locally, not by the server
+		}
+		if attempt >= watchRetries {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "watch: %v; reconnecting (attempt %d/%d)\n", err, attempt+1, watchRetries)
+		backoff := time.Duration(attempt+1) * 500 * time.Millisecond
+		if backoff > watchBackoffMax {
+			backoff = watchBackoffMax
+		}
+		time.Sleep(backoff)
+	}
+}
+
+// watchSession runs one connection's worth of watching: register specs,
+// enter (possibly resuming) watch mode, stream lines until the
+// connection ends. It reports whether any stream line arrived and
+// updates *lastSeq with the newest event sequence number seen.
+func watchSession(addr string, specs []string, resume bool, lastSeq *uint64) (streamed bool, err error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		die(err)
+		return false, err
 	}
 	defer conn.Close()
 	r := bufio.NewScanner(conn)
 	for _, spec := range specs {
 		if _, err := fmt.Fprintln(conn, "W "+spec); err != nil {
-			die(err)
+			return false, err
 		}
 		if !r.Scan() {
-			die(fmt.Errorf("connection closed registering %q", spec))
+			return false, fmt.Errorf("connection closed registering %q", spec)
 		}
 		resp := r.Text()
 		if strings.HasPrefix(resp, "err") {
-			die(fmt.Errorf("register %q: %s", spec, resp))
+			die(fmt.Errorf("register %q: %s", spec, resp)) // not retryable
 		}
 		fmt.Printf("%s  (%s)\n", resp, spec)
 	}
-	if _, err := fmt.Fprintln(conn, "watch"); err != nil {
-		die(err)
+	req := "watch"
+	if resume {
+		req = fmt.Sprintf("watch since %d", *lastSeq)
+	}
+	if _, err := fmt.Fprintln(conn, req); err != nil {
+		return false, err
 	}
 	if !r.Scan() || r.Text() != "ok watching" {
-		die(fmt.Errorf("watch: %q", r.Text()))
+		return false, fmt.Errorf("%s: %q", req, r.Text())
 	}
-	fmt.Println("watching; streaming transition events:")
+	if resume {
+		fmt.Printf("watching; resumed after seq %d:\n", *lastSeq)
+	} else {
+		fmt.Println("watching; streaming transition events:")
+	}
 	for r.Scan() {
-		fmt.Println(r.Text())
+		line := r.Text()
+		fmt.Println(line)
+		streamed = true
+		// The newest event line IS the cursor — taken unconditionally,
+		// not maxed, because a server restarted from a state file starts
+		// a fresh stream at seq 1 and a stale high cursor would pin every
+		// future resume to a gap.
+		if seq, ok := eventSeq(line); ok {
+			*lastSeq = seq
+		}
 	}
 	if err := r.Err(); err != nil {
-		die(err)
+		return streamed, err
 	}
+	return streamed, fmt.Errorf("connection closed by server")
+}
+
+// eventSeq extracts the seq=<n> cursor from an event line.
+func eventSeq(line string) (uint64, bool) {
+	if !strings.HasPrefix(line, "event ") {
+		return 0, false
+	}
+	for _, f := range strings.Fields(line) {
+		if rest, ok := strings.CutPrefix(f, "seq="); ok {
+			v, err := strconv.ParseUint(rest, 10, 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
 }
 
 func node(g *netgraph.Graph, name string) netgraph.NodeID {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dnserve [-addr host:port] [-gc] [-trace file] [-batch n]
-//	        [-burst-deltas n] [-burst-age d]
+//	        [-burst-deltas n] [-burst-age d] [-state file]
 //
 // With -trace, the topology and insertions of the trace are preloaded
 // before serving; -batch n applies the preload as atomic batches of n
@@ -13,7 +13,15 @@
 // time. -burst-deltas/-burst-age preconfigure the monitor's coalescing
 // burst mode (equivalent to the protocol's burst command; -burst-age also
 // starts the background flusher). See internal/server for the protocol
-// (including the B, W, burst, and flush commands).
+// (including the B, W, watch since, events since, burst, and flush
+// commands).
+//
+// -state makes the service durable across restarts: if the file exists
+// it is loaded before serving (topology, rules, and standing invariants,
+// all re-evaluated — see server.LoadState), and on shutdown (SIGINT/
+// SIGTERM, which also drains live connections) the current state is
+// saved back atomically. A watcher that reconnects after the restart
+// resumes with "watch since <seq>" against the same invariant set.
 package main
 
 import (
@@ -21,6 +29,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"deltanet/internal/core"
 	"deltanet/internal/monitor"
@@ -36,6 +46,7 @@ func main() {
 	batch := flag.Int("batch", 1, "preload batch size (>1 uses the parallel batch pipeline)")
 	burstDeltas := flag.Int("burst-deltas", 0, "coalesce this many deltas per monitor burst (>=2 enables)")
 	burstAge := flag.Duration("burst-age", 0, "flush a pending monitor burst at this age (>0 enables)")
+	stateFile := flag.String("state", "", "durable state file: loaded before serving if it exists, saved on shutdown")
 	flag.Parse()
 	if *batch < 1 {
 		fatal(fmt.Errorf("-batch must be >= 1, got %d", *batch))
@@ -48,7 +59,25 @@ func main() {
 	if *burstDeltas >= 2 || *burstAge > 0 {
 		s.SetBurst(monitor.BurstConfig{MaxDeltas: *burstDeltas, MaxAge: *burstAge})
 	}
-	if *traceFile != "" {
+	haveState := false
+	if *stateFile != "" {
+		if f, err := os.Open(*stateFile); err == nil {
+			if *traceFile != "" {
+				fatal(fmt.Errorf("-state file %s exists; refusing to also preload -trace (delete one)", *stateFile))
+			}
+			err := s.LoadState(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			haveState = true
+			fmt.Fprintf(os.Stderr, "restored %s: %d rules, %d atoms, %d invariant(s)\n",
+				*stateFile, s.Network().NumRules(), s.Network().NumAtoms(), s.Monitor().NumRegistered())
+		} else if !os.IsNotExist(err) {
+			fatal(err)
+		}
+	}
+	if *traceFile != "" && !haveState {
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			fatal(err)
@@ -106,10 +135,58 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// SIGINT/SIGTERM shut the server down cleanly (Serve returns nil once
+	// live connections are drained), and the state file is saved after —
+	// the data plane is quiescent by then. The registered watch set is
+	// captured at signal time: Close's connection drain releases every
+	// client-held registration, and the saved state must include them.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	specCh := make(chan []string, 1)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "dnserve: shutting down")
+		specCh <- s.Monitor().SnapshotSpecs()
+		s.Close()
+	}()
 	fmt.Fprintf(os.Stderr, "dnserve listening on %s\n", l.Addr())
 	if err := s.Serve(l); err != nil {
 		fatal(err)
 	}
+	if *stateFile != "" {
+		var specs []string
+		select {
+		case specs = <-specCh:
+		default: // Serve ended without a signal; the monitor is settled
+			specs = s.Monitor().SnapshotSpecs()
+		}
+		if err := saveState(s, *stateFile, specs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved %s: %d rules, %d invariant(s)\n",
+			*stateFile, s.Network().NumRules(), len(specs))
+	}
+}
+
+// saveState writes the server state to path atomically: dump to a
+// sibling temp file, then rename over the target, so a crash mid-write
+// cannot destroy the previous good state.
+func saveState(s *server.Server, path string, specs []string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveStateWithSpecs(f, specs); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func fatal(err error) {

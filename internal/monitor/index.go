@@ -144,6 +144,27 @@ func (ix *depIndex) update(slot int, oldDeps *bitset.Set, oldUpTo int, newDeps *
 	}
 }
 
+// shardPops returns each shard's total bit population (the sum over the
+// shard's link bitmaps of their set-bit counts) — the operator-facing
+// load signal Stats exposes: a shard far above the rest points at a hot
+// link whose bitmap dominates dirty-marking cost.
+func (ix *depIndex) shardPops() []int {
+	pops := make([]int, indexShards)
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.RLock()
+		n := 0
+		for _, bm := range sh.byLink {
+			if bm != nil {
+				n += bm.Len()
+			}
+		}
+		sh.mu.RUnlock()
+		pops[i] = n
+	}
+	return pops
+}
+
 // removeSlot erases every bit a slot may own: its recorded deps plus the
 // born-dirty range. Must run before the slot number is reused.
 func (ix *depIndex) removeSlot(slot int, deps *bitset.Set, depsUpTo int) {

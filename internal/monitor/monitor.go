@@ -141,6 +141,13 @@ type Stats struct {
 	Bursts    uint64
 	Coalesced uint64
 	Pending   int
+	// IndexShardBits is the dependency index's per-shard bit population:
+	// for each of the index's link shards, the total number of
+	// (link, invariant-slot) dependency bits it holds. A shard whose
+	// population dwarfs the others means one hot link's bitmap dominates
+	// dirty-marking cost — the signal that the link is a candidate for
+	// splitting by atom range.
+	IndexShardBits []int
 }
 
 // regStripes is the number of registration stripes. ID lookups (Status,
@@ -174,6 +181,13 @@ type Monitor struct {
 	pendingFirst   uint64 // update seq of the first coalesced delta
 	pendingSince   time.Time
 
+	// Per-pass scratch, reused across evaluation passes under applyMu so
+	// steady-state churn allocates nothing for dirty marking (at 10⁵
+	// slots a fresh dirty bitmap alone is ~12KB per update).
+	scratchChanged *bitset.Set
+	scratchDirty   *bitset.Set
+	scratchOuts    []evalOutcome
+
 	// regMu guards the structural registration state: the dedup map, the
 	// slot table, and the slot classification bitmaps. It is never held
 	// during an evaluation.
@@ -195,9 +209,15 @@ type Monitor struct {
 	// baseline the benchmarks compare the index against.
 	flatScan atomic.Bool
 
-	eventMu sync.Mutex
-	seq     uint64
-	subs    map[*Subscription]struct{}
+	// eventMu guards the sequence counter, the subscriber set, and the
+	// event backlog ring (backlog.go).
+	eventMu     sync.Mutex
+	seq         uint64
+	subs        map[*Subscription]struct{}
+	backlog     []Event
+	backlogCap  int
+	backlogHead int
+	backlogLen  int
 
 	evals, skips, events, bursts, coalesced atomic.Uint64
 }
@@ -213,7 +233,10 @@ func New(net *core.Network, workers int) *Monitor {
 		depSlots:       bitset.New(0),
 		globalSlots:    bitset.New(0),
 		pendingChanged: bitset.New(0),
+		scratchChanged: bitset.New(0),
+		scratchDirty:   bitset.New(0),
 		subs:           map[*Subscription]struct{}{},
+		backlogCap:     DefaultBacklog,
 	}
 	for i := range m.stripes {
 		m.stripes[i].invs = map[ID]*invariant{}
@@ -416,14 +439,15 @@ func (m *Monitor) Stats() Stats {
 	upd, pending := m.updSeq, m.pendingCount
 	m.applyMu.Unlock()
 	return Stats{
-		Registered:  m.NumRegistered(),
-		Updates:     upd,
-		Evaluations: m.evals.Load(),
-		Skips:       m.skips.Load(),
-		Events:      m.events.Load(),
-		Bursts:      m.bursts.Load(),
-		Coalesced:   m.coalesced.Load(),
-		Pending:     pending,
+		Registered:     m.NumRegistered(),
+		Updates:        upd,
+		Evaluations:    m.evals.Load(),
+		Skips:          m.skips.Load(),
+		Events:         m.events.Load(),
+		Bursts:         m.bursts.Load(),
+		Coalesced:      m.coalesced.Load(),
+		Pending:        pending,
+		IndexShardBits: m.index.shardPops(),
 	}
 }
 
@@ -470,7 +494,8 @@ func (m *Monitor) ApplyWithLoops(d *core.Delta, loops []check.Loop, loopsKnown b
 	if m.regd.Load() == 0 {
 		return nil
 	}
-	changed := changedLinks(d, nil)
+	m.scratchChanged.Clear()
+	changed := changedLinks(d, m.scratchChanged)
 	return m.evaluatePass(m.collectDirty(changed, d), &applyCtx{d: d, loops: loops, loopsKnown: loopsKnown}, m.updSeq, m.updSeq)
 }
 
@@ -504,9 +529,10 @@ func (m *Monitor) collectDirty(changed *bitset.Set, d *core.Delta) []*invariant 
 		m.index.growTo(numLinks, seed)
 	}
 
-	// Sized lazily by the first union: len(m.slots) is regMu-guarded, and
-	// the index bitmaps are already slot-capacity words.
-	dirty := bitset.New(0)
+	// Reused across passes (caller holds applyMu); the index bitmaps are
+	// already slot-capacity words, so the first union sizes it.
+	m.scratchDirty.Clear()
+	dirty := m.scratchDirty
 	m.index.collect(changed, dirty)
 
 	m.regMu.RLock()
@@ -570,6 +596,14 @@ func (m *Monitor) RecheckAll() []Event {
 	return m.evaluatePass(m.sortedByID(), nil, first, m.updSeq)
 }
 
+// evalOutcome is one invariant's result within an evaluation pass; the
+// backing slice is pass-scratch reused under applyMu.
+type evalOutcome struct {
+	evaluated bool
+	was, now  Status
+	detail    string
+}
+
 // evaluatePass re-evaluates cands (sorted by id) over per-worker queues,
 // re-indexes their dependency sets, and emits verdict transitions stamped
 // with the update range [updFirst, updLast]. Caller holds applyMu.
@@ -582,12 +616,13 @@ func (m *Monitor) evaluatePass(cands []*invariant, ctx *applyCtx, updFirst, updL
 		return nil
 	}
 	numLinks := m.net.Graph().NumLinks()
-	type outcome struct {
-		evaluated bool
-		was, now  Status
-		detail    string
+	if cap(m.scratchOuts) < len(cands) {
+		m.scratchOuts = make([]evalOutcome, len(cands))
 	}
-	outs := make([]outcome, len(cands))
+	outs := m.scratchOuts[:len(cands)]
+	for i := range outs {
+		outs[i] = evalOutcome{}
+	}
 	var evaluated atomic.Uint64
 	check.RunSharded(m.workers, len(cands), func(_, i int) {
 		inv := cands[i]
@@ -605,7 +640,7 @@ func (m *Monitor) evaluatePass(cands []*invariant, ctx *applyCtx, updFirst, updL
 		// Re-index under inv.mu so a racing Unregister cannot interleave
 		// its bit erasure with ours.
 		m.index.update(inv.slot, oldDeps, oldUpTo, inv.st.deps)
-		outs[i] = outcome{evaluated: true, was: was, now: inv.st.status, detail: v.detail}
+		outs[i] = evalOutcome{evaluated: true, was: was, now: inv.st.status, detail: v.detail}
 		evaluated.Add(1)
 	})
 	if ctx != nil {
@@ -685,12 +720,15 @@ func (s *Subscription) Cancel() {
 // Dropped returns the number of events lost to a full buffer.
 func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 
-// publishLocked fans events out to subscribers without blocking: the
-// update path must never wait on a slow consumer. Caller holds eventMu,
-// which also serializes against Cancel's close.
+// publishLocked fans events out to subscribers without blocking — the
+// update path must never wait on a slow consumer — and retains each
+// event in the backlog ring so droppers and reconnectors can replay the
+// suffix they missed (EventsSince). Caller holds eventMu, which also
+// serializes against Cancel's close.
 func (m *Monitor) publishLocked(events []Event) {
 	m.events.Add(uint64(len(events)))
 	for _, ev := range events {
+		m.backlogAppendLocked(ev)
 		for sub := range m.subs {
 			select {
 			case sub.ch <- ev:

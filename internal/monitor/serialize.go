@@ -1,0 +1,174 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"deltanet/internal/netgraph"
+)
+
+// This file is the monitor's wire/durable serialization of invariant
+// specs. Every Spec's String() form is already the server's W grammar;
+// FormatSpec extends it with the one piece String() cannot carry —
+// BlackHoleFree's sink set — and ParseSpec inverts FormatSpec, so
+// registered invariants can round-trip through a state file or a
+// re-registration after reconnect.
+//
+// The grammar (one spec per line, fields space-separated):
+//
+//	reach <from> <to>
+//	waypoint <from> <to> <via>
+//	isolated <id,id,...> <id,id,...>
+//	loopfree
+//	blackholefree [sinks=<id,id,...>]
+//
+// FormatSpec output is canonical: sinks are sorted and deduplicated, so
+// two specs are semantically identical iff their FormatSpec strings are
+// equal — which is exactly the property the monitor's refcount dedup key
+// needs, so specKey is FormatSpec.
+
+// FormatSpec returns the canonical serialized form of a spec: the wire
+// String() form, extended with BlackHoleFree's sink set. The result
+// parses back with ParseSpec to a semantically identical spec.
+func FormatSpec(s Spec) string {
+	b, ok := s.(BlackHoleFree)
+	if !ok || len(b.Sinks) == 0 {
+		return s.String()
+	}
+	sinks := make([]int, 0, len(b.Sinks))
+	for n, on := range b.Sinks {
+		if on {
+			sinks = append(sinks, int(n))
+		}
+	}
+	if len(sinks) == 0 {
+		return b.String()
+	}
+	sort.Ints(sinks)
+	parts := make([]string, len(sinks))
+	for i, n := range sinks {
+		parts[i] = strconv.Itoa(n)
+	}
+	return b.String() + " sinks=" + strings.Join(parts, ",")
+}
+
+// ParseSpec parses the serialized form produced by FormatSpec (a
+// superset of the wire W grammar: it additionally accepts
+// "blackholefree sinks=<id,...>"). Node ids are not validated against
+// any topology — the caller registers the spec with a monitor over a
+// concrete network and must validate ids there (SpecNodes enumerates
+// them).
+func ParseSpec(line string) (Spec, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("monitor: empty spec")
+	}
+	switch fields[0] {
+	case "reach":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("monitor: usage: reach <from> <to>")
+		}
+		a, errA := parseNode(fields[1])
+		b, errB := parseNode(fields[2])
+		if errA != nil || errB != nil {
+			return nil, fmt.Errorf("monitor: bad node id in %q", line)
+		}
+		return Reachable{From: a, To: b}, nil
+	case "waypoint":
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("monitor: usage: waypoint <from> <to> <via>")
+		}
+		a, errA := parseNode(fields[1])
+		b, errB := parseNode(fields[2])
+		v, errV := parseNode(fields[3])
+		if errA != nil || errB != nil || errV != nil {
+			return nil, fmt.Errorf("monitor: bad node id in %q", line)
+		}
+		return Waypoint{From: a, To: b, Via: v}, nil
+	case "isolated":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("monitor: usage: isolated <id,...> <id,...>")
+		}
+		ga, errA := parseGroup(fields[1])
+		gb, errB := parseGroup(fields[2])
+		if errA != nil || errB != nil {
+			return nil, fmt.Errorf("monitor: bad node id in %q", line)
+		}
+		return Isolated{GroupA: ga, GroupB: gb}, nil
+	case "loopfree":
+		if len(fields) != 1 {
+			return nil, fmt.Errorf("monitor: loopfree takes no arguments")
+		}
+		return LoopFree{}, nil
+	case "blackholefree":
+		switch {
+		case len(fields) == 1:
+			return BlackHoleFree{}, nil
+		case len(fields) == 2 && strings.HasPrefix(fields[1], "sinks="):
+			ids, err := parseGroup(strings.TrimPrefix(fields[1], "sinks="))
+			if err != nil {
+				return nil, fmt.Errorf("monitor: bad sink id in %q", line)
+			}
+			sinks := make(map[netgraph.NodeID]bool, len(ids))
+			for _, id := range ids {
+				sinks[id] = true
+			}
+			return BlackHoleFree{Sinks: sinks}, nil
+		default:
+			return nil, fmt.Errorf("monitor: usage: blackholefree [sinks=<id,...>]")
+		}
+	default:
+		return nil, fmt.Errorf("monitor: unknown spec kind %q", fields[0])
+	}
+}
+
+// SpecNodes returns every node id a spec references (in unspecified
+// order), so callers can validate a parsed spec against a topology
+// before registering it.
+func SpecNodes(s Spec) []netgraph.NodeID {
+	switch v := s.(type) {
+	case Reachable:
+		return []netgraph.NodeID{v.From, v.To}
+	case Waypoint:
+		return []netgraph.NodeID{v.From, v.To, v.Via}
+	case Isolated:
+		out := make([]netgraph.NodeID, 0, len(v.GroupA)+len(v.GroupB))
+		out = append(out, v.GroupA...)
+		return append(out, v.GroupB...)
+	case BlackHoleFree:
+		out := make([]netgraph.NodeID, 0, len(v.Sinks))
+		for n, on := range v.Sinks {
+			if on {
+				out = append(out, n)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func parseNode(f string) (netgraph.NodeID, error) {
+	// NodeID is int32: parse at that width so an oversized id is an
+	// error instead of silently truncating to a different node.
+	v, err := strconv.ParseInt(f, 10, 32)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad node id %q", f)
+	}
+	return netgraph.NodeID(v), nil
+}
+
+func parseGroup(f string) ([]netgraph.NodeID, error) {
+	parts := strings.Split(f, ",")
+	out := make([]netgraph.NodeID, 0, len(parts))
+	for _, p := range parts {
+		v, err := parseNode(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

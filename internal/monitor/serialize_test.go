@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"deltanet/internal/netgraph"
+)
+
+func TestParseSpecGrammar(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical FormatSpec form; "" = parse error expected
+	}{
+		{"reach 0 2", "reach 0 2"},
+		{"  reach   0   2  ", "reach 0 2"},
+		{"waypoint 0 3 1", "waypoint 0 3 1"},
+		{"isolated 0,1 4,5", "isolated 0,1 4,5"},
+		{"loopfree", "loopfree"},
+		{"blackholefree", "blackholefree"},
+		{"blackholefree sinks=2,5", "blackholefree sinks=2,5"},
+		{"blackholefree sinks=5,2", "blackholefree sinks=2,5"}, // canonicalized
+		{"", ""},
+		{"reach", ""},
+		{"reach 0", ""},
+		{"reach 0 2 3", ""},
+		{"reach a b", ""},
+		{"reach -1 2", ""},
+		{"waypoint 0 1", ""},
+		{"isolated 0,x 1", ""},
+		{"isolated 0 1 2", ""},
+		{"loopfree 1", ""},
+		{"blackholefree sinks=", ""},
+		{"blackholefree sinks=a", ""},
+		{"blackholefree 1 2", ""},
+		{"bogus 0 1", ""},
+	}
+	for _, c := range cases {
+		s, err := ParseSpec(c.in)
+		if c.want == "" {
+			if err == nil {
+				t.Errorf("ParseSpec(%q) = %v, want error", c.in, s)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got := FormatSpec(s); got != c.want {
+			t.Errorf("FormatSpec(ParseSpec(%q)) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSpecNodes(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want []netgraph.NodeID
+	}{
+		{Reachable{From: 1, To: 2}, []netgraph.NodeID{1, 2}},
+		{Waypoint{From: 1, To: 2, Via: 3}, []netgraph.NodeID{1, 2, 3}},
+		{Isolated{GroupA: []netgraph.NodeID{1}, GroupB: []netgraph.NodeID{2, 3}}, []netgraph.NodeID{1, 2, 3}},
+		{LoopFree{}, nil},
+		{BlackHoleFree{}, nil},
+		{BlackHoleFree{Sinks: map[netgraph.NodeID]bool{4: true, 5: false}}, []netgraph.NodeID{4}},
+	}
+	for _, c := range cases {
+		got := SpecNodes(c.spec)
+		seen := map[netgraph.NodeID]bool{}
+		for _, n := range got {
+			seen[n] = true
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("SpecNodes(%v) = %v, want %v", c.spec, got, c.want)
+			continue
+		}
+		for _, n := range c.want {
+			if !seen[n] {
+				t.Errorf("SpecNodes(%v) = %v, missing %d", c.spec, got, n)
+			}
+		}
+	}
+}
+
+// FuzzParseSpec: whatever the input, ParseSpec must not panic, and any
+// accepted input must reach a fixed point in one round: parse → format
+// → parse → format yields the same canonical string (the property the
+// refcount dedup key and the state-file round trip both rely on).
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"reach 0 2",
+		"waypoint 0 3 1",
+		"isolated 0,1 4,5",
+		"loopfree",
+		"blackholefree",
+		"blackholefree sinks=2,5",
+		"blackholefree sinks=5,5,2",
+		"reach 0 99999999999999999999",
+		"isolated , ,",
+		"  reach \t 1 2 ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		canon := FormatSpec(s)
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", canon, in, err)
+		}
+		if got := FormatSpec(s2); got != canon {
+			t.Fatalf("not a fixed point: %q -> %q -> %q", in, canon, got)
+		}
+		if strings.TrimSpace(in) == "" {
+			t.Fatalf("accepted blank input %q", in)
+		}
+	})
+}

@@ -2,7 +2,6 @@ package monitor
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -37,29 +36,12 @@ type Spec interface {
 	eval(n *core.Network, ctx *applyCtx, st *state) verdict
 }
 
-// specKey is the canonical identity registrations are refcounted by. The
-// wire String form is almost it; BlackHoleFree needs its sink set
-// appended, because sinks are not part of the wire syntax but do change
-// the invariant's meaning — two registrations with different sinks must
-// not be conflated.
-func specKey(s Spec) string {
-	b, ok := s.(BlackHoleFree)
-	if !ok || len(b.Sinks) == 0 {
-		return s.String()
-	}
-	sinks := make([]int, 0, len(b.Sinks))
-	for n, on := range b.Sinks {
-		if on {
-			sinks = append(sinks, int(n))
-		}
-	}
-	sort.Ints(sinks)
-	parts := make([]string, len(sinks))
-	for i, n := range sinks {
-		parts[i] = strconv.Itoa(n)
-	}
-	return b.String() + " sinks=" + strings.Join(parts, ",")
-}
+// specKey is the canonical identity registrations are refcounted by:
+// the FormatSpec serialization, which is the wire String form plus
+// BlackHoleFree's sink set — sinks are not part of the wire syntax but
+// do change the invariant's meaning, so two registrations with
+// different sinks must not be conflated.
+func specKey(s Spec) string { return FormatSpec(s) }
 
 // applyCtx is one Apply call's context: the delta and, optionally, the
 // per-update loop check's result so a LoopFree invariant need not repeat

@@ -150,6 +150,21 @@ func (g *Graph) DropLink(src NodeID) LinkID {
 // been installed yet.
 func (g *Graph) DropNode() NodeID { return g.dropNode }
 
+// SetDropNode marks an existing node as the global drop sink and
+// re-derives the per-source drop-link table from the current links. It
+// is the restore path for graphs rebuilt from a serialized dump, where
+// the sink and its links come back as plain node/link rows and the drop
+// bookkeeping must be reattached for IsDropLink and the black-hole
+// checks to keep treating them specially.
+func (g *Graph) SetDropNode(id NodeID) {
+	g.dropNode = id
+	for _, l := range g.links {
+		if l.Dst == id {
+			g.dropLinks[l.Src] = l.ID
+		}
+	}
+}
+
 // IsDropLink reports whether the link leads into the drop sink.
 func (g *Graph) IsDropLink(id LinkID) bool {
 	return g.dropNode != NoNode && g.links[id].Dst == g.dropNode

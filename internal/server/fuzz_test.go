@@ -27,6 +27,11 @@ func FuzzDispatch(f *testing.F) {
 		"burst 2 0\nW reach 0 1\nI 1 0 0 0 100 1\nstats\nflush\nburst 0 0\n",
 		"burst 3 1\nI 1 0 0 0 100 1\nflush\n",
 		"burst\nburst 1\nburst x 0\nburst 0 x\nburst -1 -1\nflush extra\n",
+		"W reach 0 2\nI 1 0 0 0 100 1\nevents since 0\nevents since 1\nwatch since 0\nR 1\n",
+		"events\nevents since\nevents since x\nevents since -1\nevents since 18446744073709551615\n",
+		"watch since\nwatch since x\nwatch since 5 extra\nwatch since 2\nwatch\n",
+		"W blackholefree sinks=0,1\nW blackholefree sinks=1,0\nunwatch 0\n",
+		"W reach 0 1\nunwatch 0\nunwatch 0\nquit\n",
 		"\n\n  \n",
 		"node\nlink\nI\nR\nreach\nwhatif\nstats extra\nW\nunwatch\n",
 		"quit\nI 1 0 0 0 100 1\n",

@@ -19,9 +19,11 @@
 //	W <spec>                             -> ok watch <id> <holds|violated>
 //	unwatch <id>                         -> ok unwatch <id>
 //	watch                                -> ok watching (streaming; see below)
+//	watch since <seq>                    -> ok watching (replay + streaming; see below)
+//	events since <seq>                   -> ok events n=<k> (k replay lines follow; see below)
 //	burst <maxDeltas> <maxAgeMs>         -> ok burst deltas=<n> age=<ms>
 //	flush                                -> ok flush events=<k> pending=0
-//	stats                                -> ok stats rules=<r> atoms=<a> links=<l> nodes=<v> watch=<w> pending=<p>
+//	stats                                -> ok stats rules=<r> atoms=<a> links=<l> nodes=<v> watch=<w> pending=<p> ix=<s0,...,s15>
 //	quit                                 -> connection closed
 //
 // B introduces an atomic batch: the client sends "B <n>" followed by
@@ -48,12 +50,15 @@
 //	W loopfree
 //	W blackholefree
 //
-// Invariants are shared across connections: any client may register,
-// unwatch, or observe them. Registrations are refcounted by spec — W for
-// a spec another client already watches returns the same id — and every
+// Invariants are shared across connections: any client may register or
+// observe them. Registrations are refcounted by spec — W for a spec
+// another client already watches returns the same id — and every
 // registration a connection made and has not unwatched is automatically
 // released when the connection closes, so a flapping client that
 // re-registers on every reconnect cannot grow the monitor without bound.
+// unwatch releases only a reference the calling connection holds:
+// releasing another connection's (or a preload's) reference would
+// over-release the refcount once that owner's own teardown runs.
 // Invariants registered programmatically (Server.Monitor, e.g. dnserve
 // preloads) hold their own reference and survive all disconnects.
 //
@@ -79,27 +84,46 @@
 // transitions caused by any connection's mutations are pushed
 // asynchronously as lines of the form
 //
-//	event <id> <violation|cleared> <spec> upd=<first>:<last> -- <detail>
+//	event <id> <violation|cleared> <spec> upd=<first>:<last> seq=<n> -- <detail>
 //
 // where upd delimits the update sequence range whose (possibly coalesced,
-// see burst) delta produced the transition,
+// see burst) delta produced the transition and seq is the event's own
+// monotonic sequence number (the client's resume cursor),
 //
 // interleaved between (never inside) regular response lines; the
 // connection keeps accepting requests. A slow streaming consumer never
 // stalls verification: events overflowing the subscription buffer are
 // dropped, not queued unboundedly.
 //
+// The monitor retains a bounded backlog of recent events (monitor
+// DefaultBacklog), making watch sessions durable across disconnects:
+//
+//   - "events since <seq>" replays the retained events with sequence
+//     numbers after seq. The "ok events n=<k>" response is followed by
+//     exactly k lines: a "gap <from>:<to>" line first when churn has
+//     pushed part of the requested suffix off the backlog (naming the
+//     lost sequence range), then one event line per retained event.
+//   - "watch since <seq>" is resumable watch: after "ok watching" the
+//     missed events replay as normal event lines, then live streaming
+//     takes over with no seam (an event is replayed or streamed, never
+//     neither). When the backlog has truncated the suffix, a
+//     "gap <from>:<to>" line plus a full status snapshot re-anchor the
+//     client instead, since its cached verdict state is unrecoverably
+//     stale.
+//
 // Errors are reported as "err <message>" and do not close the connection,
-// with one exception: a bad batch header ("B" with a missing, unparseable,
-// or out-of-range size) closes the connection after the error, because the
-// server cannot delimit the body the client committed to sending and any
-// resync guess could execute body lines as individual commands.
+// with two exceptions, both written as a final error line before the close:
+// a bad batch header ("B" with a missing, unparseable, or out-of-range
+// size), because the server cannot delimit the body the client committed
+// to sending and any resync guess could execute body lines as individual
+// commands; and a scanner error (a line over the 1MB limit, or any read
+// error), because the scanner cannot resync past the bad input.
 // The engine is a single shared data plane; mutations (node, link, I, R,
 // B) are serialized under a write lock, preserving the order guarantees a
 // data plane checker needs, while read-only requests (reach, whatif,
-// stats, W, unwatch, flush, burst) run concurrently under a read lock
-// (the monitor has its own internal locks for registration bookkeeping
-// and burst state).
+// stats, W, unwatch, flush, burst, events) run concurrently under a read
+// lock (the monitor has its own internal locks for registration
+// bookkeeping, events, and burst state).
 package server
 
 import (
@@ -303,9 +327,14 @@ func (s *Server) Close() error {
 	return err
 }
 
+// maxLine bounds one protocol line; a longer line is a scanner error
+// reported to the client as "err line too long" before the connection
+// closes.
+const maxLine = 1 << 20
+
 func (s *Server) handle(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 4096), 1<<20)
+	sc.Buffer(make([]byte, 4096), maxLine)
 	w := bufio.NewWriter(conn)
 
 	// owned counts the references this connection holds on each watched
@@ -353,35 +382,14 @@ func (s *Server) handle(conn net.Conn) {
 		switch fields := strings.Fields(line); {
 		case fields[0] == "B":
 			resp, fatal = s.readAndApplyBatch(fields, sc)
-		case fields[0] == "watch" && len(fields) == 1:
-			if sub != nil {
-				resp = "err already watching"
-				break
+		case fields[0] == "watch":
+			var err error
+			if resp, err = s.startWatch(fields, writeLine, &sub, &streamWG); err != nil {
+				return // client unwritable mid-handshake
 			}
-			sub = s.mon.Subscribe(eventBuffer)
-			// Acknowledge before the first event can be written.
-			if writeLine("ok watching") != nil {
-				return
+			if resp == "" {
+				continue // streaming started; everything already written
 			}
-			// Snapshot taken AFTER subscribing: a transition racing the
-			// subscription shows up as an event, a status line, or both —
-			// never as silence — so the client's view starts authoritative.
-			for _, info := range s.mon.Invariants() {
-				if writeLine(fmt.Sprintf("status %d %s %s -- %s",
-					info.ID, info.Status, info.Spec, info.Detail)) != nil {
-					return
-				}
-			}
-			streamWG.Add(1)
-			go func(c <-chan monitor.Event) {
-				defer streamWG.Done()
-				for ev := range c {
-					if writeLine(formatEvent(ev)) != nil {
-						return
-					}
-				}
-			}(sub.C)
-			continue
 		default:
 			resp = s.dispatch(line, owned)
 		}
@@ -389,6 +397,105 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+	// A scanner error is NOT a client disconnect: the connection may
+	// still be writable (an over-long line, most commonly), so tell the
+	// client what happened instead of vanishing. The scanner cannot
+	// resync past the bad input, so the connection closes either way.
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			writeLine(fmt.Sprintf("err line too long (max %d bytes; closing connection)", maxLine))
+		} else {
+			writeLine("err read error: " + err.Error() + " (closing connection)")
+		}
+	}
+}
+
+// startWatch enters streaming mode for a "watch" or "watch since <seq>"
+// request. It returns ("", nil) when streaming started (the handshake
+// lines were written and the streamer goroutine owns live events), a
+// non-empty response when the request was refused, and a non-nil error
+// when the client stopped reading mid-handshake.
+//
+// For a resume (since), the catch-up phase replays the backlog suffix
+// after seq; when the backlog has truncated it, an explicit
+// "gap <from>:<to>" line names the lost range and a full status
+// snapshot re-anchors the client before live events flow. The live
+// streamer filters events at or below the last replayed sequence
+// number: the subscription is live from before the backlog is read, so
+// the window between the two would otherwise be delivered twice.
+func (s *Server) startWatch(fields []string, writeLine func(string) error,
+	subp **monitor.Subscription, streamWG *sync.WaitGroup) (resp string, err error) {
+	resume := len(fields) == 3 && fields[1] == "since"
+	var since uint64
+	if resume {
+		v, perr := strconv.ParseUint(fields[2], 10, 64)
+		if perr != nil {
+			return "err usage: watch [since <seq>]", nil
+		}
+		since = v
+	} else if len(fields) != 1 {
+		return "err usage: watch [since <seq>]", nil
+	}
+	if *subp != nil {
+		return "err already watching", nil
+	}
+	sub := s.mon.Subscribe(eventBuffer)
+	*subp = sub
+	// Acknowledge before the first event can be written.
+	if err := writeLine("ok watching"); err != nil {
+		return "", err
+	}
+	lastSeen := since
+	snapshot := !resume
+	if resume {
+		rep := s.mon.EventsSince(since)
+		// After the catch-up phase the client is current through
+		// rep.Head: every earlier event was replayed, folded into the
+		// re-anchor snapshot, or named lost. (On a gap, rep.Head also
+		// undoes a cursor from a previous server incarnation, which
+		// must not suppress the fresh stream's lower sequence numbers.)
+		lastSeen = rep.Head
+		if rep.LostFrom > 0 {
+			// The backlog cannot replay the client's suffix: name the
+			// lost range and re-anchor with a fresh snapshot rather than
+			// replay a stream with a hole in it (any retained events are
+			// already folded into the snapshot).
+			if err := writeLine(fmt.Sprintf("gap %d:%d", rep.LostFrom, rep.LostTo)); err != nil {
+				return "", err
+			}
+			snapshot = true
+		} else {
+			for _, ev := range rep.Events {
+				if err := writeLine(formatEvent(ev)); err != nil {
+					return "", err
+				}
+			}
+		}
+	}
+	if snapshot {
+		// Snapshot taken AFTER subscribing: a transition racing the
+		// subscription shows up as an event, a status line, or both —
+		// never as silence — so the client's view starts authoritative.
+		for _, info := range s.mon.Invariants() {
+			if err := writeLine(fmt.Sprintf("status %d %s %s -- %s",
+				info.ID, info.Status, monitor.FormatSpec(info.Spec), info.Detail)); err != nil {
+				return "", err
+			}
+		}
+	}
+	streamWG.Add(1)
+	go func(c <-chan monitor.Event, after uint64) {
+		defer streamWG.Done()
+		for ev := range c {
+			if ev.Seq <= after {
+				continue // already delivered by the catch-up replay
+			}
+			if writeLine(formatEvent(ev)) != nil {
+				return
+			}
+		}
+	}(sub.C, lastSeen)
+	return "", nil
 }
 
 // eventBuffer is a watch subscription's channel capacity; events beyond
@@ -398,10 +505,15 @@ const eventBuffer = 256
 
 // formatEvent renders one transition, including the (inclusive) range of
 // update sequence numbers whose coalesced delta produced it — upd=N:N for
-// a single update, upd=N:M for a flushed burst.
+// a single update, upd=N:M for a flushed burst — and the event's own
+// sequence number, which a watcher records as its resume cursor for
+// "watch since <seq>" / "events since <seq>" after a disconnect.
 func formatEvent(ev monitor.Event) string {
-	return fmt.Sprintf("event %d %s %s upd=%d:%d -- %s",
-		ev.ID, ev.Kind, ev.Spec, ev.FirstUpdate, ev.LastUpdate, ev.Detail)
+	// FormatSpec, not Spec.String(): the canonical form carries
+	// BlackHoleFree's sink set, so the printed spec round-trips through
+	// ParseSpec to the invariant the event is actually about.
+	return fmt.Sprintf("event %d %s %s upd=%d:%d seq=%d -- %s",
+		ev.ID, ev.Kind, monitor.FormatSpec(ev.Spec), ev.FirstUpdate, ev.LastUpdate, ev.Seq, ev.Detail)
 }
 
 // maxBatch bounds a B request's line count, and maxBatchBytes its
@@ -435,6 +547,15 @@ func (s *Server) readAndApplyBatch(fields []string, sc *bufio.Scanner) (resp str
 	bytes := 0
 	for len(lines) < count {
 		if !sc.Scan() {
+			// Distinguish a genuine disconnect from a scanner error: after
+			// an over-long line (or any read error) the connection may
+			// still be writable, and "truncated by disconnect" would send
+			// the client hunting for a network problem that isn't there.
+			if err := sc.Err(); err == bufio.ErrTooLong {
+				return fmt.Sprintf("err batch line too long (max %d bytes; closing connection)", maxLine), true
+			} else if err != nil {
+				return "err batch aborted by read error: " + err.Error() + " (closing connection)", true
+			}
 			return "err batch truncated by disconnect", true
 		}
 		line := strings.TrimSpace(sc.Text())
@@ -525,7 +646,7 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		return "err empty request"
 	}
 	switch fields[0] {
-	case "reach", "whatif", "stats", "W", "unwatch", "flush", "burst":
+	case "reach", "whatif", "stats", "W", "unwatch", "flush", "burst", "events":
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 	default:
@@ -599,18 +720,24 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		if len(fields) != 2 {
 			return "err usage: unwatch <id>"
 		}
-		id, err := strconv.ParseInt(fields[1], 10, 64)
+		id64, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
 			return "err bad watch id"
 		}
-		if !s.mon.Unregister(monitor.ID(id)) {
-			return "err unknown watch id"
+		id := monitor.ID(id64)
+		// Release only a reference this connection holds. Unwatching an
+		// id owned by another connection (or a dnserve preload) would
+		// over-release the refcount: the other owner's bookkeeping still
+		// counts the reference, so its own unwatch or disconnect sweep
+		// would release it a second time and tear down a live watch.
+		if owned[id] == 0 {
+			if _, _, live := s.mon.Status(id); !live {
+				return "err unknown watch id"
+			}
+			return "err watch " + fields[1] + " not owned by this connection"
 		}
-		// Account the released reference to this connection when it holds
-		// one, so the disconnect sweep doesn't release it twice.
-		if owned[monitor.ID(id)] > 0 {
-			owned[monitor.ID(id)]--
-		}
+		s.mon.Unregister(id)
+		owned[id]--
 		return "ok unwatch " + fields[1]
 	case "burst":
 		if len(fields) != 3 {
@@ -629,86 +756,60 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		}
 		events := s.mon.Flush()
 		return fmt.Sprintf("ok flush events=%d pending=0", len(events))
+	case "events":
+		if len(fields) != 3 || fields[1] != "since" {
+			return "err usage: events since <seq>"
+		}
+		seq, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return "err bad sequence number"
+		}
+		rep := s.mon.EventsSince(seq)
+		n := len(rep.Events)
+		if rep.LostFrom > 0 {
+			n++
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "ok events n=%d", n)
+		if rep.LostFrom > 0 {
+			fmt.Fprintf(&b, "\ngap %d:%d", rep.LostFrom, rep.LostTo)
+		}
+		for _, ev := range rep.Events {
+			b.WriteByte('\n')
+			b.WriteString(formatEvent(ev))
+		}
+		return b.String()
 	case "stats":
-		return fmt.Sprintf("ok stats rules=%d atoms=%d links=%d nodes=%d watch=%d pending=%d",
+		st := s.mon.Stats()
+		shards := make([]string, len(st.IndexShardBits))
+		for i, p := range st.IndexShardBits {
+			shards[i] = strconv.Itoa(p)
+		}
+		return fmt.Sprintf("ok stats rules=%d atoms=%d links=%d nodes=%d watch=%d pending=%d ix=%s",
 			s.net.NumRules(), s.net.NumAtoms(), s.graph.NumLinks(),
-			s.graph.NumNodes(), s.mon.NumRegistered(), s.mon.Pending())
+			s.graph.NumNodes(), st.Registered, st.Pending,
+			strings.Join(shards, ","))
 	default:
 		return "err unknown command " + fields[0]
 	}
 }
 
-// parseSpec parses the W command's invariant grammar, validating node ids
-// against the topology. Callers must hold at least the read lock.
+// parseSpec parses the W command's invariant grammar — the serialized
+// spec form shared with state files and the public API
+// (monitor.ParseSpec) — and validates every node id it names against
+// the topology. Callers must hold at least the read lock.
 func (s *Server) parseSpec(fields []string) (monitor.Spec, string) {
-	const usage = "usage: W reach <a> <b> | W waypoint <a> <b> <via> | W isolated <a,...> <b,...> | W loopfree | W blackholefree"
-	if len(fields) == 0 {
+	const usage = "usage: W reach <a> <b> | W waypoint <a> <b> <via> | W isolated <a,...> <b,...> | W loopfree | W blackholefree [sinks=<a,...>]"
+	spec, err := monitor.ParseSpec(strings.Join(fields, " "))
+	if err != nil {
 		return nil, usage
 	}
-	node := func(f string) (netgraph.NodeID, bool) {
-		v, err := strconv.Atoi(f)
-		if err != nil || !s.validNode(v) {
-			return 0, false
-		}
-		return netgraph.NodeID(v), true
-	}
-	group := func(f string) ([]netgraph.NodeID, bool) {
-		parts := strings.Split(f, ",")
-		out := make([]netgraph.NodeID, 0, len(parts))
-		for _, p := range parts {
-			v, ok := node(p)
-			if !ok {
-				return nil, false
-			}
-			out = append(out, v)
-		}
-		return out, true
-	}
-	switch fields[0] {
-	case "reach":
-		if len(fields) != 3 {
-			return nil, usage
-		}
-		a, okA := node(fields[1])
-		b, okB := node(fields[2])
-		if !okA || !okB {
+	for _, n := range monitor.SpecNodes(spec) {
+		if !s.validNode(int(n)) {
 			return nil, "unknown node id"
 		}
-		return monitor.Reachable{From: a, To: b}, ""
-	case "waypoint":
-		if len(fields) != 4 {
-			return nil, usage
-		}
-		a, okA := node(fields[1])
-		b, okB := node(fields[2])
-		v, okV := node(fields[3])
-		if !okA || !okB || !okV {
-			return nil, "unknown node id"
-		}
-		return monitor.Waypoint{From: a, To: b, Via: v}, ""
-	case "isolated":
-		if len(fields) != 3 {
-			return nil, usage
-		}
-		ga, okA := group(fields[1])
-		gb, okB := group(fields[2])
-		if !okA || !okB {
-			return nil, "unknown node id"
-		}
-		return monitor.Isolated{GroupA: ga, GroupB: gb}, ""
-	case "loopfree":
-		if len(fields) != 1 {
-			return nil, usage
-		}
-		return monitor.LoopFree{}, ""
-	case "blackholefree":
-		if len(fields) != 1 {
-			return nil, usage
-		}
-		return monitor.BlackHoleFree{}, ""
-	default:
-		return nil, usage
 	}
+	return spec, ""
 }
 
 func (s *Server) updateResponse(loops []check.Loop) string {

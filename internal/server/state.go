@@ -1,0 +1,188 @@
+package server
+
+// This file is the server's state save/load: the durable half of the
+// deployment mode. A dnserve restarted from a state file comes back with
+// the same topology (ids preserved, so protocol references survive the
+// restart), the same rules, and every standing invariant re-registered
+// and re-evaluated against the restored data plane — clients reconnect,
+// resume their watches, and see verdicts identical to a server that
+// never died.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/monitor"
+	"deltanet/internal/netgraph"
+)
+
+// stateHeader is the first line of a version-1 state file. The format is
+// line-oriented and human-readable, in this order:
+//
+//	deltanet-state 1
+//	node <name>                              (one per node, in id order)
+//	link <srcID> <dstID>                     (one per link, in id order)
+//	drop <nodeID>                            (optional: the drop sink)
+//	rule <id> <srcID> <linkID> <lo> <hi> <prio>
+//	spec <serialized invariant>              (monitor.FormatSpec form)
+//
+// Nodes and links are dumped positionally so every id a client or a spec
+// references means the same thing after a restore; the drop line
+// reattaches the drop-sink bookkeeping that AddNode/AddLink replay alone
+// cannot recover (the sink's special treatment in loop and black-hole
+// checks would otherwise be lost).
+const stateHeader = "deltanet-state 1"
+
+// SaveState writes the server's durable state — topology, rules, and
+// the currently registered invariant specs — to w in the version-1
+// format. It takes the read lock, so it may run concurrently with
+// serving (mutations block for the duration of the dump).
+//
+// On the shutdown path, capture the spec list with
+// Monitor().SnapshotSpecs() BEFORE Close and pass it to
+// SaveStateWithSpecs: Close's connection drain sweeps every
+// client-held registration, so a post-Close SaveState would persist
+// only preloaded invariants and forget the live watch set.
+func (s *Server) SaveState(w io.Writer) error {
+	return s.SaveStateWithSpecs(w, s.mon.SnapshotSpecs())
+}
+
+// SaveStateWithSpecs is SaveState with an explicit invariant list (the
+// SnapshotSpecs format), for callers that captured the watch set at a
+// different moment than the dump — see SaveState.
+func (s *Server) SaveStateWithSpecs(w io.Writer, specs []string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, stateHeader)
+	for v := 0; v < s.graph.NumNodes(); v++ {
+		fmt.Fprintf(bw, "node %s\n", s.graph.NodeName(netgraph.NodeID(v)))
+	}
+	for _, l := range s.graph.Links() {
+		fmt.Fprintf(bw, "link %d %d\n", l.Src, l.Dst)
+	}
+	if d := s.graph.DropNode(); d != netgraph.NoNode {
+		fmt.Fprintf(bw, "drop %d\n", d)
+	}
+	for _, r := range s.net.Snapshot() {
+		fmt.Fprintf(bw, "rule %d %d %d %d %d %d\n",
+			r.ID, r.Source, r.Link, r.Match.Lo, r.Match.Hi, r.Priority)
+	}
+	for _, spec := range specs {
+		fmt.Fprintf(bw, "spec %s\n", spec)
+	}
+	return bw.Flush()
+}
+
+// LoadState restores a version-1 state dump into an empty server:
+// topology first (ids assigned in file order, reproducing the saved
+// ids), then rules (replayed through the engine, so atom state is
+// rebuilt exactly as a fresh insertion history would), then invariant
+// specs (each registered and immediately evaluated against the restored
+// data plane). Call it before Serve.
+func (s *Server) LoadState(r io.Reader) error {
+	if s.graph.NumNodes() != 0 || s.net.NumRules() != 0 {
+		return fmt.Errorf("server: LoadState requires an empty server")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 4096), 1<<20)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != stateHeader {
+		return fmt.Errorf("server: not a %q file", stateHeader)
+	}
+	var rules []core.Rule
+	var specs []monitor.Spec
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(msg string) error {
+			return fmt.Errorf("server: state line %d: %s: %q", lineNo, msg, line)
+		}
+		switch fields[0] {
+		case "node":
+			if len(fields) != 2 {
+				return bad("usage: node <name>")
+			}
+			if int(s.graph.AddNode(fields[1])) != s.graph.NumNodes()-1 {
+				return bad("duplicate node name")
+			}
+		case "link":
+			src, dst, err := twoInts(fields)
+			if err != nil || !s.validNode(src) || !s.validNode(dst) {
+				return bad("bad link endpoints")
+			}
+			if int(s.graph.AddLink(netgraph.NodeID(src), netgraph.NodeID(dst))) != s.graph.NumLinks()-1 {
+				return bad("duplicate link")
+			}
+		case "drop":
+			if len(fields) != 2 {
+				return bad("usage: drop <nodeID>")
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || !s.validNode(id) {
+				return bad("bad drop node id")
+			}
+			s.graph.SetDropNode(netgraph.NodeID(id))
+		case "rule":
+			if len(fields) != 7 {
+				return bad("usage: rule <id> <srcID> <linkID> <lo> <hi> <prio>")
+			}
+			var nums [6]int64
+			for i := range nums {
+				v, err := strconv.ParseInt(fields[i+1], 10, 64)
+				if err != nil {
+					return bad("bad number")
+				}
+				nums[i] = v
+			}
+			if !s.validNode(int(nums[1])) {
+				return bad("unknown node id")
+			}
+			if nums[2] != -1 && (nums[2] < 0 || int(nums[2]) >= s.graph.NumLinks()) {
+				return bad("unknown link id")
+			}
+			rules = append(rules, core.Rule{
+				ID:       core.RuleID(nums[0]),
+				Source:   netgraph.NodeID(nums[1]),
+				Link:     netgraph.LinkID(nums[2]),
+				Match:    ipnet.Interval{Lo: uint64(nums[3]), Hi: uint64(nums[4])},
+				Priority: core.Priority(nums[5]),
+			})
+		case "spec":
+			spec, err := monitor.ParseSpec(strings.TrimSpace(strings.TrimPrefix(line, "spec")))
+			if err != nil {
+				return bad(err.Error())
+			}
+			for _, n := range monitor.SpecNodes(spec) {
+				if !s.validNode(int(n)) {
+					return bad("spec names an unknown node id")
+				}
+			}
+			specs = append(specs, spec)
+		default:
+			return bad("unknown state record")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("server: reading state: %w", err)
+	}
+	if err := s.net.Restore(rules); err != nil {
+		return fmt.Errorf("server: restoring rules: %w", err)
+	}
+	// Specs last: each registration evaluates against the fully restored
+	// data plane, so the re-registered invariants' verdicts match a fresh
+	// full evaluation by construction.
+	for _, spec := range specs {
+		s.mon.Register(spec)
+	}
+	return nil
+}

@@ -70,6 +70,42 @@ func WatchBlackHoleFree(sinks map[SwitchID]bool) Invariant {
 	return monitor.BlackHoleFree{Sinks: sinks}
 }
 
+// FormatInvariant returns an invariant's canonical serialized form —
+// the server wire grammar, extended with WatchBlackHoleFree's sink set
+// — which ParseInvariant inverts. Use it to persist standing
+// invariants; Checker.SnapshotInvariants serializes every registered
+// one.
+func FormatInvariant(inv Invariant) string { return monitor.FormatSpec(inv) }
+
+// ParseInvariant parses the serialized invariant form produced by
+// FormatInvariant (e.g. "reach 0 2", "waypoint 0 3 1",
+// "isolated 0,1 4,5", "loopfree", "blackholefree sinks=2,5"). Switch
+// ids are not validated against any topology; registering the result
+// with a checker whose topology lacks them yields a trivially evaluated
+// invariant, so validate ids first when parsing untrusted input.
+func ParseInvariant(s string) (Invariant, error) { return monitor.ParseSpec(s) }
+
+// SnapshotInvariants returns the serialized form of every registered
+// standing invariant, in registration order — the monitor half of a
+// durable snapshot, pairing with Snapshot's rules. It returns nil when
+// no monitor was ever created.
+func (c *Checker) SnapshotInvariants() []string {
+	if c.monitor == nil {
+		return nil
+	}
+	return c.monitor.SnapshotSpecs()
+}
+
+// RestoreInvariants parses and registers each serialized invariant
+// (the SnapshotInvariants format), evaluating every one against the
+// current data plane. Restoring after Restore(rules) therefore yields
+// verdicts identical to a fresh full evaluation of the restored state.
+// On a parse error, registration stops and the error is returned;
+// already-registered invariants stay registered.
+func (c *Checker) RestoreInvariants(specs []string) error {
+	return c.Monitor().RestoreSpecs(specs)
+}
+
 // Monitor returns the checker's standing-invariant monitor, creating it
 // on first use (with the checker's BatchWorkers as its evaluation
 // fan-out, and any WithBurst configuration installed). Once any invariant
