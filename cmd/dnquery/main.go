@@ -16,7 +16,9 @@
 //
 // The watch subcommand connects to a dnserve instance, registers each
 // spec as a standing invariant (the server's W grammar, e.g. "reach 0 2",
-// "waypoint 0 3 1", "isolated 0,1 4,5", "loopfree", "blackholefree"),
+// "waypoint 0 3 1", "isolated 0,1 4,5", "loopfree", "blackholefree";
+// node positions accept names as well as ids, and the server echoes
+// names back in status and event lines),
 // prints the server's status snapshot of every registered invariant, then
 // streams verdict-transition events to stdout. With no specs it reports
 // and follows the invariants other clients registered. The watch is

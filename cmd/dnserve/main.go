@@ -6,6 +6,7 @@
 //
 //	dnserve [-addr host:port] [-gc] [-trace file] [-batch n]
 //	        [-burst-deltas n] [-burst-age d] [-state file]
+//	        [-checkpoint <interval|Nu>]
 //
 // With -trace, the topology and insertions of the trace are preloaded
 // before serving; -batch n applies the preload as atomic batches of n
@@ -17,11 +18,22 @@
 // commands).
 //
 // -state makes the service durable across restarts: if the file exists
-// it is loaded before serving (topology, rules, and standing invariants,
-// all re-evaluated — see server.LoadState), and on shutdown (SIGINT/
-// SIGTERM, which also drains live connections) the current state is
-// saved back atomically. A watcher that reconnects after the restart
-// resumes with "watch since <seq>" against the same invariant set.
+// it is loaded before serving (topology, rules, standing invariants —
+// all re-evaluated, see server.LoadState — and the event-stream cursor,
+// so event numbering continues across the restart), and on shutdown
+// (SIGINT/SIGTERM, which also drains live connections) the current
+// state is saved back atomically. A watcher that reconnects after the
+// restart resumes with "watch since <seq>" against the same invariant
+// set.
+//
+// -checkpoint additionally saves the state file in the background while
+// serving, so a crash loses at most one checkpoint window instead of
+// everything since boot. The value is either a duration ("30s", "5m")
+// for time-triggered saves, or an update count with a "u" suffix
+// ("1000u") to checkpoint after that many rule updates. Every save goes
+// through the same atomic temp-file-and-rename path as the shutdown
+// save, so a crash mid-checkpoint never corrupts the previous good
+// state.
 package main
 
 import (
@@ -30,7 +42,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"deltanet/internal/core"
 	"deltanet/internal/monitor"
@@ -47,12 +63,20 @@ func main() {
 	burstDeltas := flag.Int("burst-deltas", 0, "coalesce this many deltas per monitor burst (>=2 enables)")
 	burstAge := flag.Duration("burst-age", 0, "flush a pending monitor burst at this age (>0 enables)")
 	stateFile := flag.String("state", "", "durable state file: loaded before serving if it exists, saved on shutdown")
+	checkpoint := flag.String("checkpoint", "", "background state saves while serving: a duration (e.g. 30s) or an update count (e.g. 1000u); requires -state")
 	flag.Parse()
 	if *batch < 1 {
 		fatal(fmt.Errorf("-batch must be >= 1, got %d", *batch))
 	}
 	if *burstDeltas < 0 || *burstAge < 0 {
 		fatal(fmt.Errorf("-burst-deltas and -burst-age must be non-negative"))
+	}
+	ckptEvery, ckptUpdates, err := parseCheckpoint(*checkpoint)
+	if err != nil {
+		fatal(err)
+	}
+	if *checkpoint != "" && *stateFile == "" {
+		fatal(fmt.Errorf("-checkpoint requires -state"))
 	}
 
 	s := server.New(core.Options{GC: *gc})
@@ -149,10 +173,26 @@ func main() {
 		specCh <- s.Monitor().SnapshotSpecs()
 		s.Close()
 	}()
+	// Background checkpointer: periodic saves through the same atomic
+	// rename path as the shutdown save, so a crash between checkpoints
+	// loses at most one window. Joined before the final save so the two
+	// writers never interleave on the temp file.
+	var ckptWG sync.WaitGroup
+	ckptStop := make(chan struct{})
+	if ckptEvery > 0 || ckptUpdates > 0 {
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			runCheckpointer(s, *stateFile, ckptEvery, ckptUpdates, ckptStop)
+		}()
+	}
+
 	fmt.Fprintf(os.Stderr, "dnserve listening on %s\n", l.Addr())
 	if err := s.Serve(l); err != nil {
 		fatal(err)
 	}
+	close(ckptStop)
+	ckptWG.Wait()
 	if *stateFile != "" {
 		var specs []string
 		select {
@@ -165,6 +205,68 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "saved %s: %d rules, %d invariant(s)\n",
 			*stateFile, s.Network().NumRules(), len(specs))
+	}
+}
+
+// parseCheckpoint parses the -checkpoint value: "" (disabled), a
+// duration ("30s"), or an update count with a "u" suffix ("1000u").
+func parseCheckpoint(v string) (every time.Duration, updates uint64, err error) {
+	if v == "" {
+		return 0, 0, nil
+	}
+	if n, ok := strings.CutSuffix(v, "u"); ok {
+		updates, err = strconv.ParseUint(n, 10, 64)
+		if err != nil || updates == 0 {
+			return 0, 0, fmt.Errorf("-checkpoint %q: update count must be a positive integer with a 'u' suffix", v)
+		}
+		return 0, updates, nil
+	}
+	every, err = time.ParseDuration(v)
+	if err != nil || every <= 0 {
+		return 0, 0, fmt.Errorf("-checkpoint %q: want a positive duration (e.g. 30s) or an update count (e.g. 1000u)", v)
+	}
+	return every, 0, nil
+}
+
+// checkpointPoll is how often the update-count checkpointer samples the
+// monitor's update counter.
+const checkpointPoll = time.Second
+
+// runCheckpointer saves the server state to path whenever the trigger
+// fires: every `every` when time-driven, or whenever `updates` more
+// rule updates have been applied since the last save (sampled every
+// checkpointPoll) when count-driven. An idle server checkpoints once
+// and then skips ticks until the update counter moves again (a
+// topology-only mutation between checkpoints is covered by the
+// shutdown save). Save errors are logged, not fatal — a full disk
+// should not take the verifier down.
+func runCheckpointer(s *server.Server, path string, every time.Duration, updates uint64, stop <-chan struct{}) {
+	interval := every
+	if updates > 0 {
+		interval = checkpointPoll
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var lastSaved uint64
+	saved := false
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		cur := s.Monitor().Stats().Updates
+		if updates > 0 {
+			if cur-lastSaved < updates {
+				continue
+			}
+		} else if saved && cur == lastSaved {
+			continue // nothing changed since the last checkpoint
+		}
+		lastSaved, saved = cur, true
+		if err := saveState(s, path, s.Monitor().SnapshotSpecs()); err != nil {
+			fmt.Fprintf(os.Stderr, "dnserve: checkpoint failed: %v\n", err)
+		}
 	}
 }
 

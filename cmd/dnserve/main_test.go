@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/server"
+)
+
+func TestParseCheckpoint(t *testing.T) {
+	cases := []struct {
+		in      string
+		every   time.Duration
+		updates uint64
+		wantErr bool
+	}{
+		{in: "", every: 0, updates: 0},
+		{in: "30s", every: 30 * time.Second},
+		{in: "5m", every: 5 * time.Minute},
+		{in: "1000u", updates: 1000},
+		{in: "1u", updates: 1},
+		{in: "0u", wantErr: true},
+		{in: "0s", wantErr: true},
+		{in: "-5s", wantErr: true},
+		{in: "u", wantErr: true},
+		{in: "soon", wantErr: true},
+		{in: "12", wantErr: true}, // bare count: ambiguous, demand the suffix
+	}
+	for _, c := range cases {
+		every, updates, err := parseCheckpoint(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseCheckpoint(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && (every != c.every || updates != c.updates) {
+			t.Errorf("parseCheckpoint(%q) = (%v, %d), want (%v, %d)",
+				c.in, every, updates, c.every, c.updates)
+		}
+	}
+}
+
+// TestCheckpointerWritesState: the background checkpointer saves a
+// loadable state file through the atomic-rename path while the server
+// is live, without waiting for shutdown.
+func TestCheckpointerWritesState(t *testing.T) {
+	s := server.New(core.Options{})
+	a := s.Graph().AddNode("a")
+	b := s.Graph().AddNode("b")
+	l := s.Graph().AddLink(a, b)
+	var d core.Delta
+	if err := s.Network().InsertRuleInto(core.Rule{
+		ID: 1, Source: a, Link: l, Match: ipnet.Interval{Lo: 0, Hi: 100}, Priority: 1}, &d); err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/dn.state"
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		runCheckpointer(s, path, 5*time.Millisecond, 0, stop)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := server.New(core.Options{})
+	if err := restored.LoadState(strings.NewReader(string(data))); err != nil {
+		t.Fatalf("checkpoint not loadable: %v\n%s", err, data)
+	}
+	if restored.Network().NumRules() != 1 || restored.Graph().NumNodes() != 2 {
+		t.Fatalf("checkpoint content wrong: %d rules, %d nodes",
+			restored.Network().NumRules(), restored.Graph().NumNodes())
+	}
+}

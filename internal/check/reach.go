@@ -1,6 +1,8 @@
 package check
 
 import (
+	"sort"
+
 	"deltanet/internal/bitset"
 	"deltanet/internal/core"
 	"deltanet/internal/intervalmap"
@@ -26,6 +28,11 @@ type fixpoint struct {
 	// edge out of a reached node, and all such edges are recorded —
 	// including currently empty-labelled ones.)
 	deps *bitset.Set
+	// visited, when non-nil, collects the nodes something arrived at
+	// (the injection node first) — exactly the nodes whose reach sets
+	// the dependency summaries read, collected here so summary builders
+	// need not scan the whole node space for non-nil reach entries.
+	visited *[]netgraph.NodeID
 }
 
 // run executes the fixpoint from node from and returns the full reach
@@ -38,6 +45,9 @@ func (o fixpoint) run(n *core.Network, from netgraph.NodeID) []*bitset.Set {
 	inQueue := make([]bool, g.NumNodes())
 	queue := []netgraph.NodeID{from}
 	inQueue[from] = true
+	if o.visited != nil {
+		*o.visited = append(*o.visited, from)
+	}
 	scratch := bitset.New(0) // reused per hop; UnionWith below copies out of it
 
 	for len(queue) > 0 {
@@ -72,6 +82,9 @@ func (o fixpoint) run(n *core.Network, from netgraph.NodeID) []*bitset.Set {
 			w := g.Link(lid).Dst
 			if reach[w] == nil {
 				reach[w] = bitset.New(n.MaxAtomID())
+				if o.visited != nil && w != from {
+					*o.visited = append(*o.visited, w)
+				}
 			}
 			before := reach[w].Len()
 			reach[w].UnionWith(contribution)
@@ -114,6 +127,119 @@ func ReachableDeps(n *core.Network, from, to netgraph.NodeID, deps *bitset.Set) 
 // source instead of one per pair.
 func ReachFrom(n *core.Network, from netgraph.NodeID, deps *bitset.Set) []*bitset.Set {
 	return fixpoint{avoid: netgraph.NoNode, deps: deps}.run(n, from)
+}
+
+// LinkSketch pairs a dep link with the coarse sketch of atom ids whose
+// label changes there could alter the query's result.
+type LinkSketch struct {
+	Link   netgraph.LinkID
+	Sketch intervalmap.Sketch
+}
+
+// DepRanges refines a link-level dependency set to atom granularity: for
+// each sketched dep link, the atoms that matter on it, ascending by link
+// id. A dep link absent from the list has no usable sketch — every atom
+// on it must be treated as relevant. Entries are inlined pointer-free
+// values in one backing array, so the hundreds of thousands of sketches
+// a loaded monitor derives cost one allocation per evaluation and
+// nothing at garbage collection time.
+type DepRanges []LinkSketch
+
+// ReachSummary is the monitor-facing fixpoint: one single-source run
+// (avoiding avoid's out-links; netgraph.NoNode disables that) that
+// records the link-level dependency set into deps and returns the reach
+// vector together with the per-link atom-range sketches refining deps.
+//
+// The sound per-link summary is the set of atoms that can arrive at the
+// link's source (everything, for the injection node): any delta that
+// changes the query's result must add or remove some atom a on a dep
+// link l with a ∈ reach[src(l)] — a new derivation's first new edge
+// leaves an already-reached node, and a lost derivation loses an edge
+// its flow actually used. Atoms outside the sketch therefore cannot
+// flip the verdict, no matter which dep links they move on.
+//
+// Links whose sketch would cover every current atom are omitted (the
+// injection node's out-links always are): a summary as wide as
+// "everything" is dead weight, and consumers already treat missing
+// sketches as all-atoms-relevant. The sketches are only valid for atoms
+// that existed at evaluation time — consumers must pair them with
+// core.Network.AtomAllocSeq and conservatively treat younger atoms as
+// hits.
+func ReachSummary(n *core.Network, from, avoid netgraph.NodeID, deps *bitset.Set) ([]*bitset.Set, DepRanges) {
+	visited := make([]netgraph.NodeID, 0, 16)
+	reach := fixpoint{avoid: avoid, deps: deps, visited: &visited}.run(n, from)
+
+	g := n.Graph()
+	maxAtoms := n.MaxAtomID()
+	out := make(DepRanges, 0, deps.Len())
+	var scratch intervalmap.RangeSet
+	var sk intervalmap.Sketch
+	for _, v := range visited {
+		if v == from || v == avoid {
+			continue // from: all atoms admitted; avoid: out-links not deps
+		}
+		scratch.Reset()
+		if int(v) < len(reach) && reach[v] != nil {
+			reach[v].ForEach(func(a int) bool {
+				scratch.AppendID(intervalmap.AtomID(a))
+				return true
+			})
+		}
+		if scratch.CoversAll(maxAtoms) {
+			continue // no more selective than link-level tracking
+		}
+		sk.SetFrom(&scratch)
+		for _, l := range g.Out(v) {
+			if deps.Contains(int(l)) {
+				out = append(out, LinkSketch{Link: l, Sketch: sk})
+			}
+		}
+	}
+	// Visited order is discovery order; consumers merge against the
+	// ascending deps bitset, so order by link id.
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return reach, out
+}
+
+// MergeDepRanges combines two per-source dependency summaries into one,
+// as multi-source queries (isolation) need: a link relevant to several
+// sources keeps the union of the atoms relevant to each. Because an
+// omitted sketch on a dep link means "every atom relevant", omission is
+// contagious: a link either side depends on without a sketch has no
+// sketch in the merge. aDeps and bDeps are the link-level dependency
+// sets the summaries were built from (a nil a means "no prior summary":
+// b is returned as-is).
+func MergeDepRanges(a DepRanges, aDeps *bitset.Set, b DepRanges, bDeps *bitset.Set) DepRanges {
+	if a == nil {
+		return b
+	}
+	out := make(DepRanges, 0, len(a)+len(b))
+	var au, bu intervalmap.RangeSet
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].Link < b[j].Link):
+			if !bDeps.Contains(int(a[i].Link)) {
+				out = append(out, a[i]) // b does not dep it; a's sketch stands
+			}
+			i++
+		case i >= len(a) || b[j].Link < a[i].Link:
+			if !aDeps.Contains(int(b[j].Link)) {
+				out = append(out, b[j])
+			}
+			j++
+		default: // both sketched: union
+			a[i].Sketch.ToRangeSet(&au)
+			b[j].Sketch.ToRangeSet(&bu)
+			au.UnionWith(&bu)
+			ls := LinkSketch{Link: a[i].Link}
+			ls.Sketch.SetFrom(&au)
+			out = append(out, ls)
+			i++
+			j++
+		}
+	}
+	return out
 }
 
 // AffectedByLinkFailure answers the paper's exemplar "what if" query

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sort"
+
+	"deltanet/internal/intervalmap"
+	"deltanet/internal/netgraph"
+)
+
+// DeltaRanges indexes one delta-graph's label changes by link, as sorted
+// atom-id range sets: for every link the delta touched, the compact set
+// of atoms added to or removed from its label. This is the form the
+// monitor's atom-granular dependency index intersects against its
+// per-invariant range sketches — an update only dirties an invariant
+// when, on some shared link, the delta's ranges overlap the sketch.
+//
+// A DeltaRanges is reusable scratch: Build resets and refills it,
+// retaining capacity, so steady-state churn allocates nothing.
+type DeltaRanges struct {
+	// NewestBorn is the largest atom allocation stamp among the touched
+	// atoms (0 when the delta is empty). An invariant whose dependency
+	// sketch predates it may be looking at ids that changed meaning since
+	// (split-minted or GC-recycled), so consumers must treat such atoms
+	// as conservative hits rather than trust the id intersection.
+	NewestBorn int64
+
+	byLink map[netgraph.LinkID]*linkTouch
+	links  []netgraph.LinkID // links touched by the current build
+	gen    uint64
+}
+
+// linkTouch is one link's touched-atom scratch; gen marks the build it
+// belongs to, so stale entries from earlier deltas are never returned.
+type linkTouch struct {
+	gen uint64
+	ids []intervalmap.AtomID
+	rs  intervalmap.RangeSet
+}
+
+// Build fills dr from d: per-link touched atoms as sorted range sets,
+// plus the newest allocation stamp among them (read from n).
+func (dr *DeltaRanges) Build(n *Network, d *Delta) {
+	dr.gen++
+	dr.links = dr.links[:0]
+	dr.NewestBorn = 0
+	if dr.byLink == nil {
+		dr.byLink = map[netgraph.LinkID]*linkTouch{}
+	}
+	touch := func(la LinkAtom) {
+		t := dr.byLink[la.Link]
+		if t == nil {
+			t = &linkTouch{}
+			dr.byLink[la.Link] = t
+		}
+		if t.gen != dr.gen {
+			t.gen = dr.gen
+			t.ids = t.ids[:0]
+			t.rs.Reset()
+			dr.links = append(dr.links, la.Link)
+		}
+		t.ids = append(t.ids, la.Atom)
+		if born := n.AtomBornSeq(la.Atom); born > dr.NewestBorn {
+			dr.NewestBorn = born
+		}
+	}
+	for _, la := range d.Added {
+		touch(la)
+	}
+	for _, la := range d.Removed {
+		touch(la)
+	}
+	for _, l := range dr.links {
+		t := dr.byLink[l]
+		sort.Slice(t.ids, func(i, j int) bool { return t.ids[i] < t.ids[j] })
+		for _, id := range t.ids {
+			t.rs.AppendID(id)
+		}
+	}
+}
+
+// Ranges returns the touched-atom range set of a link from the most
+// recent Build, or nil when the delta did not touch the link. The result
+// is owned by dr and valid until the next Build.
+func (dr *DeltaRanges) Ranges(l netgraph.LinkID) *intervalmap.RangeSet {
+	if t := dr.byLink[l]; t != nil && t.gen == dr.gen {
+		return &t.rs
+	}
+	return nil
+}
+
+// Links returns the links the most recent Build touched, in first-touch
+// order. The slice is owned by dr and valid until the next Build.
+func (dr *DeltaRanges) Links() []netgraph.LinkID { return dr.links }

@@ -93,6 +93,17 @@ func (n *Network) MaxAtomID() int { return n.m.MaxID() }
 // Splits returns the cumulative number of atom splits performed.
 func (n *Network) Splits() int64 { return n.splits }
 
+// AtomAllocSeq returns the engine's atom allocation counter: the number
+// of atom allocations performed so far, recycled ids included. Callers
+// caching per-atom conclusions (the monitor's dependency range sketches)
+// record it at evaluation time and treat any atom with a newer BornSeq
+// as unknown to the cache.
+func (n *Network) AtomAllocSeq() int64 { return n.m.AllocSeq() }
+
+// AtomBornSeq returns the allocation stamp of an atom id's most recent
+// allocation (0 for ids never allocated); see AtomAllocSeq.
+func (n *Network) AtomBornSeq(id intervalmap.AtomID) int64 { return n.m.BornSeq(id) }
+
 // Merges returns the cumulative number of atom merges performed by GC.
 func (n *Network) Merges() int64 { return n.merges }
 

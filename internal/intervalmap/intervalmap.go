@@ -38,6 +38,15 @@ type Map struct {
 	tree  *rbtree.Tree[uint64, AtomID]
 	next  AtomID
 	free  []AtomID // recycled ids when garbage collection is enabled
+
+	// allocSeq counts atom allocations (fresh and recycled alike); born
+	// stamps each live id with the allocSeq of its most recent allocation.
+	// Consumers that cache per-atom conclusions (the monitor's dependency
+	// range sketches) compare stamps to detect that an id now denotes a
+	// different interval than when the conclusion was recorded — the
+	// split/merge-stability anchor raw atom ids cannot provide.
+	allocSeq int64
+	born     []int64
 }
 
 func cmpU64(a, b uint64) int {
@@ -61,14 +70,38 @@ func New(space ipnet.Space) *Map {
 }
 
 func (m *Map) alloc() AtomID {
+	var id AtomID
 	if n := len(m.free); n > 0 {
-		id := m.free[n-1]
+		id = m.free[n-1]
 		m.free = m.free[:n-1]
-		return id
+	} else {
+		id = m.next
+		m.next++
 	}
-	id := m.next
-	m.next++
+	m.allocSeq++
+	for int(id) >= len(m.born) {
+		m.born = append(m.born, 0)
+	}
+	m.born[id] = m.allocSeq
 	return id
+}
+
+// AllocSeq returns the number of atom allocations performed so far (a
+// recycled id counts again). It only moves forward, so a caller that
+// records AllocSeq alongside per-atom state can later tell whether any
+// atom it sees was (re-)allocated after the recording — see BornSeq.
+func (m *Map) AllocSeq() int64 { return m.allocSeq }
+
+// BornSeq returns the allocation stamp of the atom id's most recent
+// allocation (0 for ids never allocated). An id with BornSeq greater
+// than a recorded AllocSeq denotes an interval the recording never saw:
+// either a split minted it afterwards, or garbage collection merged the
+// original away and recycled the id.
+func (m *Map) BornSeq(id AtomID) int64 {
+	if int(id) < 0 || int(id) >= len(m.born) {
+		return 0
+	}
+	return m.born[id]
 }
 
 // Space returns the address space the map partitions.

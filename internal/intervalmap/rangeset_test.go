@@ -1,0 +1,184 @@
+package intervalmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltanet/internal/ipnet"
+)
+
+func spaceForTest() ipnet.Space { return ipnet.IPv4 }
+
+func ivForTest(lo, hi uint64) ipnet.Interval { return ipnet.Interval{Lo: lo, Hi: hi} }
+
+func idsOf(rs *RangeSet) map[AtomID]bool {
+	out := map[AtomID]bool{}
+	for _, r := range rs.Ranges() {
+		for id := r.Lo; id <= r.Hi; id++ {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func TestRangeSetAppendID(t *testing.T) {
+	var rs RangeSet
+	for _, id := range []AtomID{1, 2, 3, 3, 7, 8, 20} {
+		rs.AppendID(id)
+	}
+	want := []Range{{1, 3}, {7, 8}, {20, 20}}
+	got := rs.Ranges()
+	if len(got) != len(want) {
+		t.Fatalf("ranges %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranges %v, want %v", got, want)
+		}
+	}
+	for _, id := range []AtomID{1, 2, 3, 7, 8, 20} {
+		if !rs.Contains(id) {
+			t.Fatalf("missing %d", id)
+		}
+	}
+	for _, id := range []AtomID{0, 4, 6, 9, 19, 21} {
+		if rs.Contains(id) {
+			t.Fatalf("spurious %d", id)
+		}
+	}
+}
+
+func TestRangeSetCoarsenIsSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		var rs RangeSet
+		prev := AtomID(0)
+		for i := 0; i < 40; i++ {
+			prev += AtomID(rng.Intn(20))
+			rs.AppendID(prev)
+		}
+		before := idsOf(&rs)
+		max := 1 + rng.Intn(10)
+		rs.Coarsen(max)
+		if rs.NumRanges() > max {
+			t.Fatalf("coarsen left %d ranges, budget %d", rs.NumRanges(), max)
+		}
+		for id := range before {
+			if !rs.Contains(id) {
+				t.Fatalf("coarsen dropped id %d", id)
+			}
+		}
+	}
+}
+
+func TestRangeSetIntersectsAndUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		var a, b RangeSet
+		for i, prev := 0, AtomID(0); i < 10; i++ {
+			prev += AtomID(1 + rng.Intn(12))
+			a.AppendID(prev)
+		}
+		for i, prev := 0, AtomID(0); i < 10; i++ {
+			prev += AtomID(1 + rng.Intn(12))
+			b.AppendID(prev)
+		}
+		aIDs, bIDs := idsOf(&a), idsOf(&b)
+		wantHit := false
+		for id := range aIDs {
+			if bIDs[id] {
+				wantHit = true
+				break
+			}
+		}
+		if got := a.Intersects(&b); got != wantHit {
+			t.Fatalf("Intersects(%v, %v) = %v, want %v", a.Ranges(), b.Ranges(), got, wantHit)
+		}
+		u := a.Clone()
+		u.UnionWith(&b)
+		for id := range aIDs {
+			if !u.Contains(id) {
+				t.Fatalf("union lost %d from a", id)
+			}
+		}
+		for id := range bIDs {
+			if !u.Contains(id) {
+				t.Fatalf("union lost %d from b", id)
+			}
+		}
+		// Sorted, non-overlapping, non-adjacent.
+		rs := u.Ranges()
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Lo <= rs[i-1].Hi+1 {
+				t.Fatalf("union not normalized: %v", rs)
+			}
+		}
+	}
+}
+
+func TestSketchRoundTrip(t *testing.T) {
+	var rs RangeSet
+	for _, id := range []AtomID{1, 5, 6, 100, 200, 201, 300, 400, 500, 600, 700, 800, 900} {
+		rs.AppendID(id)
+	}
+	before := idsOf(&rs)
+	var sk Sketch
+	sk.SetFrom(&rs)
+	if sk.NumRanges() > SketchRanges {
+		t.Fatalf("sketch over budget: %d", sk.NumRanges())
+	}
+	for id := range before {
+		if !sk.Contains(id) {
+			t.Fatalf("sketch dropped %d", id)
+		}
+	}
+	var probe RangeSet
+	probe.AppendID(5)
+	if !sk.Intersects(&probe) {
+		t.Fatal("sketch misses a contained id")
+	}
+	var back RangeSet
+	sk.ToRangeSet(&back)
+	for id := range before {
+		if !back.Contains(id) {
+			t.Fatalf("round trip dropped %d", id)
+		}
+	}
+}
+
+func TestMapAllocSeqStamps(t *testing.T) {
+	m := New(spaceForTest())
+	seq0 := m.AllocSeq()
+	split := m.CreateAtoms(ivForTest(100, 200))
+	if len(split) == 0 {
+		t.Fatal("expected a split")
+	}
+	if m.AllocSeq() <= seq0 {
+		t.Fatal("AllocSeq did not advance on split")
+	}
+	for _, sp := range split {
+		if m.BornSeq(sp.New) <= seq0 {
+			t.Fatalf("new atom %d stamped %d, not after %d", sp.New, m.BornSeq(sp.New), seq0)
+		}
+	}
+	// Recycling restamps: release a bound, re-create it, and the reused
+	// id must carry a newer stamp than its previous life.
+	id, ok := m.ReleaseBound(100)
+	if !ok {
+		t.Fatal("release failed")
+	}
+	was := m.BornSeq(id)
+	split = m.CreateAtoms(ivForTest(100, 150))
+	found := false
+	for _, sp := range split {
+		if sp.New == id {
+			found = true
+			if m.BornSeq(id) <= was {
+				t.Fatalf("recycled atom %d kept stale stamp %d", id, m.BornSeq(id))
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("free list did not recycle id %d", id)
+	}
+}

@@ -127,6 +127,23 @@ func (m *Monitor) LastSeq() uint64 {
 	return m.seq
 }
 
+// ResumeSeq advances the event sequence counter to seq, so the next
+// published event is numbered seq+1. It is the cross-restart continuity
+// hook: a monitor restored from a state file that recorded the previous
+// incarnation's LastSeq resumes numbering where that incarnation
+// stopped, and a watcher resuming with an old cursor sees a gap covering
+// only the genuinely missed window instead of a whole foreign stream.
+// Rewinding is refused (the counter must stay monotonic for cursors to
+// mean anything), so calling it on a monitor that already published past
+// seq is a no-op.
+func (m *Monitor) ResumeSeq(seq uint64) {
+	m.eventMu.Lock()
+	defer m.eventMu.Unlock()
+	if seq > m.seq {
+		m.seq = seq
+	}
+}
+
 // SnapshotSpecs returns the canonical serialized form (FormatSpec) of
 // every registered invariant, in registration order — the durable half
 // of a monitor snapshot. Each distinct spec appears once regardless of

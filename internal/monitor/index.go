@@ -5,6 +5,10 @@ import (
 	"sync/atomic"
 
 	"deltanet/internal/bitset"
+	"deltanet/internal/check"
+	"deltanet/internal/core"
+	"deltanet/internal/intervalmap"
+	"deltanet/internal/netgraph"
 )
 
 // indexShards is the number of link shards in the dependency index. Links
@@ -14,18 +18,29 @@ import (
 const indexShards = 16
 
 // depIndex is the monitor's sharded dependency index: for every link, the
-// set of invariant slots whose last evaluation depended on it. Dirty
-// marking on an update is then one bitmap union per changed link instead
-// of a scan over every registered invariant — the partitioned-state design
-// (NFork's lesson applied to the monitor) that makes 10⁵ standing
-// invariants affordable.
+// set of invariant slots whose last evaluation depended on it, refined —
+// where the evaluation recorded one — by a per-slot atom-range sketch of
+// which atoms on that link actually mattered. Dirty marking on an update
+// is then one bitmap union per changed link (link granularity), or a
+// per-slot sketch intersection against the delta's touched atom ranges
+// (atom granularity): an invariant whose recorded ranges are disjoint
+// from the delta's atoms on every shared link is skipped entirely, which
+// is the paper's work-proportional-to-affected-atoms property carried
+// through to standing invariants. The sharded, partitioned-state layout
+// (NFork's lesson applied to the monitor) is what makes 10⁵ standing
+// invariants affordable; the sketches stay shard-local, so the
+// refinement adds no new cross-shard contention.
 //
 // Links born after an invariant's last evaluation must conservatively
 // dirty it (a new out-link can extend reachability the old evaluation
 // never saw). The index realizes that rule structurally: when it grows to
 // cover new links, each new link's bitmap is seeded with every currently
-// dep-tracked slot ("born dirty"), and an invariant's next evaluation
-// clears the seeds its fresh dependency set does not confirm.
+// dep-tracked slot ("born dirty") and no sketch, and an invariant's next
+// evaluation clears the seeds its fresh dependency set does not confirm.
+// Symmetrically, atoms born after an invariant's evaluation (split-minted
+// or GC-recycled ids) are conservative hits: every sketch carries the
+// atom allocation stamp of its evaluation, and a delta whose newest
+// touched atom is younger bypasses the sketch intersection.
 //
 // Locking: each shard has its own RWMutex; growth is serialized by growMu.
 // Shard mutexes are leaves — nothing else is acquired under them — so
@@ -42,6 +57,22 @@ type indexShard struct {
 	// byLink[link/indexShards] is the slot bitmap of link; the shard owns
 	// links ≡ its index (mod indexShards).
 	byLink []*bitset.Set
+	// sums[link/indexShards] refines the bitmap with per-slot atom-range
+	// sketches; a slot present in the bitmap but absent here depends on
+	// every atom of the link. Lazily allocated: links nobody sketches
+	// (born-dirty seeds, whole-label dependencies) pay nothing.
+	sums []map[int32]slotSketch
+}
+
+// slotSketch is one (link, slot) dependency refinement: the atoms on the
+// link the slot's last evaluation depended on, plus that evaluation's
+// atom allocation stamp (atoms born after it are conservative hits).
+// Both fields are inlined pointer-free values: the sums maps are
+// invisible to the garbage collector no matter how many sketches a
+// loaded monitor retains.
+type slotSketch struct {
+	atomSeq int64
+	sk      intervalmap.Sketch
 }
 
 // growTo extends the index to cover links [0, numLinks), seeding each new
@@ -70,9 +101,11 @@ func (ix *depIndex) growTo(numLinks int, seed *bitset.Set) {
 	ix.upTo.Store(int64(numLinks))
 }
 
-// collect unions into dirty the slot bitmaps of every changed link. Links
-// ≥ upTo are ignored; callers growTo first, so none exist by the time a
-// delta naming them is applied.
+// collect unions into dirty the slot bitmaps of every changed link,
+// ignoring the atom-range sketches — the link-granular path (the
+// SetLinkGranular ablation, and the fallback when no delta ranges are
+// available). Links ≥ upTo are ignored; callers growTo first, so none
+// exist by the time a delta naming them is applied.
 func (ix *depIndex) collect(changed, dirty *bitset.Set) {
 	changed.ForEach(func(l int) bool {
 		sh := &ix.shards[l%indexShards]
@@ -85,11 +118,68 @@ func (ix *depIndex) collect(changed, dirty *bitset.Set) {
 	})
 }
 
-func (ix *depIndex) set(link, slot int) {
+// collectGranular is collect at atom granularity: a slot in a changed
+// link's bitmap is dirtied only when its sketch intersects the delta's
+// touched atoms on that link (dr), when it has no sketch there, or when
+// the delta touches an atom born after the sketch was recorded
+// (dr.NewestBorn vs the sketch's stamp). Every slot considered — dirtied
+// or not — is also accumulated into cand, so the caller can count
+// range-based skips as cand minus dirty.
+func (ix *depIndex) collectGranular(changed *bitset.Set, dr *core.DeltaRanges, dirty, cand *bitset.Set) {
+	changed.ForEach(func(l int) bool {
+		sh := &ix.shards[l%indexShards]
+		sh.mu.RLock()
+		i := l / indexShards
+		if i >= len(sh.byLink) || sh.byLink[i] == nil {
+			sh.mu.RUnlock()
+			return true
+		}
+		bm := sh.byLink[i]
+		cand.UnionWith(bm)
+		var sums map[int32]slotSketch
+		if i < len(sh.sums) {
+			sums = sh.sums[i]
+		}
+		touched := dr.Ranges(netgraph.LinkID(l))
+		if len(sums) == 0 || touched == nil {
+			// No sketches on this link (or no range data for it): every
+			// depending slot is dirty, as at link granularity.
+			dirty.UnionWith(bm)
+			sh.mu.RUnlock()
+			return true
+		}
+		bm.ForEach(func(slot int) bool {
+			if dirty.Contains(slot) {
+				return true
+			}
+			sk, ok := sums[int32(slot)]
+			if !ok || dr.NewestBorn > sk.atomSeq || sk.sk.Intersects(touched) {
+				dirty.Add(slot)
+			}
+			return true
+		})
+		sh.mu.RUnlock()
+		return true
+	})
+}
+
+func (ix *depIndex) set(link, slot int, sketch slotSketch, sketched bool) {
 	sh := &ix.shards[link%indexShards]
 	sh.mu.Lock()
-	if i := link / indexShards; i < len(sh.byLink) && sh.byLink[i] != nil {
+	i := link / indexShards
+	if i < len(sh.byLink) && sh.byLink[i] != nil {
 		sh.byLink[i].Add(slot)
+		if sketched {
+			for len(sh.sums) <= i {
+				sh.sums = append(sh.sums, nil)
+			}
+			if sh.sums[i] == nil {
+				sh.sums[i] = map[int32]slotSketch{}
+			}
+			sh.sums[i][int32(slot)] = sketch
+		} else if i < len(sh.sums) && sh.sums[i] != nil {
+			delete(sh.sums[i], int32(slot))
+		}
 	}
 	sh.mu.Unlock()
 }
@@ -97,26 +187,60 @@ func (ix *depIndex) set(link, slot int) {
 func (ix *depIndex) clear(link, slot int) {
 	sh := &ix.shards[link%indexShards]
 	sh.mu.Lock()
-	if i := link / indexShards; i < len(sh.byLink) && sh.byLink[i] != nil {
+	i := link / indexShards
+	if i < len(sh.byLink) && sh.byLink[i] != nil {
 		sh.byLink[i].Remove(slot)
+	}
+	if i < len(sh.sums) && sh.sums[i] != nil {
+		delete(sh.sums[i], int32(slot))
 	}
 	sh.mu.Unlock()
 }
 
-// insert indexes a slot's freshly recorded dependency set (deps non-nil).
-func (ix *depIndex) insert(slot int, deps *bitset.Set) {
+// insert indexes a slot's freshly recorded dependency set (deps non-nil):
+// one bit per dep link, refined by the evaluation's atom-range sketches
+// where it recorded one (ranges may be nil or partial; missing links get
+// bits without sketches, i.e. every atom relevant). Both deps iteration
+// and ranges are ascending by link, so the refinement is a merge walk.
+// atomSeq is the evaluation's atom allocation stamp.
+func (ix *depIndex) insert(slot int, deps *bitset.Set, ranges check.DepRanges, atomSeq int64) {
+	i := 0
 	deps.ForEach(func(l int) bool {
-		ix.set(l, slot)
+		for i < len(ranges) && int(ranges[i].Link) < l {
+			i++
+		}
+		if i < len(ranges) && int(ranges[i].Link) == l {
+			ix.set(l, slot, slotSketch{atomSeq: atomSeq, sk: ranges[i].Sketch}, true)
+			i++
+		} else {
+			ix.set(l, slot, slotSketch{}, false)
+		}
 		return true
 	})
 }
 
-// update re-indexes a slot after a re-evaluation: oldDeps/oldUpTo are the
-// dependency set and link count of the previous evaluation (the slot's
-// bits live in oldDeps plus the born-dirty range [oldUpTo, upTo)), newDeps
-// is the fresh set. A nil set means "not dep-tracked" on that side.
-func (ix *depIndex) update(slot int, oldDeps *bitset.Set, oldUpTo int, newDeps *bitset.Set) {
+// update re-indexes a slot after a re-evaluation: oldDeps/oldUpTo/
+// oldRanges/oldAtomSeq are the dependency set, link count, sketches, and
+// atom stamp of the previous evaluation (the slot's bits live in oldDeps
+// plus the born-dirty range [oldUpTo, upTo)); newDeps/newRanges/atomSeq
+// describe the fresh one. A nil set means "not dep-tracked" on that
+// side.
+//
+// The steady-state fast path: when the link set, the sketches, and the
+// atom allocation counter are all unchanged since the previous
+// evaluation, the index already holds exactly this state and no shard
+// lock is touched. (With the allocation counter unchanged the stored
+// stamps are equivalent; when it HAS advanced, sketches are rewritten
+// even if value-equal, so their stamps move forward and atoms born
+// before this evaluation stop tripping the conservative newest-born
+// escape forever.)
+func (ix *depIndex) update(slot int, oldDeps *bitset.Set, oldUpTo int, oldRanges check.DepRanges, oldAtomSeq int64,
+	newDeps *bitset.Set, newRanges check.DepRanges, atomSeq int64) {
 	upTo := int(ix.upTo.Load())
+	if oldDeps != nil && newDeps != nil && oldUpTo >= upTo &&
+		oldAtomSeq == atomSeq && oldDeps.Equal(newDeps) && depRangesEqual(oldRanges, newRanges) {
+		return
+	}
 	in := func(s *bitset.Set, l int) bool { return s != nil && s.Contains(l) }
 	// Clear stale bits: previous deps and born-dirty seeds the new
 	// evaluation did not confirm.
@@ -133,15 +257,23 @@ func (ix *depIndex) update(slot int, oldDeps *bitset.Set, oldUpTo int, newDeps *
 			}
 		}
 	}
-	// Set fresh bits; re-setting a surviving bit or seed is harmless.
 	if newDeps != nil {
-		newDeps.ForEach(func(l int) bool {
-			if !in(oldDeps, l) {
-				ix.set(l, slot)
-			}
-			return true
-		})
+		ix.insert(slot, newDeps, newRanges, atomSeq)
 	}
+}
+
+// depRangesEqual reports whether two summaries are identical (entries
+// are pointer-free comparable values).
+func depRangesEqual(a, b check.DepRanges) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // shardPops returns each shard's total bit population (the sum over the
@@ -165,8 +297,9 @@ func (ix *depIndex) shardPops() []int {
 	return pops
 }
 
-// removeSlot erases every bit a slot may own: its recorded deps plus the
-// born-dirty range. Must run before the slot number is reused.
+// removeSlot erases every bit (and sketch) a slot may own: its recorded
+// deps plus the born-dirty range. Must run before the slot number is
+// reused.
 func (ix *depIndex) removeSlot(slot int, deps *bitset.Set, depsUpTo int) {
 	if deps != nil {
 		deps.ForEach(func(l int) bool {

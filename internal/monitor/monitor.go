@@ -7,14 +7,21 @@
 // yields a delta-graph, so invariants should be re-checked from that
 // delta rather than recomputed from scratch. The monitor realizes this
 // for arbitrary standing queries with a sharded dependency index: each
-// evaluation records the set of links it examined, the index maps every
-// link to the bitmap of invariants depending on it, and an update dirties
-// exactly the union of the changed links' bitmaps — an index intersection
-// instead of a scan over every registered invariant (plus the
-// structurally-global checks, which re-evaluate incrementally from the
-// delta itself). Re-evaluations fan out over per-worker queues
-// (check.RunSharded), and verdict transitions are emitted as
-// Violation/Cleared events to subscribers.
+// evaluation records the set of links it examined — refined by per-link
+// atom-range sketches of which atoms on each link actually mattered —
+// the index maps every link to the bitmap of invariants depending on it
+// (with the sketches hanging off the same slots), and an update dirties
+// exactly the invariants whose sketches intersect the delta's touched
+// atoms on some changed link — work proportional to the atoms the change
+// actually affects, not to how many invariants ever traversed the link
+// (plus the structurally-global checks, which re-evaluate incrementally
+// from the delta itself). Atoms born after an invariant's evaluation
+// (split-minted or GC-recycled ids) conservatively dirty it, so the
+// sketches stay sound under atom split/merge churn; SetLinkGranular
+// restores pure link-level dirtiness as the ablation baseline.
+// Re-evaluations fan out over per-worker queues (check.RunSharded), and
+// verdict transitions are emitted as Violation/Cleared events to
+// subscribers.
 //
 // Under heavy churn the monitor can additionally coalesce updates: with a
 // burst configuration set (SetBurst), consecutive deltas are merged
@@ -133,6 +140,12 @@ type Stats struct {
 	// dependency set did not intersect the changed labels — the
 	// incremental win.
 	Skips uint64
+	// RangeSkips counts the subset of skipped invariants that WOULD have
+	// been dirtied at link granularity: their dependency set intersected
+	// the changed links, but on every shared link the recorded atom-range
+	// sketch was disjoint from the delta's touched atoms — the
+	// atom-granular refinement's win over link-level tracking.
+	RangeSkips uint64
 	// Events counts verdict transitions emitted.
 	Events uint64
 	// Bursts counts evaluation passes that coalesced at least one delta,
@@ -186,6 +199,8 @@ type Monitor struct {
 	// slots a fresh dirty bitmap alone is ~12KB per update).
 	scratchChanged *bitset.Set
 	scratchDirty   *bitset.Set
+	scratchCand    *bitset.Set
+	scratchRanges  core.DeltaRanges
 	scratchOuts    []evalOutcome
 
 	// regMu guards the structural registration state: the dedup map, the
@@ -209,6 +224,12 @@ type Monitor struct {
 	// baseline the benchmarks compare the index against.
 	flatScan atomic.Bool
 
+	// linkGranular, when set, ignores the per-link atom-range sketches
+	// and dirties at link granularity (any delta on a dep link
+	// re-evaluates) — the pre-atom-granularity behavior, kept as the
+	// ablation baseline.
+	linkGranular atomic.Bool
+
 	// eventMu guards the sequence counter, the subscriber set, and the
 	// event backlog ring (backlog.go).
 	eventMu     sync.Mutex
@@ -219,7 +240,7 @@ type Monitor struct {
 	backlogHead int
 	backlogLen  int
 
-	evals, skips, events, bursts, coalesced atomic.Uint64
+	evals, skips, rangeSkips, events, bursts, coalesced atomic.Uint64
 }
 
 // New returns a monitor over the network. workers bounds the evaluation
@@ -235,6 +256,7 @@ func New(net *core.Network, workers int) *Monitor {
 		pendingChanged: bitset.New(0),
 		scratchChanged: bitset.New(0),
 		scratchDirty:   bitset.New(0),
+		scratchCand:    bitset.New(0),
 		subs:           map[*Subscription]struct{}{},
 		backlogCap:     DefaultBacklog,
 	}
@@ -251,6 +273,14 @@ func (m *Monitor) stripe(id ID) *regStripe { return &m.stripes[uint64(id)%regStr
 // index. It exists as the ablation baseline for benchmarks and
 // equivalence tests; production callers should leave it off.
 func (m *Monitor) SetFlatScan(on bool) { m.flatScan.Store(on) }
+
+// SetLinkGranular toggles link-granular dirtiness: the dependency index
+// is still used, but the per-link atom-range sketches are ignored, so
+// any delta on a dep link re-evaluates the invariant even when it only
+// moves atoms the verdict never looked at — the pre-atom-granularity
+// behavior. It exists as the ablation baseline for benchmarks and
+// equivalence tests; production callers should leave it off.
+func (m *Monitor) SetLinkGranular(on bool) { m.linkGranular.Store(on) }
 
 // Register adds a standing invariant, evaluates it immediately, and
 // returns its id and initial status. Registration emits no event: events
@@ -309,7 +339,7 @@ func (m *Monitor) Register(s Spec) (ID, Status) {
 	}
 	m.regMu.Unlock()
 	if inv.st.deps != nil {
-		m.index.insert(inv.slot, inv.st.deps)
+		m.index.insert(inv.slot, inv.st.deps, inv.st.ranges, inv.st.atomSeq)
 	}
 	st := inv.st.status
 	inv.mu.Unlock()
@@ -443,6 +473,7 @@ func (m *Monitor) Stats() Stats {
 		Updates:        upd,
 		Evaluations:    m.evals.Load(),
 		Skips:          m.skips.Load(),
+		RangeSkips:     m.rangeSkips.Load(),
 		Events:         m.events.Load(),
 		Bursts:         m.bursts.Load(),
 		Coalesced:      m.coalesced.Load(),
@@ -533,7 +564,21 @@ func (m *Monitor) collectDirty(changed *bitset.Set, d *core.Delta) []*invariant 
 	// already slot-capacity words, so the first union sizes it.
 	m.scratchDirty.Clear()
 	dirty := m.scratchDirty
-	m.index.collect(changed, dirty)
+	if m.linkGranular.Load() || d == nil {
+		m.index.collect(changed, dirty)
+	} else {
+		// Atom granularity: a dep-tracked invariant is dirtied only when
+		// the delta's touched atoms intersect its recorded sketch on some
+		// shared link (index.collectGranular documents the conservative
+		// escapes). The candidate set is what link granularity would have
+		// dirtied; the difference is the refinement's skip count.
+		m.scratchRanges.Build(m.net, d)
+		m.scratchCand.Clear()
+		m.index.collectGranular(changed, &m.scratchRanges, dirty, m.scratchCand)
+		if skipped := m.scratchCand.Len() - dirty.Len(); skipped > 0 {
+			m.rangeSkips.Add(uint64(skipped))
+		}
+	}
 
 	m.regMu.RLock()
 	cands := make([]*invariant, 0, dirty.Len()+m.globalSlots.Len())
@@ -632,6 +677,7 @@ func (m *Monitor) evaluatePass(cands []*invariant, ctx *applyCtx, updFirst, updL
 			return
 		}
 		oldDeps, oldUpTo := inv.st.deps, inv.st.linksAtEval
+		oldRanges, oldAtomSeq := inv.st.ranges, inv.st.atomSeq
 		was := inv.st.status
 		v := inv.spec.eval(m.net, ctx, &inv.st)
 		inv.st.status = statusOf(v)
@@ -639,7 +685,8 @@ func (m *Monitor) evaluatePass(cands []*invariant, ctx *applyCtx, updFirst, updL
 		inv.st.linksAtEval = numLinks
 		// Re-index under inv.mu so a racing Unregister cannot interleave
 		// its bit erasure with ours.
-		m.index.update(inv.slot, oldDeps, oldUpTo, inv.st.deps)
+		m.index.update(inv.slot, oldDeps, oldUpTo, oldRanges, oldAtomSeq,
+			inv.st.deps, inv.st.ranges, inv.st.atomSeq)
 		outs[i] = evalOutcome{evaluated: true, was: was, now: inv.st.status, detail: v.detail}
 		evaluated.Add(1)
 	})

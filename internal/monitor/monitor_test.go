@@ -596,13 +596,16 @@ func TestConcurrentRegistrationChurn(t *testing.T) {
 }
 
 // TestShardedEquivalence10K is the scale ground-truth test for the
-// sharded index and burst mode: three monitors over one data plane — the
-// sharded index, the pre-sharding flat scan, and a bursting monitor —
-// consume an identical randomized churn stream at 10⁴ standing
-// reachability invariants, and every cached verdict must equal a
-// from-scratch fixpoint oracle. The sharded and flat monitors must also
-// agree exactly on what they evaluated: the index is a data structure
-// swap, not a semantics change.
+// sharded index, the atom-granular refinement, and burst mode: four
+// monitors over one data plane — the default atom-granular index, the
+// link-granular index (SetLinkGranular), the pre-sharding flat scan, and
+// a bursting monitor — consume an identical randomized churn stream at
+// 10⁴ standing reachability invariants, and every cached verdict must
+// equal a from-scratch fixpoint oracle. The link-granular and flat
+// monitors must also agree exactly on what they evaluated (the index is
+// a data structure swap, not a semantics change), while the atom-granular
+// monitor may only evaluate a subset of that, with the difference
+// accounted for by its range-skip counter.
 func TestShardedEquivalence10K(t *testing.T) {
 	const numNodes, numInv = 128, 10_000
 	rng := rand.New(rand.NewSource(7))
@@ -622,24 +625,27 @@ func TestShardedEquivalence10K(t *testing.T) {
 	n := core.NewNetwork(g, core.Options{})
 
 	sharded := New(n, 0)
+	linkgran := New(n, 0)
+	linkgran.SetLinkGranular(true)
 	flat := New(n, 0)
 	flat.SetFlatScan(true)
 	burst := New(n, 0)
 	burst.SetBurst(BurstConfig{MaxDeltas: 7})
 
-	// Register the same 10⁴ pairs, diagonal by diagonal, on all three.
+	// Register the same 10⁴ pairs, diagonal by diagonal, on all four.
 	type pair struct{ from, to netgraph.NodeID }
 	var pairs []pair
-	ids := make([][3]ID, 0, numInv)
+	ids := make([][4]ID, 0, numInv)
 	for d := 1; len(pairs) < numInv; d++ {
 		for i := 0; i < numNodes && len(pairs) < numInv; i++ {
 			p := pair{nodes[i], nodes[(i+d)%numNodes]}
 			pairs = append(pairs, p)
 			s := Reachable{From: p.from, To: p.to}
 			i1, _ := sharded.Register(s)
+			i1b, _ := linkgran.Register(s)
 			i2, _ := flat.Register(s)
 			i3, _ := burst.Register(s)
-			ids = append(ids, [3]ID{i1, i2, i3})
+			ids = append(ids, [4]ID{i1, i1b, i2, i3})
 		}
 	}
 
@@ -660,10 +666,13 @@ func TestShardedEquivalence10K(t *testing.T) {
 			}
 			for which, m := range monitors {
 				idx := 0
-				if which == "flat" {
+				switch which {
+				case "linkgran":
 					idx = 1
-				} else if which == "burst" {
+				case "flat":
 					idx = 2
+				case "burst":
+					idx = 3
 				}
 				got, _, ok := m.Status(ids[i][idx])
 				if !ok {
@@ -682,6 +691,7 @@ func TestShardedEquivalence10K(t *testing.T) {
 	var d core.Delta
 	apply := func() {
 		sharded.Apply(&d)
+		linkgran.Apply(&d)
 		flat.Apply(&d)
 		burst.Apply(&d)
 	}
@@ -712,18 +722,28 @@ func TestShardedEquivalence10K(t *testing.T) {
 		if step%40 == 39 {
 			// Mid-run spot check for the eagerly evaluated monitors (the
 			// bursting one is only comparable at a flush boundary).
-			verify(step, map[string]*Monitor{"sharded": sharded, "flat": flat})
+			verify(step, map[string]*Monitor{"sharded": sharded, "linkgran": linkgran, "flat": flat})
 		}
 	}
 	burst.Flush()
-	verify(steps, map[string]*Monitor{"sharded": sharded, "flat": flat, "burst": burst})
+	verify(steps, map[string]*Monitor{"sharded": sharded, "linkgran": linkgran, "flat": flat, "burst": burst})
 
-	// The index must reproduce the flat scan's dirty sets exactly: no
-	// topology growth happened mid-churn, so the conservative rules
-	// coincide and the evaluation counts must match.
-	ss, fs, bs := sharded.Stats(), flat.Stats(), burst.Stats()
-	if ss.Evaluations != fs.Evaluations {
-		t.Fatalf("sharded evaluated %d, flat %d — dirty sets diverged", ss.Evaluations, fs.Evaluations)
+	// The link-granular index must reproduce the flat scan's dirty sets
+	// exactly: no topology growth happened mid-churn, so the conservative
+	// rules coincide and the evaluation counts must match. The
+	// atom-granular default may only evaluate a subset of that, and its
+	// range-skip counter must account for every invariant it left alone
+	// that link granularity would have re-evaluated.
+	ss, ls, fs, bs := sharded.Stats(), linkgran.Stats(), flat.Stats(), burst.Stats()
+	if ls.Evaluations != fs.Evaluations {
+		t.Fatalf("link-granular evaluated %d, flat %d — dirty sets diverged", ls.Evaluations, fs.Evaluations)
+	}
+	if ss.Evaluations > ls.Evaluations {
+		t.Fatalf("atom-granular evaluated %d, more than link-granular's %d", ss.Evaluations, ls.Evaluations)
+	}
+	if ss.Evaluations+ss.RangeSkips != ls.Evaluations {
+		t.Fatalf("atom-granular evals %d + range-skips %d != link-granular evals %d",
+			ss.Evaluations, ss.RangeSkips, ls.Evaluations)
 	}
 	if ss.Skips == 0 || ss.Evaluations == 0 {
 		t.Fatalf("stats %+v: churn exercised nothing", ss)

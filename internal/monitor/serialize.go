@@ -28,6 +28,11 @@ import (
 // two specs are semantically identical iff their FormatSpec strings are
 // equal — which is exactly the property the monitor's refcount dedup key
 // needs, so specKey is FormatSpec.
+//
+// Node positions are numeric ids in the canonical grammar;
+// ParseSpecNamed additionally resolves names through a caller-supplied
+// lookup, and FormatSpecNamed renders the human-facing named form the
+// server echoes in status and event lines.
 
 // FormatSpec returns the canonical serialized form of a spec: the wire
 // String() form, extended with BlackHoleFree's sink set. The result
@@ -54,13 +59,24 @@ func FormatSpec(s Spec) string {
 	return b.String() + " sinks=" + strings.Join(parts, ",")
 }
 
+// NodeResolver maps a node name to its id for ParseSpecNamed. It is
+// consulted only for fields that do not parse as a numeric id.
+type NodeResolver func(name string) (netgraph.NodeID, bool)
+
 // ParseSpec parses the serialized form produced by FormatSpec (a
 // superset of the wire W grammar: it additionally accepts
 // "blackholefree sinks=<id,...>"). Node ids are not validated against
 // any topology — the caller registers the spec with a monitor over a
 // concrete network and must validate ids there (SpecNodes enumerates
 // them).
-func ParseSpec(line string) (Spec, error) {
+func ParseSpec(line string) (Spec, error) { return ParseSpecNamed(line, nil) }
+
+// ParseSpecNamed is ParseSpec accepting node names anywhere a numeric id
+// is accepted: a field that does not parse as a non-negative integer is
+// handed to resolve (nil restricts the grammar to numeric ids). Numeric
+// parsing wins, so a node literally named "3" is only addressable by
+// name while no id 3 is ever valid — name your nodes non-numerically.
+func ParseSpecNamed(line string, resolve NodeResolver) (Spec, error) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("monitor: empty spec")
@@ -70,31 +86,31 @@ func ParseSpec(line string) (Spec, error) {
 		if len(fields) != 3 {
 			return nil, fmt.Errorf("monitor: usage: reach <from> <to>")
 		}
-		a, errA := parseNode(fields[1])
-		b, errB := parseNode(fields[2])
+		a, errA := parseNode(fields[1], resolve)
+		b, errB := parseNode(fields[2], resolve)
 		if errA != nil || errB != nil {
-			return nil, fmt.Errorf("monitor: bad node id in %q", line)
+			return nil, fmt.Errorf("monitor: bad node in %q", line)
 		}
 		return Reachable{From: a, To: b}, nil
 	case "waypoint":
 		if len(fields) != 4 {
 			return nil, fmt.Errorf("monitor: usage: waypoint <from> <to> <via>")
 		}
-		a, errA := parseNode(fields[1])
-		b, errB := parseNode(fields[2])
-		v, errV := parseNode(fields[3])
+		a, errA := parseNode(fields[1], resolve)
+		b, errB := parseNode(fields[2], resolve)
+		v, errV := parseNode(fields[3], resolve)
 		if errA != nil || errB != nil || errV != nil {
-			return nil, fmt.Errorf("monitor: bad node id in %q", line)
+			return nil, fmt.Errorf("monitor: bad node in %q", line)
 		}
 		return Waypoint{From: a, To: b, Via: v}, nil
 	case "isolated":
 		if len(fields) != 3 {
 			return nil, fmt.Errorf("monitor: usage: isolated <id,...> <id,...>")
 		}
-		ga, errA := parseGroup(fields[1])
-		gb, errB := parseGroup(fields[2])
+		ga, errA := parseGroup(fields[1], resolve)
+		gb, errB := parseGroup(fields[2], resolve)
 		if errA != nil || errB != nil {
-			return nil, fmt.Errorf("monitor: bad node id in %q", line)
+			return nil, fmt.Errorf("monitor: bad node in %q", line)
 		}
 		return Isolated{GroupA: ga, GroupB: gb}, nil
 	case "loopfree":
@@ -107,9 +123,9 @@ func ParseSpec(line string) (Spec, error) {
 		case len(fields) == 1:
 			return BlackHoleFree{}, nil
 		case len(fields) == 2 && strings.HasPrefix(fields[1], "sinks="):
-			ids, err := parseGroup(strings.TrimPrefix(fields[1], "sinks="))
+			ids, err := parseGroup(strings.TrimPrefix(fields[1], "sinks="), resolve)
 			if err != nil {
-				return nil, fmt.Errorf("monitor: bad sink id in %q", line)
+				return nil, fmt.Errorf("monitor: bad sink in %q", line)
 			}
 			sinks := make(map[netgraph.NodeID]bool, len(ids))
 			for _, id := range ids {
@@ -122,6 +138,48 @@ func ParseSpec(line string) (Spec, error) {
 	default:
 		return nil, fmt.Errorf("monitor: unknown spec kind %q", fields[0])
 	}
+}
+
+// FormatSpecNamed renders a spec in the FormatSpec grammar with node ids
+// replaced by their names via name — the human-facing form the server
+// echoes in status and event lines, which survives topology renumbering
+// and parses back through ParseSpecNamed. Sink sets keep FormatSpec's
+// canonical id order.
+func FormatSpecNamed(s Spec, name func(netgraph.NodeID) string) string {
+	switch v := s.(type) {
+	case Reachable:
+		return fmt.Sprintf("reach %s %s", name(v.From), name(v.To))
+	case Waypoint:
+		return fmt.Sprintf("waypoint %s %s %s", name(v.From), name(v.To), name(v.Via))
+	case Isolated:
+		return "isolated " + joinNames(v.GroupA, name) + " " + joinNames(v.GroupB, name)
+	case BlackHoleFree:
+		sinks := make([]int, 0, len(v.Sinks))
+		for n, on := range v.Sinks {
+			if on {
+				sinks = append(sinks, int(n))
+			}
+		}
+		if len(sinks) == 0 {
+			return "blackholefree"
+		}
+		sort.Ints(sinks)
+		parts := make([]string, len(sinks))
+		for i, n := range sinks {
+			parts[i] = name(netgraph.NodeID(n))
+		}
+		return "blackholefree sinks=" + strings.Join(parts, ",")
+	default:
+		return FormatSpec(s)
+	}
+}
+
+func joinNames(nodes []netgraph.NodeID, name func(netgraph.NodeID) string) string {
+	parts := make([]string, len(nodes))
+	for i, v := range nodes {
+		parts[i] = name(v)
+	}
+	return strings.Join(parts, ",")
 }
 
 // SpecNodes returns every node id a spec references (in unspecified
@@ -150,21 +208,26 @@ func SpecNodes(s Spec) []netgraph.NodeID {
 	}
 }
 
-func parseNode(f string) (netgraph.NodeID, error) {
+func parseNode(f string, resolve NodeResolver) (netgraph.NodeID, error) {
 	// NodeID is int32: parse at that width so an oversized id is an
 	// error instead of silently truncating to a different node.
 	v, err := strconv.ParseInt(f, 10, 32)
-	if err != nil || v < 0 {
-		return 0, fmt.Errorf("bad node id %q", f)
+	if err == nil && v >= 0 {
+		return netgraph.NodeID(v), nil
 	}
-	return netgraph.NodeID(v), nil
+	if resolve != nil {
+		if id, ok := resolve(f); ok {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("bad node %q", f)
 }
 
-func parseGroup(f string) ([]netgraph.NodeID, error) {
+func parseGroup(f string, resolve NodeResolver) ([]netgraph.NodeID, error) {
 	parts := strings.Split(f, ",")
 	out := make([]netgraph.NodeID, 0, len(parts))
 	for _, p := range parts {
-		v, err := parseNode(p)
+		v, err := parseNode(p, resolve)
 		if err != nil {
 			return nil, err
 		}

@@ -71,6 +71,20 @@ type state struct {
 	// deps documentation for the argument).
 	deps *bitset.Set
 
+	// ranges refines deps to atom granularity: per dep link, the coarse
+	// sketch of atom ids whose label changes there could alter the
+	// verdict (check.ReachSummary). A dep link without a sketch is
+	// tracked at link granularity (every atom relevant). Sketches are
+	// only trustworthy for atoms that existed at evaluation time —
+	// atomSeq anchors that.
+	ranges check.DepRanges
+
+	// atomSeq is the engine's atom allocation counter when ranges was
+	// recorded. A delta touching an atom born after it (split-minted or
+	// GC-recycled id) bypasses the sketch intersection and dirties the
+	// invariant conservatively.
+	atomSeq int64
+
 	// linksAtEval is the topology's link count when deps was recorded.
 	// Links added later are out-links of some node, so a change on one is
 	// conservatively treated as a dependency hit.
@@ -105,9 +119,12 @@ func (r Reachable) dirty(st *state, _ *core.Delta, changed *bitset.Set) bool {
 
 func (r Reachable) eval(n *core.Network, _ *applyCtx, st *state) verdict {
 	deps := bitset.New(n.Graph().NumLinks())
-	atoms := check.ReachableDeps(n, r.From, r.To, deps)
+	reach, ranges := check.ReachSummary(n, r.From, netgraph.NoNode, deps)
 	st.deps = deps
-	if atoms.Empty() {
+	st.ranges = ranges
+	st.atomSeq = n.AtomAllocSeq()
+	atoms := reach[r.To]
+	if atoms == nil || atoms.Empty() {
 		return verdict{violated: true, detail: "no packets can flow"}
 	}
 	return verdict{detail: fmt.Sprintf("%d atom(s) can flow", atoms.Len())}
@@ -127,9 +144,12 @@ func (w Waypoint) dirty(st *state, _ *core.Delta, changed *bitset.Set) bool {
 
 func (w Waypoint) eval(n *core.Network, _ *applyCtx, st *state) verdict {
 	deps := bitset.New(n.Graph().NumLinks())
-	bypass := check.WaypointDeps(n, w.From, w.To, w.Via, deps)
+	reach, ranges := check.ReachSummary(n, w.From, w.Via, deps)
 	st.deps = deps
-	if !bypass.Empty() {
+	st.ranges = ranges
+	st.atomSeq = n.AtomAllocSeq()
+	bypass := reach[w.To]
+	if bypass != nil && !bypass.Empty() {
 		return verdict{violated: true, detail: fmt.Sprintf("%d atom(s) bypass the waypoint", bypass.Len())}
 	}
 	return verdict{detail: "all flows traverse the waypoint"}
@@ -161,12 +181,20 @@ func (i Isolated) dirty(st *state, _ *core.Delta, changed *bitset.Set) bool {
 // first leaking pair. On violation deps holds (at least) every link of the
 // witness pair's fixpoint, which suffices: the verdict can only flip back
 // to isolated if that pair's reachability changes, and any such change
-// touches a recorded link. On success deps covers every pair.
+// touches a recorded link. On success deps covers every pair. The atom
+// sketches merge across sources (a shared link keeps the union of the
+// atoms relevant to each source's fixpoint).
 func (i Isolated) eval(n *core.Network, _ *applyCtx, st *state) verdict {
-	deps := bitset.New(n.Graph().NumLinks())
-	st.deps = deps
+	total := bitset.New(n.Graph().NumLinks())
+	st.deps = total
+	st.ranges = nil
+	st.atomSeq = n.AtomAllocSeq()
+	scratch := bitset.New(n.Graph().NumLinks()) // per-source deps, reused
 	for _, a := range i.GroupA {
-		reach := check.ReachFrom(n, a, deps)
+		scratch.Clear()
+		reach, ranges := check.ReachSummary(n, a, netgraph.NoNode, scratch)
+		st.ranges = check.MergeDepRanges(st.ranges, total, ranges, scratch)
+		total.UnionWith(scratch)
 		for _, b := range i.GroupB {
 			if int(b) < len(reach) && reach[b] != nil && !reach[b].Empty() {
 				return verdict{
@@ -202,6 +230,7 @@ func (LoopFree) dirty(st *state, d *core.Delta, _ *bitset.Set) bool {
 // elsewhere, so the full scan runs.
 func (LoopFree) eval(n *core.Network, ctx *applyCtx, st *state) verdict {
 	st.deps = nil // dirtiness is decided structurally, not by link set
+	st.ranges = nil
 	var loops []check.Loop
 	switch {
 	case ctx != nil && st.status == Holds && ctx.loopsKnown:
@@ -238,6 +267,7 @@ func (BlackHoleFree) dirty(*state, *core.Delta, *bitset.Set) bool { return true 
 func (b BlackHoleFree) eval(n *core.Network, ctx *applyCtx, st *state) verdict {
 	g := n.Graph()
 	st.deps = nil
+	st.ranges = nil
 	if ctx == nil || st.bhNodes == nil {
 		// Full scan; cache the violating node set for incremental mode.
 		st.bhNodes = bitset.New(g.NumNodes())

@@ -9,7 +9,10 @@
 // simulator.
 package netgraph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // NodeID identifies a node in the graph. Ids are dense and start at 0.
 type NodeID int32
@@ -31,8 +34,12 @@ type Link struct {
 }
 
 // Graph is a growable directed multigraph. The zero value is an empty graph
-// ready to use. Not safe for concurrent mutation.
+// ready to use. Not safe for concurrent mutation, with one carve-out: the
+// name table has its own lock, so NodeName and NodeByName may race an
+// AddNode (the server's watch streamers render node names while another
+// connection grows the topology).
 type Graph struct {
+	nameMu    sync.RWMutex // guards names and byName only
 	names     []string
 	byName    map[string]NodeID
 	links     []Link
@@ -57,27 +64,36 @@ func New() *Graph {
 // AddNode creates a node with the given name and returns its id. If a node
 // with the name already exists, its existing id is returned.
 func (g *Graph) AddNode(name string) NodeID {
+	g.nameMu.Lock()
 	if id, ok := g.byName[name]; ok {
+		g.nameMu.Unlock()
 		return id
 	}
 	id := NodeID(len(g.names))
 	g.names = append(g.names, name)
 	g.byName[name] = id
+	g.nameMu.Unlock()
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	return id
 }
 
-// NodeByName returns the id of the named node, or NoNode.
+// NodeByName returns the id of the named node, or NoNode. Safe to call
+// concurrently with AddNode.
 func (g *Graph) NodeByName(name string) NodeID {
+	g.nameMu.RLock()
+	defer g.nameMu.RUnlock()
 	if id, ok := g.byName[name]; ok {
 		return id
 	}
 	return NoNode
 }
 
-// NodeName returns the node's name.
+// NodeName returns the node's name. Safe to call concurrently with
+// AddNode.
 func (g *Graph) NodeName(id NodeID) string {
+	g.nameMu.RLock()
+	defer g.nameMu.RUnlock()
 	if int(id) < 0 || int(id) >= len(g.names) {
 		return fmt.Sprintf("node#%d", id)
 	}
@@ -86,7 +102,11 @@ func (g *Graph) NodeName(id NodeID) string {
 
 // NumNodes returns the number of nodes (including the drop sink once
 // created).
-func (g *Graph) NumNodes() int { return len(g.names) }
+func (g *Graph) NumNodes() int {
+	g.nameMu.RLock()
+	defer g.nameMu.RUnlock()
+	return len(g.names)
+}
 
 // NumLinks returns the number of directed links (including drop links once
 // created).
@@ -181,10 +201,12 @@ func (g *Graph) PortNode(sw string, port int) NodeID {
 // Clone returns an independent copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := New()
+	g.nameMu.RLock()
 	c.names = append([]string(nil), g.names...)
 	for name, id := range g.byName {
 		c.byName[name] = id
 	}
+	g.nameMu.RUnlock()
 	c.links = append([]Link(nil), g.links...)
 	c.out = make([][]LinkID, len(g.out))
 	for i := range g.out {

@@ -163,7 +163,7 @@ func TestEventsSinceProtocol(t *testing.T) {
 	if got := c.roundTrip(t, "events since 0"); got != "ok events n=2" {
 		t.Fatalf("events since 0: %q", got)
 	}
-	for i, want := range []string{"event 0 cleared reach 0 2 upd=", "event 0 violation reach 0 2 upd="} {
+	for i, want := range []string{"event 0 cleared reach a c upd=", "event 0 violation reach a c upd="} {
 		if !c.r.Scan() || !strings.HasPrefix(c.r.Text(), want) {
 			t.Fatalf("replay line %d: %q (%v)", i, c.r.Text(), c.r.Err())
 		}
@@ -323,7 +323,7 @@ func TestWatchSinceReconnect(t *testing.T) {
 		if seq > lastSeq {
 			lastSeq = seq
 		}
-		if strings.HasPrefix(line, "event 1 cleared reach 3 4") {
+		if strings.HasPrefix(line, "event 1 cleared reach x y") {
 			break // sentinel: churn over, all prior events delivered
 		}
 	}
@@ -387,7 +387,7 @@ func TestWatchSinceGapReanchors(t *testing.T) {
 	if !w.r.Scan() || w.r.Text() != "gap 2:3" {
 		t.Fatalf("gap line: %q (%v)", w.r.Text(), w.r.Err())
 	}
-	if !w.r.Scan() || !strings.HasPrefix(w.r.Text(), "status 0 violated reach 0 2") {
+	if !w.r.Scan() || !strings.HasPrefix(w.r.Text(), "status 0 violated reach a c") {
 		t.Fatalf("re-anchor snapshot: %q (%v)", w.r.Text(), w.r.Err())
 	}
 	// Live streaming resumes after the snapshot.
@@ -408,7 +408,7 @@ func TestWatchSinceGapReanchors(t *testing.T) {
 	if !w2.r.Scan() || w2.r.Text() != "gap 6:99" {
 		t.Fatalf("foreign gap line: %q (%v)", w2.r.Text(), w2.r.Err())
 	}
-	if !w2.r.Scan() || !strings.HasPrefix(w2.r.Text(), "status 0 holds reach 0 2") {
+	if !w2.r.Scan() || !strings.HasPrefix(w2.r.Text(), "status 0 holds reach a c") {
 		t.Fatalf("foreign re-anchor snapshot: %q (%v)", w2.r.Text(), w2.r.Err())
 	}
 	toggleRule(t, c, 1) // seq 6: violation, far below the stale cursor
@@ -446,7 +446,7 @@ func TestWatchLinesCarrySinkSet(t *testing.T) {
 	if got := w.roundTrip(t, "watch"); got != "ok watching" {
 		t.Fatalf("watch: %q", got)
 	}
-	for i, want := range []string{"status 0 holds blackholefree --", "status 1 holds blackholefree sinks=1 --"} {
+	for i, want := range []string{"status 0 holds blackholefree --", "status 1 holds blackholefree sinks=b --"} {
 		if !w.r.Scan() || !strings.HasPrefix(w.r.Text(), want) {
 			t.Fatalf("status line %d: %q want prefix %q (%v)", i, w.r.Text(), want, w.r.Err())
 		}
@@ -461,7 +461,7 @@ func TestWatchLinesCarrySinkSet(t *testing.T) {
 	// Packets now end at node 2 instead: the sinked invariant violates
 	// too, and its event line must name the sink set.
 	c.roundTrip(t, "I 2 1 1 0 100 1")
-	if !w.r.Scan() || !strings.HasPrefix(w.r.Text(), "event 1 violation blackholefree sinks=1 upd=") {
+	if !w.r.Scan() || !strings.HasPrefix(w.r.Text(), "event 1 violation blackholefree sinks=b upd=") {
 		t.Fatalf("sinked violation: %q (%v)", w.r.Text(), w.r.Err())
 	}
 }

@@ -14,8 +14,9 @@
 //	                                     -> ok atoms=<n> loops=<k> [loop <lo>:<hi> ...]
 //	R <ruleID>                           -> ok atoms=<n> loops=0
 //	B <n>                                -> (multi-line, see below)
-//	reach <srcID> <dstID>                -> ok reach <count>
+//	reach <src> <dst>                    -> ok reach <count>
 //	whatif <linkID>                      -> ok whatif atoms=<n> edges=<m>
+//	whatif <src> <dst>                   -> ok whatif atoms=<n> edges=<m>
 //	W <spec>                             -> ok watch <id> <holds|violated>
 //	unwatch <id>                         -> ok unwatch <id>
 //	watch                                -> ok watching (streaming; see below)
@@ -23,8 +24,18 @@
 //	events since <seq>                   -> ok events n=<k> (k replay lines follow; see below)
 //	burst <maxDeltas> <maxAgeMs>         -> ok burst deltas=<n> age=<ms>
 //	flush                                -> ok flush events=<k> pending=0
-//	stats                                -> ok stats rules=<r> atoms=<a> links=<l> nodes=<v> watch=<w> pending=<p> ix=<s0,...,s15>
+//	stats                                -> ok stats rules=<r> atoms=<a> links=<l> nodes=<v> watch=<w> pending=<p> rskip=<n> ix=<s0,...,s15>
 //	quit                                 -> connection closed
+//
+// Wherever reach, whatif, or a W spec takes a node, it accepts either
+// the numeric id or the node's name (as registered with the node
+// command); numeric parsing wins, so name nodes non-numerically. Status
+// and event lines echo node names back, so watch output survives
+// topology renumbering — and the echoed spec re-registers to the same
+// invariant. The stats line's rskip counts invariants skipped by
+// atom-granular dependency tracking: updates that touched a dep link
+// but only atoms the invariant's verdict never examined (ix is the
+// dependency index's per-shard bit population).
 //
 // B introduces an atomic batch: the client sends "B <n>" followed by
 // exactly n lines, each an I or R line as above, and receives one response
@@ -466,7 +477,7 @@ func (s *Server) startWatch(fields []string, writeLine func(string) error,
 			snapshot = true
 		} else {
 			for _, ev := range rep.Events {
-				if err := writeLine(formatEvent(ev)); err != nil {
+				if err := writeLine(s.formatEvent(ev)); err != nil {
 					return "", err
 				}
 			}
@@ -478,7 +489,7 @@ func (s *Server) startWatch(fields []string, writeLine func(string) error,
 		// never as silence — so the client's view starts authoritative.
 		for _, info := range s.mon.Invariants() {
 			if err := writeLine(fmt.Sprintf("status %d %s %s -- %s",
-				info.ID, info.Status, monitor.FormatSpec(info.Spec), info.Detail)); err != nil {
+				info.ID, info.Status, s.formatSpec(info.Spec), info.Detail)); err != nil {
 				return "", err
 			}
 		}
@@ -490,7 +501,7 @@ func (s *Server) startWatch(fields []string, writeLine func(string) error,
 			if ev.Seq <= after {
 				continue // already delivered by the catch-up replay
 			}
-			if writeLine(formatEvent(ev)) != nil {
+			if writeLine(s.formatEvent(ev)) != nil {
 				return
 			}
 		}
@@ -508,12 +519,20 @@ const eventBuffer = 256
 // a single update, upd=N:M for a flushed burst — and the event's own
 // sequence number, which a watcher records as its resume cursor for
 // "watch since <seq>" / "events since <seq>" after a disconnect.
-func formatEvent(ev monitor.Event) string {
-	// FormatSpec, not Spec.String(): the canonical form carries
-	// BlackHoleFree's sink set, so the printed spec round-trips through
-	// ParseSpec to the invariant the event is actually about.
+func (s *Server) formatEvent(ev monitor.Event) string {
 	return fmt.Sprintf("event %d %s %s upd=%d:%d seq=%d -- %s",
-		ev.ID, ev.Kind, monitor.FormatSpec(ev.Spec), ev.FirstUpdate, ev.LastUpdate, ev.Seq, ev.Detail)
+		ev.ID, ev.Kind, s.formatSpec(ev.Spec), ev.FirstUpdate, ev.LastUpdate, ev.Seq, ev.Detail)
+}
+
+// formatSpec renders a spec for status and event lines: the canonical
+// FormatSpec grammar (sink sets included, so the printed spec
+// round-trips through the resolver-aware ParseSpecNamed to the
+// invariant the line is actually about), with node ids replaced by
+// their topology names — references that survive renumbering. NodeName
+// is safe against a concurrent AddNode, so streamer goroutines may call
+// this without holding the engine lock.
+func (s *Server) formatSpec(spec monitor.Spec) string {
+	return monitor.FormatSpecNamed(spec, s.graph.NodeName)
 }
 
 // maxBatch bounds a B request's line count, and maxBatchBytes its
@@ -692,21 +711,39 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		s.mon.Apply(&s.delta)
 		return s.updateResponse(nil)
 	case "reach":
-		a, b, err := twoInts(fields)
-		if err != nil || !s.validNode(a) || !s.validNode(b) {
-			return "err usage: reach <srcID> <dstID>"
+		if len(fields) != 3 {
+			return "err usage: reach <src> <dst> (id or name)"
 		}
-		r := check.Reachable(s.net, netgraph.NodeID(a), netgraph.NodeID(b))
+		a, okA := s.resolveNode(fields[1])
+		b, okB := s.resolveNode(fields[2])
+		if !okA || !okB {
+			return "err usage: reach <src> <dst> (id or name)"
+		}
+		r := check.Reachable(s.net, a, b)
 		return fmt.Sprintf("ok reach %d", r.Len())
 	case "whatif":
-		if len(fields) != 2 {
-			return "err usage: whatif <linkID>"
+		var l netgraph.LinkID
+		switch {
+		case len(fields) == 2:
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 || v >= s.graph.NumLinks() {
+				return "err unknown link id"
+			}
+			l = netgraph.LinkID(v)
+		case len(fields) == 3:
+			// Node-pair form, ids or names: the link between them.
+			a, okA := s.resolveNode(fields[1])
+			b, okB := s.resolveNode(fields[2])
+			if !okA || !okB {
+				return "err usage: whatif <linkID> | whatif <src> <dst>"
+			}
+			if l = s.graph.FindLink(a, b); l == netgraph.NoLink {
+				return fmt.Sprintf("err no link %s -> %s", fields[1], fields[2])
+			}
+		default:
+			return "err usage: whatif <linkID> | whatif <src> <dst>"
 		}
-		l, err := strconv.Atoi(fields[1])
-		if err != nil || l < 0 || l >= s.graph.NumLinks() {
-			return "err unknown link id"
-		}
-		sub := check.AffectedByLinkFailure(s.net, netgraph.LinkID(l))
+		sub := check.AffectedByLinkFailure(s.net, l)
 		return fmt.Sprintf("ok whatif atoms=%d edges=%d", sub.Affected.Len(), sub.NumEdges())
 	case "W":
 		spec, errmsg := s.parseSpec(fields[1:])
@@ -776,7 +813,7 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		}
 		for _, ev := range rep.Events {
 			b.WriteByte('\n')
-			b.WriteString(formatEvent(ev))
+			b.WriteString(s.formatEvent(ev))
 		}
 		return b.String()
 	case "stats":
@@ -785,9 +822,9 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		for i, p := range st.IndexShardBits {
 			shards[i] = strconv.Itoa(p)
 		}
-		return fmt.Sprintf("ok stats rules=%d atoms=%d links=%d nodes=%d watch=%d pending=%d ix=%s",
+		return fmt.Sprintf("ok stats rules=%d atoms=%d links=%d nodes=%d watch=%d pending=%d rskip=%d ix=%s",
 			s.net.NumRules(), s.net.NumAtoms(), s.graph.NumLinks(),
-			s.graph.NumNodes(), st.Registered, st.Pending,
+			s.graph.NumNodes(), st.Registered, st.Pending, st.RangeSkips,
 			strings.Join(shards, ","))
 	default:
 		return "err unknown command " + fields[0]
@@ -796,11 +833,12 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 
 // parseSpec parses the W command's invariant grammar — the serialized
 // spec form shared with state files and the public API
-// (monitor.ParseSpec) — and validates every node id it names against
-// the topology. Callers must hold at least the read lock.
+// (monitor.ParseSpec), with node names accepted anywhere a numeric id
+// is — and validates every node it names against the topology. Callers
+// must hold at least the read lock.
 func (s *Server) parseSpec(fields []string) (monitor.Spec, string) {
-	const usage = "usage: W reach <a> <b> | W waypoint <a> <b> <via> | W isolated <a,...> <b,...> | W loopfree | W blackholefree [sinks=<a,...>]"
-	spec, err := monitor.ParseSpec(strings.Join(fields, " "))
+	const usage = "usage: W reach <a> <b> | W waypoint <a> <b> <via> | W isolated <a,...> <b,...> | W loopfree | W blackholefree [sinks=<a,...>] (nodes by id or name)"
+	spec, err := monitor.ParseSpecNamed(strings.Join(fields, " "), s.lookupName)
 	if err != nil {
 		return nil, usage
 	}
@@ -810,6 +848,21 @@ func (s *Server) parseSpec(fields []string) (monitor.Spec, string) {
 		}
 	}
 	return spec, ""
+}
+
+// lookupName is the monitor.NodeResolver over the server's topology.
+func (s *Server) lookupName(name string) (netgraph.NodeID, bool) {
+	id := s.graph.NodeByName(name)
+	return id, id != netgraph.NoNode
+}
+
+// resolveNode resolves one protocol field to a node: a numeric id
+// (validated against the topology) or a node name.
+func (s *Server) resolveNode(f string) (netgraph.NodeID, bool) {
+	if v, err := strconv.Atoi(f); err == nil {
+		return netgraph.NodeID(v), s.validNode(v)
+	}
+	return s.lookupName(f)
 }
 
 func (s *Server) updateResponse(loops []check.Loop) string {

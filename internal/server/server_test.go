@@ -86,7 +86,7 @@ func TestProtocolSession(t *testing.T) {
 	if got := c.roundTrip(t, "I 1 0 0 0 1000 10"); !strings.HasPrefix(got, "ok atoms=") {
 		t.Fatalf("insert: %q", got)
 	}
-	if got := c.roundTrip(t, "stats"); !strings.HasPrefix(got, "ok stats rules=1 atoms=2 links=1 nodes=2 watch=0 pending=0 ix=") {
+	if got := c.roundTrip(t, "stats"); !strings.HasPrefix(got, "ok stats rules=1 atoms=2 links=1 nodes=2 watch=0 pending=0 rskip=0 ix=") {
 		t.Fatalf("stats: %q", got)
 	}
 	if got := c.roundTrip(t, "reach 0 1"); got != "ok reach 1" {
@@ -98,7 +98,7 @@ func TestProtocolSession(t *testing.T) {
 	if got := c.roundTrip(t, "R 1"); !strings.HasPrefix(got, "ok atoms=") {
 		t.Fatalf("remove: %q", got)
 	}
-	if got := c.roundTrip(t, "stats"); !strings.HasPrefix(got, "ok stats rules=0 atoms=2 links=1 nodes=2 watch=0 pending=0 ix=") {
+	if got := c.roundTrip(t, "stats"); !strings.HasPrefix(got, "ok stats rules=0 atoms=2 links=1 nodes=2 watch=0 pending=0 rskip=0 ix=") {
 		t.Fatalf("stats after remove: %q", got)
 	}
 }
@@ -519,7 +519,7 @@ func TestWatchStreaming(t *testing.T) {
 	if !watcher.r.Scan() {
 		t.Fatalf("no status snapshot: %v", watcher.r.Err())
 	}
-	if got := watcher.r.Text(); !strings.HasPrefix(got, "status 0 violated reach 0 2") {
+	if got := watcher.r.Text(); !strings.HasPrefix(got, "status 0 violated reach a c") {
 		t.Fatalf("status snapshot: %q", got)
 	}
 	if got := watcher.roundTrip(t, "watch"); got != "err already watching" {
@@ -534,7 +534,7 @@ func TestWatchStreaming(t *testing.T) {
 	if !watcher.r.Scan() {
 		t.Fatalf("no event: %v", watcher.r.Err())
 	}
-	if got := watcher.r.Text(); !strings.HasPrefix(got, "event 0 cleared reach 0 2") {
+	if got := watcher.r.Text(); !strings.HasPrefix(got, "event 0 cleared reach a c") {
 		t.Fatalf("cleared event: %q", got)
 	}
 
@@ -547,7 +547,7 @@ func TestWatchStreaming(t *testing.T) {
 	if !watcher.r.Scan() {
 		t.Fatalf("no violation event: %v", watcher.r.Err())
 	}
-	if got := watcher.r.Text(); !strings.HasPrefix(got, "event 0 violation reach 0 2") {
+	if got := watcher.r.Text(); !strings.HasPrefix(got, "event 0 violation reach a c") {
 		t.Fatalf("violation event: %q", got)
 	}
 }
@@ -587,7 +587,7 @@ func TestWatchStreamingBatch(t *testing.T) {
 	if !watcher.r.Scan() {
 		t.Fatalf("no event: %v", watcher.r.Err())
 	}
-	if got := watcher.r.Text(); !strings.HasPrefix(got, "event 0 cleared reach 0 2") {
+	if got := watcher.r.Text(); !strings.HasPrefix(got, "event 0 cleared reach a c") {
 		t.Fatalf("batch event: %q", got)
 	}
 }
@@ -705,7 +705,7 @@ func TestBurstAgeFlusher(t *testing.T) {
 	if !c.r.Scan() {
 		t.Fatalf("no flusher event: %v", c.r.Err())
 	}
-	if got := c.r.Text(); !strings.HasPrefix(got, "event 0 cleared reach 0 1 upd=1:1") {
+	if got := c.r.Text(); !strings.HasPrefix(got, "event 0 cleared reach a b upd=1:1") {
 		t.Fatalf("flusher event: %q", got)
 	}
 }

@@ -21,26 +21,36 @@ import (
 	"deltanet/internal/netgraph"
 )
 
-// stateHeader is the first line of a version-1 state file. The format is
+// stateHeader is the first line of a version-2 state file. The format is
 // line-oriented and human-readable, in this order:
 //
-//	deltanet-state 1
+//	deltanet-state 2
 //	node <name>                              (one per node, in id order)
 //	link <srcID> <dstID>                     (one per link, in id order)
 //	drop <nodeID>                            (optional: the drop sink)
 //	rule <id> <srcID> <linkID> <lo> <hi> <prio>
+//	seq <lastEventSeq>                       (optional: event-stream cursor)
 //	spec <serialized invariant>              (monitor.FormatSpec form)
 //
 // Nodes and links are dumped positionally so every id a client or a spec
 // references means the same thing after a restore; the drop line
 // reattaches the drop-sink bookkeeping that AddNode/AddLink replay alone
 // cannot recover (the sink's special treatment in loop and black-hole
-// checks would otherwise be lost).
-const stateHeader = "deltanet-state 1"
+// checks would otherwise be lost). The seq line carries the last
+// published event sequence number across the restart, so the restored
+// monitor resumes numbering where the previous incarnation stopped and
+// a watcher's "watch since <seq>" cursor keeps meaning the same point
+// in the stream — the gap it is shown covers only the genuinely missed
+// window, not a whole foreign stream. Version-1 files (everything but
+// the seq line) load unchanged.
+const (
+	stateHeader   = "deltanet-state 2"
+	stateHeaderV1 = "deltanet-state 1"
+)
 
-// SaveState writes the server's durable state — topology, rules, and
-// the currently registered invariant specs — to w in the version-1
-// format. It takes the read lock, so it may run concurrently with
+// SaveState writes the server's durable state — topology, rules, the
+// event-stream cursor, and the currently registered invariant specs —
+// to w in the version-2 format. It takes the read lock, so it may run concurrently with
 // serving (mutations block for the duration of the dump).
 //
 // On the shutdown path, capture the spec list with
@@ -73,25 +83,32 @@ func (s *Server) SaveStateWithSpecs(w io.Writer, specs []string) error {
 		fmt.Fprintf(bw, "rule %d %d %d %d %d %d\n",
 			r.ID, r.Source, r.Link, r.Match.Lo, r.Match.Hi, r.Priority)
 	}
+	if seq := s.mon.LastSeq(); seq > 0 {
+		fmt.Fprintf(bw, "seq %d\n", seq)
+	}
 	for _, spec := range specs {
 		fmt.Fprintf(bw, "spec %s\n", spec)
 	}
 	return bw.Flush()
 }
 
-// LoadState restores a version-1 state dump into an empty server:
+// LoadState restores a state dump (version 1 or 2) into an empty server:
 // topology first (ids assigned in file order, reproducing the saved
 // ids), then rules (replayed through the engine, so atom state is
 // rebuilt exactly as a fresh insertion history would), then invariant
 // specs (each registered and immediately evaluated against the restored
-// data plane). Call it before Serve.
+// data plane); a seq record resumes event numbering where the saved
+// incarnation stopped. Call it before Serve.
 func (s *Server) LoadState(r io.Reader) error {
 	if s.graph.NumNodes() != 0 || s.net.NumRules() != 0 {
 		return fmt.Errorf("server: LoadState requires an empty server")
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 4096), 1<<20)
-	if !sc.Scan() || strings.TrimSpace(sc.Text()) != stateHeader {
+	if !sc.Scan() {
+		return fmt.Errorf("server: not a %q file", stateHeader)
+	}
+	if h := strings.TrimSpace(sc.Text()); h != stateHeader && h != stateHeaderV1 {
 		return fmt.Errorf("server: not a %q file", stateHeader)
 	}
 	var rules []core.Rule
@@ -157,6 +174,15 @@ func (s *Server) LoadState(r io.Reader) error {
 				Match:    ipnet.Interval{Lo: uint64(nums[3]), Hi: uint64(nums[4])},
 				Priority: core.Priority(nums[5]),
 			})
+		case "seq":
+			if len(fields) != 2 {
+				return bad("usage: seq <lastEventSeq>")
+			}
+			seq, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return bad("bad sequence number")
+			}
+			s.mon.ResumeSeq(seq)
 		case "spec":
 			spec, err := monitor.ParseSpec(strings.TrimSpace(strings.TrimPrefix(line, "spec")))
 			if err != nil {
