@@ -34,7 +34,9 @@ func main() {
 	defer conn.Close()
 	r := bufio.NewScanner(conn)
 	send := func(req string) string {
-		fmt.Fprintln(conn, req)
+		if _, err := fmt.Fprintln(conn, req); err != nil {
+			log.Fatalf("write %q: %v", req, err)
+		}
 		if !r.Scan() {
 			log.Fatalf("connection lost after %q", req)
 		}

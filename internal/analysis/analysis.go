@@ -1,0 +1,41 @@
+// Package analysis aggregates deltanet's custom lint suite. The four
+// analyzers encode invariants the compiler cannot check but correctness
+// and throughput depend on (see each analyzer's package doc):
+//
+//   - pointerfree: //deltanet:pointerfree types must contain no
+//     pointers (the PR 5 GC-regression class, made unrepresentable)
+//   - lockorder: //deltanet:lockrank mutexes must be acquired in
+//     increasing rank order, never leak past a return, never be copied
+//   - guardedwriter: net.Conn writes go through the
+//     //deltanet:connwriter type with every error checked
+//   - wireproto: dispatch code, the command registry, the README
+//     protocol table and the fuzz seeds must agree
+//
+// cmd/dnlint runs the suite from the command line and in CI;
+// TestDnlintClean runs it as part of `go test ./...`.
+package analysis
+
+import (
+	"deltanet/internal/analysis/dnlint"
+	"deltanet/internal/analysis/guardedwriter"
+	"deltanet/internal/analysis/lockorder"
+	"deltanet/internal/analysis/pointerfree"
+	"deltanet/internal/analysis/wireproto"
+)
+
+// Suite returns the deltanet analyzers in a stable order.
+func Suite() []*dnlint.Analyzer {
+	return []*dnlint.Analyzer{
+		pointerfree.Analyzer,
+		lockorder.Analyzer,
+		guardedwriter.Analyzer,
+		wireproto.Analyzer,
+	}
+}
+
+// Run applies the full suite to the packages matched by patterns
+// (resolved from the current directory) and returns the surviving
+// diagnostics, sorted by position.
+func Run(patterns []string) ([]dnlint.Diagnostic, error) {
+	return dnlint.Run("", patterns, Suite())
+}

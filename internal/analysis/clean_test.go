@@ -1,0 +1,27 @@
+package analysis
+
+import (
+	"os/exec"
+	"testing"
+
+	"deltanet/internal/analysis/dnlint"
+)
+
+// TestDnlintClean is the local mirror of CI's lint gate: the whole
+// module must be clean under the full suite, so `go test ./...` catches
+// an invariant violation before a push does.
+func TestDnlintClean(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	diags, err := dnlint.Run("", []string{"deltanet/..."}, Suite())
+	if err != nil {
+		t.Fatalf("dnlint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the findings or annotate them //deltanet:nolint <analyzer> <reason> (see internal/analysis/dnlint)")
+	}
+}

@@ -1,0 +1,433 @@
+// Package guardedwriter enforces the server's connection-write
+// discipline: every write to a net.Conn must flow through the
+// connection's mutex-guarded writer (the type annotated
+// //deltanet:connwriter) and every write error must be checked.
+//
+// Rationale: a connection is shared by the request loop and the watch
+// streamer goroutine, so raw writes interleave partial lines; and a
+// dropped write error is how PR 4's silent-scanner-death bug hid — the
+// server kept streaming events to a dead client because nothing looked
+// at the error. The analyzer generalizes both fixes:
+//
+//   - In a package that declares a //deltanet:connwriter type, any write
+//     (Write/WriteString/Flush/fmt.Fprint*/io.WriteString/io.Copy/...)
+//     whose destination is conn-backed — typed as a net.Conn
+//     implementation, or a bufio.Writer wrapped around one — is flagged
+//     unless it happens inside the guarded writer's own methods.
+//   - Everywhere (including inside the guarded writer, and in packages
+//     with no guarded writer at all), a conn-backed write or a call to
+//     an error-returning method of the guarded writer must not discard
+//     the error (statement position, blank assignment, go/defer).
+//
+// Packages that do not import net, directly or transitively, are skipped.
+package guardedwriter
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"deltanet/internal/analysis/dnlint"
+)
+
+// Analyzer enforces guarded, error-checked connection writes.
+var Analyzer = &dnlint.Analyzer{
+	Name: "guardedwriter",
+	Doc:  "check that net.Conn writes flow through the //deltanet:connwriter type with errors checked",
+	Run:  run,
+}
+
+// writeMethods are method names that transmit bytes when invoked on a
+// conn-backed destination.
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Flush":       true,
+	"ReadFrom":    true,
+}
+
+// writeFuncs maps qualified function names to the index of the
+// destination argument.
+var writeFuncs = map[string]int{
+	"fmt.Fprint":     0,
+	"fmt.Fprintf":    0,
+	"fmt.Fprintln":   0,
+	"io.WriteString": 0,
+	"io.Copy":        0,
+}
+
+func run(pass *dnlint.Pass) error {
+	conn := connInterface(pass.Pkg)
+	if conn == nil {
+		return nil // package does not touch the network
+	}
+	writers := connWriterTypes(pass)
+	c := &checker{pass: pass, conn: conn, writers: writers}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+// connInterface finds the net.Conn interface in the package's transitive
+// imports, or nil if net is not imported.
+func connInterface(pkg *types.Package) *types.Interface {
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == "net" {
+			if obj, ok := p.Scope().Lookup("Conn").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}
+
+// connWriterTypes collects the package's //deltanet:connwriter types.
+func connWriterTypes(pass *dnlint.Pass) map[*types.TypeName]bool {
+	writers := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				_, marked := dnlint.GroupMarker(ts.Doc, "connwriter")
+				if !marked && len(gd.Specs) == 1 {
+					_, marked = dnlint.GroupMarker(gd.Doc, "connwriter")
+				}
+				if !marked {
+					continue
+				}
+				if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+					writers[tn] = true
+				}
+			}
+		}
+	}
+	return writers
+}
+
+type checker struct {
+	pass    *dnlint.Pass
+	conn    *types.Interface
+	writers map[*types.TypeName]bool
+
+	// per function:
+	inWriter   bool
+	taint      map[*types.Var]bool    // bufio writers wrapped around a conn
+	discard    map[*ast.CallExpr]bool // call result fully discarded
+	errDiscard map[*ast.CallExpr]bool // call's error result assigned to _
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	c.inWriter = c.isWriterMethod(fd)
+	c.taint = make(map[*types.Var]bool)
+	c.discard = make(map[*ast.CallExpr]bool)
+	c.errDiscard = make(map[*ast.CallExpr]bool)
+
+	// First pass: how is each call's result consumed, and which local
+	// bufio.Writers wrap a connection?
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+				c.discard[call] = true
+			}
+		case *ast.GoStmt:
+			c.discard[s.Call] = true
+		case *ast.DeferStmt:
+			c.discard[s.Call] = true
+		case *ast.AssignStmt:
+			c.recordAssign(s)
+		}
+		return true
+	})
+
+	// Second pass: classify every write-shaped call.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c.checkCall(call)
+		return true
+	})
+}
+
+func (c *checker) recordAssign(s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 {
+		if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			allBlank := true
+			for _, l := range s.Lhs {
+				if !isBlank(l) {
+					allBlank = false
+					break
+				}
+			}
+			if allBlank {
+				c.discard[call] = true
+			} else if len(s.Lhs) > 1 && isBlank(s.Lhs[len(s.Lhs)-1]) && c.lastResultIsError(call) {
+				c.errDiscard[call] = true
+			}
+		}
+	}
+	// Taint: w := bufio.NewWriter(conn) (also plain = assignment).
+	for i, r := range s.Rhs {
+		if i >= len(s.Lhs) {
+			break
+		}
+		id, ok := s.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		call, ok := unparen(r).(*ast.CallExpr)
+		if !ok || qualifiedName(c.pass, call.Fun) != "bufio.NewWriter" || len(call.Args) != 1 {
+			continue
+		}
+		if c.connBacked(call.Args[0]) {
+			if v, ok := c.pass.Info.Defs[id].(*types.Var); ok {
+				c.taint[v] = true
+			} else if v, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+				c.taint[v] = true
+			}
+		}
+	}
+}
+
+func (c *checker) lastResultIsError(call *ast.CallExpr) bool {
+	tv, ok := c.pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok && tuple.Len() > 0 {
+		return isErrorType(tuple.At(tuple.Len() - 1).Type())
+	}
+	return isErrorType(tv.Type)
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// A call to an error-returning method of the guarded writer: error
+	// must be consumed, wherever the call is.
+	if recv, name := c.writerMethodCall(call); recv != nil {
+		if c.lastResultIsError(call) && (c.discard[call] || c.errDiscard[call]) {
+			c.pass.Reportf(call.Pos(), "error from %s.%s is discarded; the guarded writer's error is how a dead client is detected", recv.Obj().Name(), name)
+		}
+		return
+	}
+
+	dest, what := c.writeDest(call)
+	if dest == nil {
+		return
+	}
+	if !c.connBacked(dest) {
+		if !c.inWriter || !c.bufioOrConn(dest) {
+			return
+		}
+		// Inside the guarded writer the wrapped stream's conn origin is
+		// a field invariant the local taint pass cannot see; treat any
+		// bufio.Writer/net.Conn write as a conn write.
+	}
+	if len(c.writers) > 0 && !c.inWriter {
+		c.pass.Reportf(call.Pos(), "%s writes to a conn-backed destination, bypassing the guarded writer (%s)", what, c.writerNames())
+		return
+	}
+	if c.discard[call] || c.errDiscard[call] {
+		c.pass.Reportf(call.Pos(), "error from conn write %s is unchecked", what)
+	}
+}
+
+// writerMethodCall reports whether call invokes a method on a value of a
+// //deltanet:connwriter type, returning the receiver's named type.
+func (c *checker) writerMethodCall(call *ast.CallExpr) (*types.Named, string) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	selection, ok := c.pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil, ""
+	}
+	recv := selection.Recv()
+	if p, ok := types.Unalias(recv).(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := types.Unalias(recv).(*types.Named)
+	if !ok || !c.writers[named.Obj()] {
+		return nil, ""
+	}
+	return named, sel.Sel.Name
+}
+
+// writeDest returns the destination expression of a write-shaped call,
+// plus a printable description of the call.
+func (c *checker) writeDest(call *ast.CallExpr) (ast.Expr, string) {
+	if name := qualifiedName(c.pass, call.Fun); name != "" {
+		if argIdx, ok := writeFuncs[name]; ok && len(call.Args) > argIdx {
+			return call.Args[argIdx], name
+		}
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !writeMethods[sel.Sel.Name] {
+		return nil, ""
+	}
+	if _, ok := c.pass.Info.Selections[sel]; !ok {
+		return nil, "" // package-qualified function, not a method
+	}
+	return sel.X, exprName(sel.X) + "." + sel.Sel.Name
+}
+
+// connBacked reports whether e is conn-backed: its static type
+// implements net.Conn, or it is a local bufio.Writer tainted by wrapping
+// a connection.
+func (c *checker) connBacked(e ast.Expr) bool {
+	if v := dnlint.SelectedVar(c.pass.Info, e); v != nil && c.taint[v] {
+		return true
+	}
+	tv, ok := c.pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if types.Implements(t, c.conn) {
+		return true
+	}
+	if _, isPtr := types.Unalias(t).(*types.Pointer); !isPtr {
+		if types.Implements(types.NewPointer(t), c.conn) {
+			return true
+		}
+	}
+	return false
+}
+
+// bufioOrConn reports whether e's type is *bufio.Writer or a net.Conn
+// implementation (used only inside guarded-writer methods).
+func (c *checker) bufioOrConn(e ast.Expr) bool {
+	tv, ok := c.pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := types.Unalias(tv.Type)
+	if p, ok := t.(*types.Pointer); ok && dnlint.NamedType(p.Elem(), "bufio", "Writer") {
+		return true
+	}
+	return types.Implements(t, c.conn)
+}
+
+func (c *checker) isWriterMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	fn, ok := c.pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && c.writers[named.Obj()]
+}
+
+func (c *checker) writerNames() string {
+	names := make([]string, 0, len(c.writers))
+	for tn := range c.writers {
+		names = append(names, tn.Name())
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	return strings.Join(names, ", ")
+}
+
+// qualifiedName renders pkg.Func for a package-level function reference,
+// or "" for anything else.
+func qualifiedName(pass *dnlint.Pass, fun ast.Expr) string {
+	sel, ok := unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, isPkg := pass.Info.Uses[pkgID].(*types.PkgName); !isPkg {
+		return ""
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// exprName renders a best-effort dotted name for an expression, for
+// diagnostics only.
+func exprName(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprName(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprName(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprName(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprName(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprName(e.X)
+	}
+	return "destination"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,75 @@
+// Package a is the guardedwriter analyzer's flagged fixture: a package
+// that declares a guarded writer and then routes around it, or discards
+// write errors, in every way the server's history has seen.
+package a
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+)
+
+// writer is the guarded per-connection writer.
+//
+//deltanet:connwriter
+type writer struct {
+	w *bufio.Writer
+}
+
+func newWriter(c net.Conn) *writer {
+	return &writer{w: bufio.NewWriter(c)}
+}
+
+// line is the disciplined path: errors checked, flush error returned.
+func (wr *writer) line(s string) error {
+	if _, err := fmt.Fprintln(wr.w, s); err != nil {
+		return err
+	}
+	return wr.w.Flush()
+}
+
+// sloppy discards write errors inside the guarded writer itself.
+func (wr *writer) sloppy(s string) {
+	fmt.Fprintln(wr.w, s) // want `error from conn write fmt\.Fprintln is unchecked`
+	wr.w.Flush()          // want `error from conn write wr\.w\.Flush is unchecked`
+}
+
+// direct writes to the connection without going through the writer.
+func direct(c net.Conn) {
+	fmt.Fprintf(c, "hi\n")                          // want `fmt\.Fprintf writes to a conn-backed destination, bypassing the guarded writer \(writer\)`
+	if _, err := c.Write([]byte("x")); err != nil { // want `c\.Write writes to a conn-backed destination`
+		_ = err
+	}
+}
+
+// wrapped launders the connection through a fresh bufio.Writer; the
+// taint tracking still sees a conn-backed destination.
+func wrapped(c net.Conn) {
+	bw := bufio.NewWriter(c)
+	bw.WriteString("x")     // want `bw\.WriteString writes to a conn-backed destination`
+	io.WriteString(bw, "y") // want `io\.WriteString writes to a conn-backed destination`
+	bw.Flush()              // want `bw\.Flush writes to a conn-backed destination`
+}
+
+// callers must consume the guarded writer's error.
+func callers(wr *writer) {
+	wr.line("dropped")     // want `error from writer\.line is discarded`
+	_ = wr.line("blanked") // want `error from writer\.line is discarded`
+	if err := wr.line("checked"); err != nil {
+		_ = err
+	}
+}
+
+// deferred write errors are still discarded errors.
+func deferred(c net.Conn) {
+	defer c.Write([]byte("bye")) // want `c\.Write writes to a conn-backed destination`
+	_ = c
+}
+
+// notConn writes to a plain buffer; nothing conn-backed, nothing flagged.
+func notConn(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "fine")
+	bw.Flush()
+}

@@ -1,0 +1,37 @@
+// Package clean is the guardedwriter analyzer's clean fixture: a
+// client-style package with no guarded writer, where direct conn writes
+// are fine as long as every error is consumed, plus a disciplined
+// guarded-writer package shape.
+package clean
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+)
+
+// send is the client pattern: no //deltanet:connwriter type in the
+// package, so direct writes are allowed — the errors are consumed.
+func send(c net.Conn, s string) error {
+	_, err := fmt.Fprintln(c, s)
+	return err
+}
+
+func sendAll(c net.Conn, lines []string) error {
+	bw := bufio.NewWriter(c)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(bw, l); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// read-side helpers never trip the write checks.
+func read(c net.Conn) (string, error) {
+	sc := bufio.NewScanner(c)
+	if !sc.Scan() {
+		return "", sc.Err()
+	}
+	return sc.Text(), nil
+}

@@ -1,0 +1,15 @@
+package lockorder
+
+import (
+	"testing"
+
+	"deltanet/internal/analysis/dnlint"
+)
+
+func TestFlagged(t *testing.T) {
+	dnlint.RunTest(t, "testdata/src/a", Analyzer)
+}
+
+func TestClean(t *testing.T) {
+	dnlint.RunTest(t, "testdata/src/clean", Analyzer)
+}

@@ -1,0 +1,95 @@
+// Package clean is the lockorder analyzer's clean fixture: the shapes
+// deltanet actually uses — nested increasing ranks, deferred unlocks,
+// branch-unlock discipline, stripe loops, and callback closures that
+// return while an outer frame holds a lock — must produce no
+// diagnostics.
+package clean
+
+import "sync"
+
+type registry struct {
+	//deltanet:lockrank 10
+	applyMu sync.Mutex
+
+	//deltanet:lockrank 20
+	regMu sync.RWMutex
+
+	stripes [4]stripe
+
+	//deltanet:lockrank 40
+	eventMu sync.Mutex
+
+	items []int
+	seq   int
+}
+
+type stripe struct {
+	//deltanet:lockrank 30
+	mu sync.Mutex
+	n  int
+}
+
+// apply nests the full hierarchy in declared order.
+func (r *registry) apply(id int) {
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
+	r.regMu.RLock()
+	n := len(r.items)
+	r.regMu.RUnlock()
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		s.n += n
+		s.mu.Unlock()
+	}
+	r.eventMu.Lock()
+	r.seq++
+	r.eventMu.Unlock()
+}
+
+// register unlocks on the early-exit branch before returning.
+func (r *registry) register(v int) bool {
+	r.regMu.Lock()
+	if v < 0 {
+		r.regMu.Unlock()
+		return false
+	}
+	r.items = append(r.items, v)
+	r.regMu.Unlock()
+	return true
+}
+
+// forEach hands a callback a snapshot under the read lock; the callback
+// literal returning early while regMu is held in the outer frame is
+// fine — the literal did not acquire it.
+func (r *registry) forEach(f func(int) bool) {
+	r.regMu.RLock()
+	defer r.regMu.RUnlock()
+	for _, v := range r.items {
+		stop := func() bool { return !f(v) }
+		if stop() {
+			return
+		}
+	}
+}
+
+// flusher runs in a goroutine with a fresh stack, so taking applyMu
+// while the spawner holds eventMu is not an inversion.
+func (r *registry) flusher(done chan struct{}) {
+	r.eventMu.Lock()
+	defer r.eventMu.Unlock()
+	go func() {
+		r.applyMu.Lock()
+		r.seq++
+		r.applyMu.Unlock()
+		close(done)
+	}()
+}
+
+// swap moves pointers, never lock values.
+func (r *registry) swap(o *registry) *registry {
+	if o != nil {
+		return o
+	}
+	return r
+}

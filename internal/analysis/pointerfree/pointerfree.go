@@ -1,0 +1,121 @@
+// Package pointerfree verifies //deltanet:pointerfree annotations: an
+// annotated type must not contain a pointer at any depth.
+//
+// Rationale: deltanet keeps millions of long-lived per-(invariant, link)
+// summaries inline in slices and maps (intervalmap.Sketch, the monitor's
+// slotSketch). If such a value grows a pointer — including a slice, map,
+// string, interface or function field — every element becomes a GC scan
+// target and a mark-phase root; PR 5 measured a 3× GC-time regression
+// from exactly that before the pointer-bearing field was caught by
+// benchmarking. The annotation makes the property machine-checked: the
+// regression class is unrepresentable while the gate is green.
+package pointerfree
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"deltanet/internal/analysis/dnlint"
+)
+
+// Analyzer flags //deltanet:pointerfree types that contain pointers.
+var Analyzer = &dnlint.Analyzer{
+	Name: "pointerfree",
+	Doc:  "check that //deltanet:pointerfree types contain no pointers at any depth",
+	Run:  run,
+}
+
+func run(pass *dnlint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// The marker may sit in the GenDecl doc (the common
+				// single-spec form) or on the TypeSpec itself.
+				_, marked := dnlint.GroupMarker(ts.Doc, "pointerfree")
+				if !marked && len(gd.Specs) == 1 {
+					_, marked = dnlint.GroupMarker(gd.Doc, "pointerfree")
+				}
+				if !marked {
+					continue
+				}
+				obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				if path := pointerPath(obj.Type(), ts.Name.Name, make(map[types.Type]bool)); path != "" {
+					pass.Reportf(ts.Pos(), "type %s is marked //deltanet:pointerfree but contains a pointer: %s", ts.Name.Name, path)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// typeStr renders a type with package-name qualification (a.Pair, not
+// the full import path).
+func typeStr(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// pointerPath returns a human-readable path to the first pointer-bearing
+// component of t ("Sketch.r: []Range is a slice"), or "" if t is
+// pointer-free. seen breaks cycles through named types (a cycle can only
+// occur behind a pointer, which reports before recursing, but the guard
+// keeps the walk total regardless).
+func pointerPath(t types.Type, path string, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Basic:
+		switch t.Kind() {
+		case types.String, types.UntypedString:
+			return fmt.Sprintf("%s: string holds a data pointer", path)
+		case types.UnsafePointer:
+			return fmt.Sprintf("%s: unsafe.Pointer", path)
+		case types.Uintptr:
+			// A uintptr is scalar to the GC; allowed.
+			return ""
+		}
+		return ""
+	case *types.Pointer:
+		return fmt.Sprintf("%s: %s is a pointer", path, typeStr(t))
+	case *types.Slice:
+		return fmt.Sprintf("%s: %s is a slice (data pointer)", path, typeStr(t))
+	case *types.Map:
+		return fmt.Sprintf("%s: %s is a map (header pointer)", path, typeStr(t))
+	case *types.Chan:
+		return fmt.Sprintf("%s: %s is a channel (pointer)", path, typeStr(t))
+	case *types.Signature:
+		return fmt.Sprintf("%s: %s is a function value (pointer)", path, typeStr(t))
+	case *types.Interface:
+		return fmt.Sprintf("%s: %s is an interface (pointer pair)", path, typeStr(t))
+	case *types.TypeParam:
+		return fmt.Sprintf("%s: type parameter %s may be instantiated with a pointer", path, typeStr(t))
+	case *types.Array:
+		return pointerPath(t.Elem(), path+"[_]", seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if msg := pointerPath(f.Type(), path+"."+f.Name(), seen); msg != "" {
+				return msg
+			}
+		}
+		return ""
+	case *types.Named:
+		return pointerPath(t.Underlying(), path, seen)
+	case *types.Alias:
+		return pointerPath(types.Unalias(t), path, seen)
+	}
+	return fmt.Sprintf("%s: unhandled type %s (treat as pointer-bearing)", path, typeStr(t))
+}

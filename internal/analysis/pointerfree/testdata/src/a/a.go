@@ -1,0 +1,59 @@
+// Package a is the pointerfree analyzer's flagged fixture: every
+// annotated type here smuggles a pointer in somewhere, mirroring the
+// regression class the analyzer exists to block (a pointer field slipped
+// into a sketch-like inline summary type).
+package a
+
+// Pair is a pointer-free component type, like intervalmap.Range.
+type Pair struct {
+	Lo, Hi int32
+}
+
+// SketchLike mirrors intervalmap.Sketch with a pointer field added —
+// the exact seeded regression from the acceptance criteria.
+//
+//deltanet:pointerfree
+type SketchLike struct { // want `contains a pointer: SketchLike\.spill: \*\[\]a\.Pair is a pointer`
+	n     uint8
+	r     [8]Pair
+	spill *[]Pair
+}
+
+//deltanet:pointerfree
+type HasSlice struct { // want `HasSlice\.rs: \[\]a\.Pair is a slice`
+	rs []Pair
+}
+
+//deltanet:pointerfree
+type HasString struct { // want `HasString\.name: string holds a data pointer`
+	name string
+}
+
+//deltanet:pointerfree
+type HasMap struct { // want `HasMap\.m: map\[int32\]a\.Pair is a map`
+	m map[int32]Pair
+}
+
+// DeepPointer buries the pointer two levels down: inside an array of a
+// named struct type.
+//
+//deltanet:pointerfree
+type DeepPointer struct { // want `DeepPointer\.buf\[_\]\.next: \*a\.DeepInner is a pointer`
+	buf [4]DeepInner
+}
+
+type DeepInner struct {
+	v    int64
+	next *DeepInner
+}
+
+//deltanet:pointerfree
+type IfaceArray [2]interface{ Len() int } // want `IfaceArray\[_\]: .* is an interface`
+
+// Suppressed has a pointer but carries a nolint with a reason, so no
+// diagnostic may surface — this exercises the framework's suppression.
+//
+//deltanet:pointerfree
+type Suppressed struct { //deltanet:nolint pointerfree fixture proves suppression works
+	p *int
+}

@@ -1,0 +1,50 @@
+// Package clean is the pointerfree analyzer's clean fixture: annotated
+// types that genuinely contain no pointers, including the shapes
+// deltanet uses in production (fixed-size range arrays, nested scalar
+// structs), must produce no diagnostics.
+package clean
+
+// Pair mirrors intervalmap.Range.
+//
+//deltanet:pointerfree
+type Pair struct {
+	Lo, Hi int32
+}
+
+// Sketch mirrors intervalmap.Sketch: a count plus an inline fixed-size
+// array of ranges.
+//
+//deltanet:pointerfree
+type Sketch struct {
+	n uint8
+	r [8]Pair
+}
+
+// Slot mirrors the monitor's slotSketch: a sequence number plus an
+// embedded sketch.
+//
+//deltanet:pointerfree
+type Slot struct {
+	atomSeq int64
+	sk      Sketch
+}
+
+// Scalars covers the remaining pointer-free kinds: all integer widths,
+// floats, complex, bool, uintptr, and arrays thereof.
+//
+//deltanet:pointerfree
+type Scalars struct {
+	a bool
+	b int8
+	c uint64
+	d float64
+	e complex128
+	f uintptr
+	g [3][2]byte
+}
+
+// NotAnnotated may contain whatever it likes.
+type NotAnnotated struct {
+	s []string
+	m map[string]*Pair
+}

@@ -1,0 +1,26 @@
+// Package clean is the wireproto analyzer's clean fixture: registry,
+// dispatch code, README table and fuzz seeds agree exactly. "quit" is
+// registry-only (handled by a bare comparison, not a switch), which is
+// allowed — it still must be documented and fuzzed.
+package clean
+
+//deltanet:dispatch
+var commands = []string{
+	"get",
+	"put",
+	"quit",
+}
+
+//deltanet:dispatch
+func dispatch(cmd string) string {
+	if cmd == "quit" {
+		return "bye"
+	}
+	switch cmd {
+	case "get":
+		return "ok get"
+	case "put":
+		return "ok put"
+	}
+	return "err"
+}

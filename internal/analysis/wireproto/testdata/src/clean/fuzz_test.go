@@ -1,0 +1,14 @@
+package clean
+
+type fuzzer interface {
+	Add(args ...any)
+}
+
+func FuzzDispatch(f fuzzer) {
+	for _, seed := range []string{
+		"get a\nput a 1\n",
+		"quit\n",
+	} {
+		f.Add([]byte(seed))
+	}
+}

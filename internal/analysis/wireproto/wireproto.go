@@ -1,0 +1,358 @@
+// Package wireproto cross-checks the server's wire-protocol surface:
+// the command strings the dispatch code actually handles, the command
+// registry (the []string variable annotated //deltanet:dispatch), the
+// README's protocol table, and the fuzz seed corpus must all agree.
+//
+// The invariant: a new command cannot ship undocumented or unfuzzed.
+// Concretely, for a package whose dispatch functions and registry are
+// annotated //deltanet:dispatch:
+//
+//   - every command string a dispatch function switches on must be in
+//     the registry (the registry may list more: commands handled outside
+//     a switch, like a bare "quit" comparison, are registry-only);
+//   - the registry must be sorted and duplicate-free;
+//   - registry and README protocol table (the markdown table whose
+//     header row contains "| Request") must list exactly the same
+//     commands — the README is found by walking up from the package
+//     directory, so fixtures carry their own;
+//   - every registry command must appear as the first token of a line
+//     in some fuzz seed: an f.Add string in a Fuzz* function of the
+//     package's _test.go files, or a testdata/fuzz corpus entry.
+//
+// Packages with no //deltanet:dispatch markers are skipped.
+package wireproto
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"deltanet/internal/analysis/dnlint"
+)
+
+// Analyzer cross-checks dispatch code, registry, README and fuzz seeds.
+var Analyzer = &dnlint.Analyzer{
+	Name: "wireproto",
+	Doc:  "check that dispatched wire commands, the command registry, the README protocol table and the fuzz seeds agree",
+	Run:  run,
+}
+
+// registryEntry is one command in the //deltanet:dispatch registry.
+type registryEntry struct {
+	name string
+	pos  token.Pos
+}
+
+func run(pass *dnlint.Pass) error {
+	var (
+		registry    []registryEntry
+		registryPos token.Pos
+		dispatchFns []*ast.FuncDecl
+	)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if _, ok := dnlint.GroupMarker(d.Doc, "dispatch"); ok {
+					dispatchFns = append(dispatchFns, d)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					_, marked := dnlint.GroupMarker(vs.Doc, "dispatch")
+					if !marked && len(d.Specs) == 1 {
+						_, marked = dnlint.GroupMarker(d.Doc, "dispatch")
+					}
+					if !marked {
+						continue
+					}
+					if registryPos != token.NoPos {
+						pass.Reportf(vs.Pos(), "duplicate //deltanet:dispatch registry (first at %s)", pass.Fset.Position(registryPos))
+						continue
+					}
+					registryPos = vs.Pos()
+					registry = registryEntries(pass, vs)
+				}
+			}
+		}
+	}
+	if registryPos == token.NoPos && len(dispatchFns) == 0 {
+		return nil // package has no annotated wire protocol
+	}
+	if registryPos == token.NoPos {
+		for _, fn := range dispatchFns {
+			pass.Reportf(fn.Pos(), "//deltanet:dispatch function %s has no //deltanet:dispatch registry variable in the package", fn.Name.Name)
+		}
+		return nil
+	}
+
+	inRegistry := make(map[string]bool, len(registry))
+	for i, e := range registry {
+		if inRegistry[e.name] {
+			pass.Reportf(e.pos, "registry lists %q twice", e.name)
+		}
+		inRegistry[e.name] = true
+		if i > 0 && registry[i-1].name > e.name {
+			pass.Reportf(e.pos, "registry is not sorted: %q belongs before %q", e.name, registry[i-1].name)
+		}
+	}
+
+	// Dispatched command strings must all be registered.
+	for _, fn := range dispatchFns {
+		for _, cmd := range dispatchedCommands(fn) {
+			if !inRegistry[cmd.name] {
+				pass.Reportf(cmd.pos, "command %q is dispatched but missing from the //deltanet:dispatch registry", cmd.name)
+			}
+		}
+	}
+
+	// Registry vs README protocol table, both directions.
+	readme, documented, err := readmeCommands(pass.Dir)
+	if err != nil {
+		pass.Reportf(registryPos, "cannot cross-check README protocol table: %v", err)
+	} else {
+		for _, e := range registry {
+			if !documented[e.name] {
+				pass.Reportf(e.pos, "registry command %q is not documented in the protocol table of %s", e.name, readme)
+			}
+		}
+		var undocumented []string
+		for cmd := range documented {
+			if !inRegistry[cmd] {
+				undocumented = append(undocumented, cmd)
+			}
+		}
+		sort.Strings(undocumented)
+		for _, cmd := range undocumented {
+			pass.Reportf(registryPos, "protocol table of %s documents %q, which is not in the registry", readme, cmd)
+		}
+	}
+
+	// Every registry command needs a fuzz seed.
+	seeds, err := seedTokens(pass)
+	if err != nil {
+		pass.Reportf(registryPos, "cannot cross-check fuzz seeds: %v", err)
+		return nil
+	}
+	for _, e := range registry {
+		if !seeds[e.name] {
+			pass.Reportf(e.pos, "registry command %q has no fuzz seed (no f.Add literal or testdata/fuzz corpus line starts with it)", e.name)
+		}
+	}
+	return nil
+}
+
+// registryEntries extracts the command strings of the registry variable,
+// which must be a single []string composite literal.
+func registryEntries(pass *dnlint.Pass, vs *ast.ValueSpec) []registryEntry {
+	if len(vs.Values) != 1 {
+		pass.Reportf(vs.Pos(), "//deltanet:dispatch registry must be a single []string composite literal")
+		return nil
+	}
+	cl, ok := vs.Values[0].(*ast.CompositeLit)
+	if !ok {
+		pass.Reportf(vs.Pos(), "//deltanet:dispatch registry must be a []string composite literal")
+		return nil
+	}
+	var entries []registryEntry
+	for _, elt := range cl.Elts {
+		lit, ok := stringLit(elt)
+		if !ok {
+			pass.Reportf(elt.Pos(), "//deltanet:dispatch registry entries must be plain string literals")
+			continue
+		}
+		entries = append(entries, registryEntry{name: lit, pos: elt.Pos()})
+	}
+	return entries
+}
+
+// dispatchedCommands collects the command strings an annotated function
+// switches on: case literals of a tag switch, and string literals
+// compared with == in a tagless switch.
+func dispatchedCommands(fn *ast.FuncDecl) []registryEntry {
+	var cmds []registryEntry
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				if sw.Tag != nil {
+					if s, ok := stringLit(e); ok {
+						cmds = append(cmds, registryEntry{name: s, pos: e.Pos()})
+					}
+					continue
+				}
+				if be, ok := e.(*ast.BinaryExpr); ok && be.Op == token.EQL {
+					if s, ok := stringLit(be.X); ok {
+						cmds = append(cmds, registryEntry{name: s, pos: be.X.Pos()})
+					}
+					if s, ok := stringLit(be.Y); ok {
+						cmds = append(cmds, registryEntry{name: s, pos: be.Y.Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return cmds
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// readmeCommands finds the nearest README.md at or above dir (not
+// looking past the module root) and returns the first-token command set
+// of its protocol table — the markdown table whose header row contains
+// "| Request".
+func readmeCommands(dir string) (string, map[string]bool, error) {
+	path := ""
+	for d := dir; ; {
+		cand := filepath.Join(d, "README.md")
+		if _, err := os.Stat(cand); err == nil {
+			path = cand
+			break
+		}
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			break // module root reached without a README
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			break
+		}
+		d = parent
+	}
+	if path == "" {
+		return "", nil, fmt.Errorf("no README.md between %s and the module root", dir)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	cmds := make(map[string]bool)
+	inTable := false
+	rows := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "|") {
+			inTable = false
+			continue
+		}
+		if strings.Contains(line, "| Request") {
+			inTable = true
+			rows++
+			continue
+		}
+		if !inTable {
+			continue
+		}
+		cell := firstCell(line)
+		if cell == "" || strings.HasPrefix(cell, "-") {
+			continue // separator row
+		}
+		cell = strings.Trim(cell, "`")
+		if fields := strings.Fields(cell); len(fields) > 0 {
+			cmds[strings.Trim(fields[0], "`")] = true
+		}
+	}
+	if rows == 0 {
+		return "", nil, fmt.Errorf("%s has no protocol table (no row containing %q)", path, "| Request")
+	}
+	return filepath.Base(path), cmds, nil
+}
+
+func firstCell(row string) string {
+	row = strings.TrimPrefix(row, "|")
+	if i := strings.Index(row, "|"); i >= 0 {
+		row = row[:i]
+	}
+	return strings.TrimSpace(row)
+}
+
+// seedTokens gathers the first token of every seed line the package's
+// fuzzers know: string/[]byte literals inside Fuzz* functions of the
+// package's _test.go files, plus `go test fuzz v1` corpus files under
+// testdata/fuzz.
+func seedTokens(pass *dnlint.Pass) (map[string]bool, error) {
+	tokens := make(map[string]bool)
+	add := func(seed string) {
+		for _, line := range strings.Split(seed, "\n") {
+			if fields := strings.Fields(line); len(fields) > 0 {
+				tokens[fields[0]] = true
+			}
+		}
+	}
+
+	testFiles, err := filepath.Glob(filepath.Join(pass.Dir, "*_test.go"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	for _, tf := range testFiles {
+		f, err := parser.ParseFile(fset, tf, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", filepath.Base(tf), err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Fuzz") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if s, ok := n.(ast.Expr); ok {
+					if lit, ok := stringLit(s); ok {
+						add(lit)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	corpus, err := filepath.Glob(filepath.Join(pass.Dir, "testdata", "fuzz", "*", "*"))
+	if err != nil {
+		return nil, err
+	}
+	for _, cf := range corpus {
+		data, err := os.ReadFile(cf)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n")[1:] {
+			// Each line is e.g. string("reach 0 1\n") or []byte("..."):
+			// unquote the inner Go literal.
+			open := strings.Index(line, `("`)
+			end := strings.LastIndex(line, `")`)
+			if open < 0 || end <= open {
+				continue
+			}
+			if s, err := strconv.Unquote(line[open+1 : end+1]); err == nil {
+				add(s)
+			}
+		}
+	}
+	return tokens, nil
+}

@@ -131,6 +131,8 @@ func ReachFrom(n *core.Network, from netgraph.NodeID, deps *bitset.Set) []*bitse
 
 // LinkSketch pairs a dep link with the coarse sketch of atom ids whose
 // label changes there could alter the query's result.
+//
+//deltanet:pointerfree
 type LinkSketch struct {
 	Link   netgraph.LinkID
 	Sketch intervalmap.Sketch

@@ -146,6 +146,103 @@ func TestSketchRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSketchExactFit: a set of exactly SketchRanges disjoint ranges is
+// at the budget boundary — SetFrom must store it verbatim, with no
+// coarsening-induced widening.
+func TestSketchExactFit(t *testing.T) {
+	var rs RangeSet
+	want := make([]Range, 0, SketchRanges)
+	for i := 0; i < SketchRanges; i++ {
+		lo := AtomID(i * 10)
+		rs.AppendRange(lo, lo+3)
+		want = append(want, Range{Lo: lo, Hi: lo + 3})
+	}
+	var sk Sketch
+	sk.SetFrom(&rs)
+	if sk.NumRanges() != SketchRanges {
+		t.Fatalf("exact-fit set coarsened: %d ranges, want %d", sk.NumRanges(), SketchRanges)
+	}
+	got := sk.Ranges()
+	for i, r := range want {
+		if got[i] != r {
+			t.Fatalf("range %d = %v, want %v (exact fit must be verbatim)", i, got[i], r)
+		}
+	}
+	// Gaps between the stored ranges must remain uncovered: no widening.
+	for i := 0; i < SketchRanges-1; i++ {
+		if sk.Contains(AtomID(i*10 + 5)) {
+			t.Fatalf("exact-fit sketch covers gap id %d", i*10+5)
+		}
+	}
+}
+
+// TestSketchOverflowCoarsens: one range past the budget forces exactly
+// one merge, and Coarsen must close the smallest gap — the two ranges
+// separated by it fuse, every other range survives untouched, and the
+// result is a superset of the input.
+func TestSketchOverflowCoarsens(t *testing.T) {
+	var rs RangeSet
+	// SketchRanges+1 ranges with gaps 100, 100, ..., except one gap of 2
+	// between ranges 3 and 4.
+	lo := AtomID(0)
+	var lows []AtomID
+	for i := 0; i <= SketchRanges; i++ {
+		rs.AppendRange(lo, lo+9)
+		lows = append(lows, lo)
+		if i == 3 {
+			lo += 9 + 2 // the smallest gap: 11 - 9 = 2
+		} else {
+			lo += 110
+		}
+	}
+	before := idsOf(&rs)
+	var sk Sketch
+	sk.SetFrom(&rs)
+	if sk.NumRanges() != SketchRanges {
+		t.Fatalf("overflow set has %d ranges, want %d", sk.NumRanges(), SketchRanges)
+	}
+	for id := range before {
+		if !sk.Contains(id) {
+			t.Fatalf("coarsening dropped %d (must be a superset)", id)
+		}
+	}
+	// The fused range spans ranges 3 and 4 — and covers their tiny gap.
+	if !sk.Contains(lows[3] + 10) {
+		t.Fatal("smallest gap not closed by the merge")
+	}
+	// The large gaps stay open: coarsening must not fuse anything else.
+	if sk.Contains(lows[0] + 50) {
+		t.Fatal("coarsening closed a large gap; should merge the smallest only")
+	}
+}
+
+// TestSketchEmpty: the empty set's sketch covers nothing and intersects
+// nothing — the zero value and the SetFrom(empty) forms must agree.
+func TestSketchEmpty(t *testing.T) {
+	var empty RangeSet
+	var sk Sketch
+	sk.SetFrom(&empty)
+	var zero Sketch
+	for name, s := range map[string]*Sketch{"SetFrom(empty)": &sk, "zero value": &zero} {
+		if s.NumRanges() != 0 {
+			t.Fatalf("%s has %d ranges, want 0", name, s.NumRanges())
+		}
+		if s.Contains(0) || s.Contains(1<<30) {
+			t.Fatalf("%s contains ids", name)
+		}
+		var probe RangeSet
+		probe.AppendRange(0, 1<<30)
+		if s.Intersects(&probe) {
+			t.Fatalf("%s intersects a full-space probe", name)
+		}
+		var back RangeSet
+		s.ToRangeSet(&back)
+		if !back.Empty() {
+			t.Fatalf("%s round-trips to a non-empty set", name)
+		}
+	}
+}
+
 func TestMapAllocSeqStamps(t *testing.T) {
 	m := New(spaceForTest())
 	seq0 := m.AllocSeq()

@@ -46,13 +46,17 @@ const indexShards = 16
 // Shard mutexes are leaves — nothing else is acquired under them — so
 // callers may hold any of the monitor's other locks.
 type depIndex struct {
-	growMu sync.Mutex   // serializes growth
+	// growMu serializes growth.
+	//
+	//deltanet:lockrank 50
+	growMu sync.Mutex
 	upTo   atomic.Int64 // links [0, upTo) have bitmaps
 
 	shards [indexShards]indexShard
 }
 
 type indexShard struct {
+	//deltanet:lockrank 60
 	mu sync.RWMutex
 	// byLink[link/indexShards] is the slot bitmap of link; the shard owns
 	// links ≡ its index (mod indexShards).
@@ -70,6 +74,8 @@ type indexShard struct {
 // Both fields are inlined pointer-free values: the sums maps are
 // invisible to the garbage collector no matter how many sketches a
 // loaded monitor retains.
+//
+//deltanet:pointerfree
 type slotSketch struct {
 	atomSeq int64
 	sk      intervalmap.Sketch

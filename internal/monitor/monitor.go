@@ -121,6 +121,8 @@ type invariant struct {
 	// mu guards st and dead. Held during every evaluation of this
 	// invariant, so Status and the dedup path in Register observe fully
 	// evaluated state.
+	//
+	//deltanet:lockrank 20
 	mu   sync.Mutex
 	dead bool
 	st   state
@@ -169,6 +171,7 @@ type Stats struct {
 const regStripes = 16
 
 type regStripe struct {
+	//deltanet:lockrank 40
 	mu   sync.RWMutex
 	invs map[ID]*invariant
 }
@@ -185,6 +188,8 @@ type Monitor struct {
 
 	// applyMu serializes evaluation passes (Apply, Flush, RecheckAll) and
 	// guards the burst state below it.
+	//
+	//deltanet:lockrank 10
 	applyMu        sync.Mutex
 	burst          BurstConfig
 	updSeq         uint64
@@ -206,6 +211,8 @@ type Monitor struct {
 	// regMu guards the structural registration state: the dedup map, the
 	// slot table, and the slot classification bitmaps. It is never held
 	// during an evaluation.
+	//
+	//deltanet:lockrank 30
 	regMu       sync.RWMutex
 	byKey       map[string]*invariant
 	slots       []*invariant // slot -> invariant; nil = free
@@ -232,6 +239,8 @@ type Monitor struct {
 
 	// eventMu guards the sequence counter, the subscriber set, and the
 	// event backlog ring (backlog.go).
+	//
+	//deltanet:lockrank 70
 	eventMu     sync.Mutex
 	seq         uint64
 	subs        map[*Subscription]struct{}
@@ -310,7 +319,11 @@ func (m *Monitor) Register(s Spec) (ID, Status) {
 		key:  k,
 		refs: 1,
 	}
-	inv.mu.Lock() // uncontended: inv is not yet published
+	// Taking inv.mu under regMu inverts the documented order, but inv is
+	// not yet published: no other goroutine can hold or wait on its mutex,
+	// so the acquisition cannot contend, let alone deadlock.
+	//deltanet:nolint lockorder inv is unpublished; the lock is uncontended by construction
+	inv.mu.Lock()
 	m.byKey[k] = inv
 	m.slots[inv.slot] = inv
 	m.regMu.Unlock()

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -114,6 +115,77 @@ func FuzzParseSpec(f *testing.F) {
 		}
 		if got := FormatSpec(s2); got != canon {
 			t.Fatalf("not a fixed point: %q -> %q -> %q", in, canon, got)
+		}
+		if strings.TrimSpace(in) == "" {
+			t.Fatalf("accepted blank input %q", in)
+		}
+	})
+}
+
+// FuzzParseSpecNamed extends FuzzParseSpec to the named grammar: against
+// a fixed name table, any accepted input must (1) canonicalize to a
+// ParseSpec fixed point exactly as in FuzzParseSpec, and (2) survive the
+// named round trip — FormatSpecNamed renders every id through the table
+// (or its decimal form when unnamed) and ParseSpecNamed must resolve
+// that rendering back to the same canonical spec. This is the server's
+// status/event echo property: an echoed named spec re-registers to the
+// same invariant.
+func FuzzParseSpecNamed(f *testing.F) {
+	byName := map[string]netgraph.NodeID{
+		"a": 0, "b": 1, "via": 2, "spine-1": 3, "edge.2": 4,
+	}
+	resolve := func(name string) (netgraph.NodeID, bool) {
+		id, ok := byName[name]
+		return id, ok
+	}
+	byID := map[netgraph.NodeID]string{}
+	for n, id := range byName {
+		byID[id] = n
+	}
+	name := func(id netgraph.NodeID) string {
+		if n, ok := byID[id]; ok {
+			return n
+		}
+		return strconv.Itoa(int(id))
+	}
+	for _, seed := range []string{
+		"reach a b",
+		"reach a 7",
+		"reach 0 2",
+		"waypoint a b via",
+		"isolated a,spine-1 b,edge.2",
+		"isolated 0,via 1",
+		"loopfree",
+		"blackholefree",
+		"blackholefree sinks=via,a",
+		"blackholefree sinks=b,b,9",
+		"reach a nosuch",
+		"reach -1 b",
+		"waypoint a via",
+		"  waypoint \t a b via ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpecNamed(in, resolve)
+		if err != nil {
+			return
+		}
+		canon := FormatSpec(s)
+		s2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", canon, in, err)
+		}
+		if got := FormatSpec(s2); got != canon {
+			t.Fatalf("not a fixed point: %q -> %q -> %q", in, canon, got)
+		}
+		named := FormatSpecNamed(s, name)
+		s3, err := ParseSpecNamed(named, resolve)
+		if err != nil {
+			t.Fatalf("named form %q (from %q) does not re-parse: %v", named, in, err)
+		}
+		if got := FormatSpec(s3); got != canon {
+			t.Fatalf("named round trip drifts: %q -> %q -> %q, want %q", in, named, got, canon)
 		}
 		if strings.TrimSpace(in) == "" {
 			t.Fatalf("accepted blank input %q", in)

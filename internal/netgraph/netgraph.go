@@ -39,7 +39,10 @@ type Link struct {
 // AddNode (the server's watch streamers render node names while another
 // connection grows the topology).
 type Graph struct {
-	nameMu    sync.RWMutex // guards names and byName only
+	// nameMu guards names and byName only.
+	//
+	//deltanet:lockrank 10
+	nameMu    sync.RWMutex
 	names     []string
 	byName    map[string]NodeID
 	links     []Link

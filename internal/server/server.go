@@ -154,8 +154,14 @@ import (
 )
 
 // Server is a verification service over one shared data plane.
+//
+// Lock order (enforced by the lockorder analyzer via the ranks below):
+// mu → connMu → flushMu → connWriter.mu.
 type Server struct {
-	mu    sync.RWMutex // write-held for mutations, read-held for queries
+	// mu is write-held for mutations, read-held for queries.
+	//
+	//deltanet:lockrank 10
+	mu    sync.RWMutex
 	graph *netgraph.Graph
 	net   *core.Network
 	delta core.Delta
@@ -166,11 +172,16 @@ type Server struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 
-	connMu sync.Mutex // guards conns
+	// connMu guards conns.
+	//
+	//deltanet:lockrank 20
+	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
 	// flushMu guards the background burst flusher's lifecycle; flushStop
 	// is non-nil while a flusher goroutine runs.
+	//
+	//deltanet:lockrank 30
 	flushMu   sync.Mutex
 	flushStop chan struct{}
 }
@@ -343,10 +354,40 @@ func (s *Server) Close() error {
 // closes.
 const maxLine = 1 << 20
 
+// connWriter is the single funnel for writes to a client connection.
+// Once a connection enters watch mode a streamer goroutine shares it
+// with the request loop; mu keeps whole lines atomic, and the returned
+// error is how a dead client is detected (the guardedwriter analyzer
+// enforces that every caller checks it and that no write bypasses this
+// type).
+//
+//deltanet:connwriter
+type connWriter struct {
+	//deltanet:lockrank 40
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func newConnWriter(conn net.Conn) *connWriter {
+	return &connWriter{w: bufio.NewWriter(conn)}
+}
+
+// writeLine writes one protocol line and flushes it. A non-nil error
+// means the client is unreachable and the connection should close.
+func (cw *connWriter) writeLine(line string) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if _, err := fmt.Fprintln(cw.w, line); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+//deltanet:dispatch
 func (s *Server) handle(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 4096), maxLine)
-	w := bufio.NewWriter(conn)
+	cw := newConnWriter(conn)
 
 	// owned counts the references this connection holds on each watched
 	// invariant (W increments, unwatch of an owned id decrements); the
@@ -354,9 +395,6 @@ func (s *Server) handle(conn net.Conn) {
 	// cannot leak registrations.
 	owned := map[monitor.ID]int{}
 
-	// Once the connection enters watch mode a streamer goroutine shares
-	// the writer with the request loop; wmu keeps whole lines atomic.
-	var wmu sync.Mutex
 	var sub *monitor.Subscription
 	var streamWG sync.WaitGroup
 	defer func() {
@@ -373,12 +411,6 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 	}()
-	writeLine := func(line string) error {
-		wmu.Lock()
-		defer wmu.Unlock()
-		fmt.Fprintln(w, line)
-		return w.Flush()
-	}
 
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -395,7 +427,7 @@ func (s *Server) handle(conn net.Conn) {
 			resp, fatal = s.readAndApplyBatch(fields, sc)
 		case fields[0] == "watch":
 			var err error
-			if resp, err = s.startWatch(fields, writeLine, &sub, &streamWG); err != nil {
+			if resp, err = s.startWatch(fields, cw, &sub, &streamWG); err != nil {
 				return // client unwritable mid-handshake
 			}
 			if resp == "" {
@@ -404,7 +436,7 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			resp = s.dispatch(line, owned)
 		}
-		if err := writeLine(resp); err != nil || fatal {
+		if err := cw.writeLine(resp); err != nil || fatal {
 			return
 		}
 	}
@@ -412,12 +444,16 @@ func (s *Server) handle(conn net.Conn) {
 	// still be writable (an over-long line, most commonly), so tell the
 	// client what happened instead of vanishing. The scanner cannot
 	// resync past the bad input, so the connection closes either way.
+	// A failed write here means the client is already gone; the close
+	// below is the only remaining remedy either way.
 	if err := sc.Err(); err != nil {
+		var werr error
 		if err == bufio.ErrTooLong {
-			writeLine(fmt.Sprintf("err line too long (max %d bytes; closing connection)", maxLine))
+			werr = cw.writeLine(fmt.Sprintf("err line too long (max %d bytes; closing connection)", maxLine))
 		} else {
-			writeLine("err read error: " + err.Error() + " (closing connection)")
+			werr = cw.writeLine("err read error: " + err.Error() + " (closing connection)")
 		}
+		_ = werr // client unreachable; connection closes regardless
 	}
 }
 
@@ -434,7 +470,7 @@ func (s *Server) handle(conn net.Conn) {
 // streamer filters events at or below the last replayed sequence
 // number: the subscription is live from before the backlog is read, so
 // the window between the two would otherwise be delivered twice.
-func (s *Server) startWatch(fields []string, writeLine func(string) error,
+func (s *Server) startWatch(fields []string, cw *connWriter,
 	subp **monitor.Subscription, streamWG *sync.WaitGroup) (resp string, err error) {
 	resume := len(fields) == 3 && fields[1] == "since"
 	var since uint64
@@ -453,7 +489,7 @@ func (s *Server) startWatch(fields []string, writeLine func(string) error,
 	sub := s.mon.Subscribe(eventBuffer)
 	*subp = sub
 	// Acknowledge before the first event can be written.
-	if err := writeLine("ok watching"); err != nil {
+	if err := cw.writeLine("ok watching"); err != nil {
 		return "", err
 	}
 	lastSeen := since
@@ -471,13 +507,13 @@ func (s *Server) startWatch(fields []string, writeLine func(string) error,
 			// lost range and re-anchor with a fresh snapshot rather than
 			// replay a stream with a hole in it (any retained events are
 			// already folded into the snapshot).
-			if err := writeLine(fmt.Sprintf("gap %d:%d", rep.LostFrom, rep.LostTo)); err != nil {
+			if err := cw.writeLine(fmt.Sprintf("gap %d:%d", rep.LostFrom, rep.LostTo)); err != nil {
 				return "", err
 			}
 			snapshot = true
 		} else {
 			for _, ev := range rep.Events {
-				if err := writeLine(s.formatEvent(ev)); err != nil {
+				if err := cw.writeLine(s.formatEvent(ev)); err != nil {
 					return "", err
 				}
 			}
@@ -488,7 +524,7 @@ func (s *Server) startWatch(fields []string, writeLine func(string) error,
 		// subscription shows up as an event, a status line, or both —
 		// never as silence — so the client's view starts authoritative.
 		for _, info := range s.mon.Invariants() {
-			if err := writeLine(fmt.Sprintf("status %d %s %s -- %s",
+			if err := cw.writeLine(fmt.Sprintf("status %d %s %s -- %s",
 				info.ID, info.Status, s.formatSpec(info.Spec), info.Detail)); err != nil {
 				return "", err
 			}
@@ -501,7 +537,7 @@ func (s *Server) startWatch(fields []string, writeLine func(string) error,
 			if ev.Seq <= after {
 				continue // already delivered by the catch-up replay
 			}
-			if writeLine(s.formatEvent(ev)) != nil {
+			if cw.writeLine(s.formatEvent(ev)) != nil {
 				return
 			}
 		}
@@ -655,10 +691,24 @@ func (s *Server) parseUpdate(fields []string) (core.BatchOp, string) {
 	}
 }
 
+// protocolCommands is the authoritative list of wire commands, sorted.
+// The wireproto analyzer cross-checks it against the dispatch code
+// below, the README protocol table, and the fuzz seed corpus, so a
+// command cannot be added to one without the others.
+//
+//deltanet:dispatch
+var protocolCommands = []string{
+	"B", "I", "R", "W",
+	"burst", "events", "flush", "link", "node", "quit",
+	"reach", "stats", "unwatch", "watch", "whatif",
+}
+
 // dispatch executes one request under the engine lock: read-only requests
 // (including monitor registration and burst flushing, which only read the
 // data plane) share the read lock, mutations take the write lock. owned
 // is the calling connection's registration refcounts (see handle).
+//
+//deltanet:dispatch
 func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
