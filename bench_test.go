@@ -532,11 +532,14 @@ func monitorChurnNodes(numInv int) int {
 
 // BenchmarkMonitorChurn is the incremental-monitor headline: per-update
 // cost of keeping 10²..10⁵ standing reachability invariants current under
-// churn. Five arms:
+// churn. Six arms:
 //
 //   - sharded: the dependency index at its default atom granularity —
 //     dirty marking intersects each changed link's per-invariant
 //     atom-range sketches with the delta's touched atoms;
+//   - sharded-instrumented: sharded with a trace sink installed, pricing
+//     the per-update pipeline tracing (stage timestamps are only taken
+//     when a sink is set);
 //   - link-granular: the same index ignoring the sketches (SetLinkGranular)
 //     — any delta on a dep link re-evaluates, the pre-atom baseline;
 //   - flat-scan: the pre-sharding baseline, an O(registered) scan calling
@@ -576,6 +579,12 @@ func BenchmarkMonitorChurn(b *testing.B) {
 			})
 		}
 		run("sharded", func(m *monitor.Monitor) {})
+		// sharded plus an installed (trivial) trace sink: the monitor
+		// takes stage timestamps only when a sink is set, so this arm
+		// prices the observability layer against plain sharded.
+		run("sharded-instrumented", func(m *monitor.Monitor) {
+			m.SetTraceSink(func(monitor.ApplyTrace) {})
+		})
 		run("link-granular", func(m *monitor.Monitor) { m.SetLinkGranular(true) })
 		run("flat-scan", func(m *monitor.Monitor) { m.SetFlatScan(true) })
 		run("burst-16", func(m *monitor.Monitor) { m.SetBurst(monitor.BurstConfig{MaxDeltas: 16}) })

@@ -9,7 +9,9 @@
 // scale to approach the paper's sizes given enough time and memory. The
 // batch experiment replays every dataset through the atomic batch update
 // pipeline at batch size 1 and at -batch n, reporting the throughput win
-// of merging per-atom work and checking once per batch.
+// of merging per-atom work and checking once per batch, plus the
+// per-flush update+check latency percentiles (p50/p99) for both arms —
+// the tail latency batching trades against.
 package main
 
 import (
@@ -200,10 +202,15 @@ func batch(scale float64, size int) error {
 			fmt.Sprintf("%.0f", seq.Throughput),
 			fmt.Sprintf("%.0f", bat.Throughput),
 			fmt.Sprintf("%.2fx", speedup),
+			stats.FormatMicros(seq.P50),
+			stats.FormatMicros(seq.P99),
+			stats.FormatMicros(bat.P50),
+			stats.FormatMicros(bat.P99),
 		})
 	}
 	fmt.Print(experiments.FormatTable(
-		[]string{"Data set", "Ops", "batch-1 ops/s", fmt.Sprintf("batch-%d ops/s", size), "Speedup"}, cells))
+		[]string{"Data set", "Ops", "batch-1 ops/s", fmt.Sprintf("batch-%d ops/s", size), "Speedup",
+			"b1 p50", "b1 p99", fmt.Sprintf("b%d p50", size), fmt.Sprintf("b%d p99", size)}, cells))
 	return nil
 }
 

@@ -10,6 +10,7 @@
 //	dnquery [-scale f] [-trace file] <dataset> loops
 //	dnquery [-scale f] [-trace file] <dataset> allpairs
 //	dnquery watch <addr> [<spec> ...]
+//	dnquery metrics <url|host:port>
 //
 // Node arguments are node names from the topology (e.g. "s1", "delhi").
 // With -trace, the dataset argument is ignored and the trace file is used.
@@ -28,13 +29,22 @@
 // bounced around a -state save/restore — costs no missed transitions as
 // long as the server's event backlog still covers the gap (and an
 // explicit gap line plus a fresh snapshot when it does not).
+//
+// The metrics subcommand fetches a dnserve admin endpoint's /metrics
+// page (a bare host:port is expanded to http://host:port/metrics),
+// strictly validates the Prometheus text exposition, and prints a
+// per-family summary — the same validator the CI smoke test uses, so
+// "dnquery metrics" passing means a scraper will parse the page.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -45,6 +55,7 @@ import (
 	"deltanet/internal/experiments"
 	"deltanet/internal/intervalmap"
 	"deltanet/internal/ipnet"
+	"deltanet/internal/metrics"
 	"deltanet/internal/netgraph"
 	"deltanet/internal/trace"
 )
@@ -56,6 +67,10 @@ func main() {
 	args := flag.Args()
 	if len(args) >= 2 && args[0] == "watch" {
 		watch(args[1], args[2:])
+		return
+	}
+	if len(args) == 2 && args[0] == "metrics" {
+		scrapeMetrics(args[1])
 		return
 	}
 	if len(args) < 2 {
@@ -271,6 +286,46 @@ func watchSession(addr string, specs []string, resume bool, lastSeq *uint64) (st
 	return streamed, fmt.Errorf("connection closed by server")
 }
 
+// scrapeMetrics fetches target's Prometheus exposition, validates it
+// strictly, and prints a per-family summary. A target without a scheme
+// is treated as host:port and expanded to http://host:port/metrics.
+func scrapeMetrics(target string) {
+	url := target
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.Contains(strings.TrimPrefix(url, "http://"), "/") {
+		url += "/metrics"
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		die(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		die(fmt.Errorf("GET %s: %s", url, resp.Status))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		die(err)
+	}
+	if err := metrics.ValidateExposition(bytes.NewReader(body)); err != nil {
+		die(fmt.Errorf("invalid exposition from %s: %v", url, err))
+	}
+	families, samples := 0, 0
+	for _, line := range strings.Split(string(body), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "):
+			families++
+		case line == "" || strings.HasPrefix(line, "#"):
+		default:
+			samples++
+		}
+	}
+	fmt.Printf("ok: %s valid exposition, %d families, %d samples\n", url, families, samples)
+}
+
 // eventSeq extracts the seq=<n> cursor from an event line.
 func eventSeq(line string) (uint64, bool) {
 	if !strings.HasPrefix(line, "event ") {
@@ -299,7 +354,8 @@ func usage() {
   dnquery [-scale f] [-trace file] <dataset> whatif <nodeA> <nodeB>
   dnquery [-scale f] [-trace file] <dataset> loops
   dnquery [-scale f] [-trace file] <dataset> allpairs
-  dnquery watch <addr> [<spec> ...]`)
+  dnquery watch <addr> [<spec> ...]
+  dnquery metrics <url|host:port>`)
 	os.Exit(2)
 }
 

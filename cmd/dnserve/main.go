@@ -6,7 +6,8 @@
 //
 //	dnserve [-addr host:port] [-gc] [-trace file] [-batch n]
 //	        [-burst-deltas n] [-burst-age d] [-state file]
-//	        [-checkpoint <interval|Nu>]
+//	        [-checkpoint <interval|Nu>] [-admin host:port]
+//	        [-slow-update d]
 //
 // With -trace, the topology and insertions of the trace are preloaded
 // before serving; -batch n applies the preload as atomic batches of n
@@ -34,12 +35,20 @@
 // through the same atomic temp-file-and-rename path as the shutdown
 // save, so a crash mid-checkpoint never corrupts the previous good
 // state.
+//
+// -admin serves the observability endpoint on a second address:
+// /metrics (Prometheus text exposition), /healthz, /statusz, and
+// net/http/pprof under /debug/pprof/. -slow-update logs any update
+// whose traced pipeline stages sum past the given duration to stderr
+// (see the protocol's trace command for the on-demand ring). See the
+// README's Observability section.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -49,6 +58,7 @@ import (
 	"time"
 
 	"deltanet/internal/core"
+	"deltanet/internal/metrics"
 	"deltanet/internal/monitor"
 	"deltanet/internal/netgraph"
 	"deltanet/internal/server"
@@ -64,6 +74,8 @@ func main() {
 	burstAge := flag.Duration("burst-age", 0, "flush a pending monitor burst at this age (>0 enables)")
 	stateFile := flag.String("state", "", "durable state file: loaded before serving if it exists, saved on shutdown")
 	checkpoint := flag.String("checkpoint", "", "background state saves while serving: a duration (e.g. 30s) or an update count (e.g. 1000u); requires -state")
+	adminAddr := flag.String("admin", "", "serve /metrics, /healthz, /statusz, and /debug/pprof on this address")
+	slowUpdate := flag.Duration("slow-update", 0, "log updates whose traced pipeline stages exceed this duration (0 disables)")
 	flag.Parse()
 	if *batch < 1 {
 		fatal(fmt.Errorf("-batch must be >= 1, got %d", *batch))
@@ -155,6 +167,29 @@ func main() {
 			tr.Name, s.Network().NumRules(), s.Network().NumAtoms())
 	}
 
+	if *slowUpdate > 0 {
+		s.SetSlowUpdate(*slowUpdate, os.Stderr)
+	}
+	// The admin endpoint gets its own listener so operational traffic
+	// (scrapes, pprof) never competes with the protocol port. Metrics are
+	// registered before Serve so the first scrape sees the full surface.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		reg := metrics.NewRegistry()
+		s.EnableMetrics(reg)
+		al, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatal(err)
+		}
+		adminSrv = &http.Server{Handler: s.AdminHandler(reg)}
+		go func() {
+			if err := adminSrv.Serve(al); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "dnserve: admin endpoint: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "dnserve admin endpoint on http://%s/\n", al.Addr())
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -193,6 +228,9 @@ func main() {
 	}
 	close(ckptStop)
 	ckptWG.Wait()
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
 	if *stateFile != "" {
 		var specs []string
 		select {

@@ -10,6 +10,7 @@
 package check
 
 import (
+	"deltanet/internal/bitset"
 	"deltanet/internal/core"
 	"deltanet/internal/intervalmap"
 	"deltanet/internal/netgraph"
@@ -80,6 +81,26 @@ func traceLoop(n *core.Network, start netgraph.NodeID, atom intervalmap.AtomID) 
 // total cost is O(atoms × nodes). At most one loop is reported per atom
 // per distinct cycle entry.
 func FindLoopsAll(n *core.Network) []Loop {
+	return findLoops(n, nil)
+}
+
+// FindLoopsAtoms is FindLoopsAll restricted to a candidate atom set: it
+// returns every forwarding loop whose atom is in atoms, walking nothing
+// else. It is the engine of the monitor's batch-aware LoopFree clearing:
+// from a violated state, a loop can only persist on a previously looping
+// atom or newly arise on an atom the delta added labels for (§4.3.1
+// lifted to atom granularity), so re-walking that candidate set is a
+// complete re-check while scanning a fraction of the atom space.
+func FindLoopsAtoms(n *core.Network, atoms *bitset.Set) []Loop {
+	if atoms == nil {
+		return findLoops(n, nil)
+	}
+	return findLoops(n, atoms.Contains)
+}
+
+// findLoops runs the memoized per-atom functional-graph loop scan over
+// every atom for which include returns true (nil = all atoms).
+func findLoops(n *core.Network, include func(int) bool) []Loop {
 	g := n.Graph()
 	var loops []Loop
 	const (
@@ -90,6 +111,9 @@ func FindLoopsAll(n *core.Network) []Loop {
 	verdict := make([]uint8, g.NumNodes())
 	var starts []netgraph.NodeID
 	for atom := 0; atom < n.MaxAtomID(); atom++ {
+		if include != nil && !include(atom) {
+			continue
+		}
 		a := intervalmap.AtomID(atom)
 		// Start points: sources of links carrying the atom.
 		starts = starts[:0]

@@ -342,14 +342,20 @@ type BatchRow struct {
 	Ops        int
 	Atoms      int
 	TotalTime  time.Duration
-	Throughput float64 // ops per second
+	Throughput float64          // ops per second
+	P50        time.Duration    // median per-flush update+check latency
+	P99        time.Duration    // 99th-percentile per-flush latency
+	Latencies  *stats.Latencies // per-flush samples (one per applied batch)
 }
 
 // RunBatch replays a dataset through Network.ApplyBatch in atomic batches
 // of the given size (1 = one rule per batch), running the incremental
 // loop check once per batch. It measures the combined update+check time,
 // the batched counterpart of Table 3's protocol; comparing rows at sizes
-// 1 and N exposes the batching win.
+// 1 and N exposes the batching win. Each flush is also timed
+// individually, so the row carries the per-update latency distribution
+// (p50/p99) alongside throughput — the tail is what batching trades
+// against.
 func RunBatch(name string, scale float64, batchSize int) (BatchRow, error) {
 	if batchSize < 1 {
 		return BatchRow{}, fmt.Errorf("batch size must be >= 1, got %d", batchSize)
@@ -361,15 +367,18 @@ func RunBatch(name string, scale float64, batchSize int) (BatchRow, error) {
 	n := core.NewNetwork(tr.Graph.Clone(), core.Options{})
 	var d core.Delta
 	ops := make([]core.BatchOp, 0, batchSize)
+	lat := stats.NewLatencies(len(tr.Ops)/batchSize + 1)
 	start := time.Now()
 	flush := func() error {
 		if len(ops) == 0 {
 			return nil
 		}
+		t0 := time.Now()
 		if err := n.ApplyBatch(ops, &d, 0); err != nil {
 			return err
 		}
 		check.FindLoopsDeltaAuto(n, &d, 0)
+		lat.Add(time.Since(t0))
 		ops = ops[:0]
 		return nil
 	}
@@ -391,6 +400,9 @@ func RunBatch(name string, scale float64, batchSize int) (BatchRow, error) {
 		Ops:       len(tr.Ops),
 		Atoms:     n.NumAtoms(),
 		TotalTime: total,
+		P50:       lat.Median(),
+		P99:       lat.Percentile(99),
+		Latencies: lat,
 	}
 	if total > 0 {
 		row.Throughput = float64(len(tr.Ops)) / total.Seconds()

@@ -1,0 +1,265 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses r as Prometheus text exposition format and
+// returns the first structural error, or nil. It is intentionally
+// strict about the things a scraper would choke on: malformed names and
+// labels, unparseable values, TYPE lines after samples of the same
+// family, duplicate TYPE lines, histogram series without an `le` label,
+// and non-cumulative `_bucket` sequences within a series. It is the
+// check behind `dnquery metrics` and the CI admin-endpoint smoke.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := map[string]string{}    // family → declared TYPE
+	sampled := map[string]bool{}    // family → has emitted samples
+	lastCum := map[string]float64{} // histogram series (less le) → last cumulative bucket value
+	families := 0
+	samples := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if kind == "TYPE" {
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
+				}
+				types[name] = rest
+				families++
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		samples++
+		fam := familyOf(name, types)
+		sampled[fam] = true
+		if types[fam] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket %s missing le label", lineNo, name)
+			}
+			if le != "+Inf" {
+				if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("line %d: bad le value %q", lineNo, le)
+				}
+			}
+			key := seriesKeyLessLE(name, labels)
+			if prev, seen := lastCum[key]; seen && value < prev {
+				return fmt.Errorf("line %d: %s not cumulative: %g after %g", lineNo, key, value, prev)
+			}
+			lastCum[key] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if families == 0 || samples == 0 {
+		return fmt.Errorf("no metric families parsed (%d families, %d samples)", families, samples)
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its declared family, peeling histogram
+// and summary suffixes.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, found := strings.CutSuffix(name, suf); found {
+			if _, ok := types[base]; ok {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseComment parses "# HELP name text" / "# TYPE name type" lines.
+// Other comments are allowed and returned with kind "".
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimLeft(body, " ")
+	switch {
+	case strings.HasPrefix(body, "HELP "):
+		fields := strings.SplitN(body[len("HELP "):], " ", 2)
+		if !validName(fields[0]) {
+			return "", "", "", fmt.Errorf("HELP with invalid metric name %q", fields[0])
+		}
+		if len(fields) == 2 {
+			rest = fields[1]
+		}
+		return "HELP", fields[0], rest, nil
+	case strings.HasPrefix(body, "TYPE "):
+		fields := strings.Fields(body[len("TYPE "):])
+		if len(fields) != 2 {
+			return "", "", "", fmt.Errorf("malformed TYPE line %q", line)
+		}
+		if !validName(fields[0]) {
+			return "", "", "", fmt.Errorf("TYPE with invalid metric name %q", fields[0])
+		}
+		return "TYPE", fields[0], fields[1], nil
+	default:
+		return "", "", "", nil
+	}
+}
+
+// parseSample parses one sample line: name{labels} value [timestamp].
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name = line[:i]
+	if !validName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels = map[string]string{}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		// Find the closing brace outside quoted label values.
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value [timestamp] after %q", name)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses `k1="v1",k2="v2"` into out.
+func parseLabels(s string, out map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair missing '=' in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validName(key) || strings.Contains(key, ":") {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return fmt.Errorf("label value for %q not quoted", key)
+		}
+		val := strings.Builder{}
+		j := 1
+		for ; j < len(s); j++ {
+			if s[j] == '\\' {
+				j++
+				if j >= len(s) {
+					return fmt.Errorf("dangling escape in label value for %q", key)
+				}
+				switch s[j] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("bad escape \\%c in label value for %q", s[j], key)
+				}
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			val.WriteByte(s[j])
+		}
+		if j >= len(s) {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		if _, dup := out[key]; dup {
+			return fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = val.String()
+		s = s[j+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return nil
+}
+
+// seriesKeyLessLE identifies a histogram bucket series ignoring the le
+// label, for cumulativity checking.
+func seriesKeyLessLE(name string, labels map[string]string) string {
+	b := strings.Builder{}
+	b.WriteString(name)
+	// Deterministic small-map walk: at most a couple of labels.
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	// Insertion sort; tiny n.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		b.WriteString("{")
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(labels[k])
+		b.WriteString("}")
+	}
+	return b.String()
+}

@@ -108,8 +108,11 @@ func (m *Monitor) flushLocked() []Event {
 		// window; a LoopFree invariant re-derives loops from the coalesced
 		// delta (loopsKnown=false), which is complete by the §4.3.1
 		// argument applied to the merged delta, as in the batch pipeline.
-		cands := m.collectDirty(m.pendingChanged, &m.pending)
-		events = m.evaluatePass(cands, &applyCtx{d: &m.pending}, first, last)
+		tr := m.beginTraceLocked(first, last, m.pendingCount, &m.pending, m.pendingChanged)
+		cands, rangeSkipped := m.collectDirty(m.pendingChanged, &m.pending)
+		m.traceDirtyLocked(tr, len(cands), rangeSkipped)
+		events = m.evaluatePass(cands, &applyCtx{d: &m.pending, rescans: &m.loopRescans}, first, last, tr)
+		m.finishTraceLocked(tr)
 	}
 	m.resetPendingLocked()
 	return events

@@ -156,6 +156,12 @@ type Stats struct {
 	Bursts    uint64
 	Coalesced uint64
 	Pending   int
+	// LoopRescanAtoms counts atoms re-walked by LoopFree's batch-aware
+	// clearing path: while violated, only previously looping atoms (plus
+	// the delta's added-label atoms and any atoms born since) are
+	// re-scanned instead of every atom in the network. Comparing this
+	// against Updates × NumAtoms shows the saved work.
+	LoopRescanAtoms uint64
 	// IndexShardBits is the dependency index's per-shard bit population:
 	// for each of the index's link shards, the total number of
 	// (link, invariant-slot) dependency bits it holds. A shard whose
@@ -250,6 +256,15 @@ type Monitor struct {
 	backlogLen  int
 
 	evals, skips, rangeSkips, events, bursts, coalesced atomic.Uint64
+
+	// loopRescans counts atoms re-walked by LoopFree's violated-state
+	// candidate re-scan (spec.go) — the work the batch-aware clearing
+	// path actually did, to compare against the full-scan alternative.
+	loopRescans atomic.Uint64
+
+	// traceSink, when non-nil, receives an ApplyTrace after each
+	// delta-driven evaluation pass (trace.go). Guarded by applyMu.
+	traceSink func(ApplyTrace)
 }
 
 // New returns a monitor over the network. workers bounds the evaluation
@@ -482,16 +497,17 @@ func (m *Monitor) Stats() Stats {
 	upd, pending := m.updSeq, m.pendingCount
 	m.applyMu.Unlock()
 	return Stats{
-		Registered:     m.NumRegistered(),
-		Updates:        upd,
-		Evaluations:    m.evals.Load(),
-		Skips:          m.skips.Load(),
-		RangeSkips:     m.rangeSkips.Load(),
-		Events:         m.events.Load(),
-		Bursts:         m.bursts.Load(),
-		Coalesced:      m.coalesced.Load(),
-		Pending:        pending,
-		IndexShardBits: m.index.shardPops(),
+		Registered:      m.NumRegistered(),
+		Updates:         upd,
+		Evaluations:     m.evals.Load(),
+		Skips:           m.skips.Load(),
+		RangeSkips:      m.rangeSkips.Load(),
+		Events:          m.events.Load(),
+		Bursts:          m.bursts.Load(),
+		Coalesced:       m.coalesced.Load(),
+		Pending:         pending,
+		LoopRescanAtoms: m.loopRescans.Load(),
+		IndexShardBits:  m.index.shardPops(),
 	}
 }
 
@@ -540,7 +556,54 @@ func (m *Monitor) ApplyWithLoops(d *core.Delta, loops []check.Loop, loopsKnown b
 	}
 	m.scratchChanged.Clear()
 	changed := changedLinks(d, m.scratchChanged)
-	return m.evaluatePass(m.collectDirty(changed, d), &applyCtx{d: d, loops: loops, loopsKnown: loopsKnown}, m.updSeq, m.updSeq)
+	tr := m.beginTraceLocked(m.updSeq, m.updSeq, 1, d, changed)
+	cands, rangeSkipped := m.collectDirty(changed, d)
+	m.traceDirtyLocked(tr, len(cands), rangeSkipped)
+	events := m.evaluatePass(cands, &applyCtx{d: d, loops: loops, loopsKnown: loopsKnown, rescans: &m.loopRescans}, m.updSeq, m.updSeq, tr)
+	m.finishTraceLocked(tr)
+	return events
+}
+
+// beginTraceLocked starts an ApplyTrace for a delta-driven pass, or
+// returns nil when no sink is installed (the pass then takes no
+// timestamps at all). Caller holds applyMu.
+func (m *Monitor) beginTraceLocked(first, last uint64, coalesced int, d *core.Delta, changed *bitset.Set) *ApplyTrace {
+	if m.traceSink == nil {
+		return nil
+	}
+	tr := &ApplyTrace{
+		FirstUpdate: first,
+		LastUpdate:  last,
+		Coalesced:   coalesced,
+		Links:       changed.Len(),
+		Added:       len(d.Added),
+		Removed:     len(d.Removed),
+	}
+	tr.DirtyNs = time.Now().UnixNano()
+	return tr
+}
+
+// traceDirtyLocked closes the dirty-marking stage: the stashed start
+// timestamp in DirtyNs becomes the stage duration, and the eval stage
+// clock starts. Caller holds applyMu.
+func (m *Monitor) traceDirtyLocked(tr *ApplyTrace, dirtied, rangeSkipped int) {
+	if tr == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	tr.DirtyNs = now - tr.DirtyNs
+	tr.Dirtied = dirtied
+	tr.RangeSkipped = rangeSkipped
+	tr.EvalNs = now
+}
+
+// finishTraceLocked hands the completed trace to the sink. Caller holds
+// applyMu.
+func (m *Monitor) finishTraceLocked(tr *ApplyTrace) {
+	if tr == nil {
+		return
+	}
+	m.traceSink(*tr)
 }
 
 // changedLinks accumulates into dst (allocating if nil) the set of links
@@ -559,11 +622,12 @@ func changedLinks(d *core.Delta, dst *bitset.Set) *bitset.Set {
 }
 
 // collectDirty returns the invariants an update with the given changed
-// links must re-evaluate, sorted by id (= registration order). Caller
-// holds applyMu.
-func (m *Monitor) collectDirty(changed *bitset.Set, d *core.Delta) []*invariant {
+// links must re-evaluate, sorted by id (= registration order), plus the
+// number of invariants the atom-range refinement spared on this pass.
+// Caller holds applyMu.
+func (m *Monitor) collectDirty(changed *bitset.Set, d *core.Delta) ([]*invariant, int) {
 	if m.flatScan.Load() {
-		return m.collectDirtyFlat(changed, d)
+		return m.collectDirtyFlat(changed, d), 0
 	}
 	numLinks := m.net.Graph().NumLinks()
 	if int(m.index.upTo.Load()) < numLinks {
@@ -577,6 +641,7 @@ func (m *Monitor) collectDirty(changed *bitset.Set, d *core.Delta) []*invariant 
 	// already slot-capacity words, so the first union sizes it.
 	m.scratchDirty.Clear()
 	dirty := m.scratchDirty
+	rangeSkipped := 0
 	if m.linkGranular.Load() || d == nil {
 		m.index.collect(changed, dirty)
 	} else {
@@ -590,6 +655,7 @@ func (m *Monitor) collectDirty(changed *bitset.Set, d *core.Delta) []*invariant 
 		m.index.collectGranular(changed, &m.scratchRanges, dirty, m.scratchCand)
 		if skipped := m.scratchCand.Len() - dirty.Len(); skipped > 0 {
 			m.rangeSkips.Add(uint64(skipped))
+			rangeSkipped = skipped
 		}
 	}
 
@@ -619,7 +685,7 @@ func (m *Monitor) collectDirty(changed *bitset.Set, d *core.Delta) []*invariant 
 		inv.mu.Unlock()
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
-	return cands
+	return cands, rangeSkipped
 }
 
 // collectDirtyFlat is the pre-sharding baseline: every registered
@@ -651,7 +717,7 @@ func (m *Monitor) RecheckAll() []Event {
 		m.bursts.Add(1)
 		m.resetPendingLocked()
 	}
-	return m.evaluatePass(m.sortedByID(), nil, first, m.updSeq)
+	return m.evaluatePass(m.sortedByID(), nil, first, m.updSeq, nil)
 }
 
 // evalOutcome is one invariant's result within an evaluation pass; the
@@ -664,13 +730,21 @@ type evalOutcome struct {
 
 // evaluatePass re-evaluates cands (sorted by id) over per-worker queues,
 // re-indexes their dependency sets, and emits verdict transitions stamped
-// with the update range [updFirst, updLast]. Caller holds applyMu.
-func (m *Monitor) evaluatePass(cands []*invariant, ctx *applyCtx, updFirst, updLast uint64) []Event {
+// with the update range [updFirst, updLast]. tr, when non-nil, receives
+// the pass's skip/eval/event counts and the eval/publish stage times.
+// Caller holds applyMu.
+func (m *Monitor) evaluatePass(cands []*invariant, ctx *applyCtx, updFirst, updLast uint64, tr *ApplyTrace) []Event {
 	live := int(m.regd.Load())
 	if len(cands) < live {
 		m.skips.Add(uint64(live - len(cands)))
+		if tr != nil {
+			tr.Skipped = live - len(cands)
+		}
 	}
 	if len(cands) == 0 {
+		if tr != nil {
+			tr.EvalNs = 0
+		}
 		return nil
 	}
 	numLinks := m.net.Graph().NumLinks()
@@ -706,6 +780,12 @@ func (m *Monitor) evaluatePass(cands []*invariant, ctx *applyCtx, updFirst, updL
 	if ctx != nil {
 		m.evals.Add(evaluated.Load())
 	}
+	if tr != nil {
+		now := time.Now().UnixNano()
+		tr.EvalNs = now - tr.EvalNs
+		tr.Evaluated = int(evaluated.Load())
+		tr.PublishNs = now
+	}
 
 	var events []Event
 	m.eventMu.Lock()
@@ -731,6 +811,10 @@ func (m *Monitor) evaluatePass(cands []*invariant, ctx *applyCtx, updFirst, updL
 	}
 	m.publishLocked(events)
 	m.eventMu.Unlock()
+	if tr != nil {
+		tr.PublishNs = time.Now().UnixNano() - tr.PublishNs
+		tr.Events = len(events)
+	}
 	return events
 }
 

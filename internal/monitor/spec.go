@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"deltanet/internal/bitset"
 	"deltanet/internal/check"
 	"deltanet/internal/core"
+	"deltanet/internal/intervalmap"
 	"deltanet/internal/netgraph"
 )
 
@@ -50,6 +52,11 @@ type applyCtx struct {
 	d          *core.Delta
 	loops      []check.Loop
 	loopsKnown bool // loops is authoritative for d (it may be empty)
+
+	// rescans, when non-nil, accumulates the atoms re-walked by
+	// LoopFree's violated-state candidate re-scan (the monitor's
+	// loopRescans counter, exported as Stats.LoopRescanAtoms).
+	rescans *atomic.Uint64
 }
 
 // verdict is one evaluation's outcome.
@@ -93,6 +100,15 @@ type state struct {
 	// bhNodes caches BlackHoleFree's currently violating nodes so a delta
 	// only re-examines nodes incident to changed links plus these.
 	bhNodes *bitset.Set
+
+	// loopAtoms caches LoopFree's looping atoms while violated, and
+	// loopAtomSeq the atom allocation stamp when they were recorded. A
+	// violated-state re-evaluation walks only these atoms, the delta's
+	// added-label atoms, and atoms born since the stamp — the batch-aware
+	// clearing path — instead of the whole atom space. nil while the
+	// invariant holds (or before its first violated evaluation).
+	loopAtoms   *bitset.Set
+	loopAtomSeq int64
 }
 
 // depsHit is the shared dirtiness test for dependency-tracked invariants.
@@ -226,8 +242,18 @@ func (LoopFree) dirty(st *state, d *core.Delta, _ *bitset.Set) bool {
 // (link, atom) label — the §4.3.1 argument, applied to the merged delta —
 // so walking forward from the delta's additions is a complete check (and
 // when the caller already ran it, its result is reused rather than
-// recomputed). From a violated state removals may have broken the loop
-// elsewhere, so the full scan runs.
+// recomputed).
+//
+// From a violated state the full scan used to run on every update; now
+// the candidate-set trick mirrors BlackHoleFree: a loop after the delta
+// either survived from the previous evaluation (its atom is in the
+// recorded loopAtoms), was newly closed by an added label (its atom is
+// touched by d.Added), or lives on an atom id that did not exist when
+// loopAtoms was recorded (split-minted or GC-recycled — caught by the
+// allocation stamp, the same anchor the dependency sketches use). Only
+// that candidate set is re-walked. Evaluations with no delta context
+// (registration, RecheckAll, restored state) still run the full scan,
+// which also (re)establishes the base case of the induction.
 func (LoopFree) eval(n *core.Network, ctx *applyCtx, st *state) verdict {
 	st.deps = nil // dirtiness is decided structurally, not by link set
 	st.ranges = nil
@@ -237,17 +263,51 @@ func (LoopFree) eval(n *core.Network, ctx *applyCtx, st *state) verdict {
 		loops = ctx.loops
 	case ctx != nil && st.status == Holds:
 		loops = check.FindLoopsDeltaAuto(n, ctx.d, 0)
+	case ctx != nil && ctx.d != nil && st.status == Violated && st.loopAtoms != nil:
+		cand := loopFreeCandidates(n, ctx.d, st)
+		if ctx.rescans != nil {
+			ctx.rescans.Add(uint64(cand.Len()))
+		}
+		loops = check.FindLoopsAtoms(n, cand)
 	default:
 		loops = check.FindLoopsAll(n)
 	}
 	if len(loops) > 0 {
+		if st.loopAtoms == nil {
+			st.loopAtoms = bitset.New(n.MaxAtomID())
+		} else {
+			st.loopAtoms.Clear()
+		}
+		for _, l := range loops {
+			st.loopAtoms.Add(int(l.Atom))
+		}
+		st.loopAtomSeq = n.AtomAllocSeq()
 		iv, _ := n.AtomInterval(loops[0].Atom)
 		return verdict{
 			violated: true,
 			detail:   fmt.Sprintf("%d looping atom(s), e.g. %v through %d node(s)", len(loops), iv, len(loops[0].Nodes)-1),
 		}
 	}
+	st.loopAtoms = nil
 	return verdict{detail: "no forwarding loops"}
+}
+
+// loopFreeCandidates builds the violated-state re-scan set: previously
+// looping atoms, atoms with added labels in the delta, and atoms born
+// after the recorded allocation stamp.
+func loopFreeCandidates(n *core.Network, d *core.Delta, st *state) *bitset.Set {
+	cand := st.loopAtoms.Clone()
+	for _, la := range d.Added {
+		cand.Add(int(la.Atom))
+	}
+	if n.AtomAllocSeq() > st.loopAtomSeq {
+		for id := 0; id < n.MaxAtomID(); id++ {
+			if n.AtomBornSeq(intervalmap.AtomID(id)) > st.loopAtomSeq {
+				cand.Add(id)
+			}
+		}
+	}
+	return cand
 }
 
 // BlackHoleFree asserts that no node silently discards traffic it

@@ -32,6 +32,8 @@ func FuzzDispatch(f *testing.F) {
 		"watch since\nwatch since x\nwatch since 5 extra\nwatch since 2\nwatch\n",
 		"W blackholefree sinks=0,1\nW blackholefree sinks=1,0\nunwatch 0\n",
 		"W reach 0 1\nunwatch 0\nunwatch 0\nquit\n",
+		"trace on\nI 1 0 0 0 100 1\ntrace last 5\ntrace off\ntrace last 1\n",
+		"trace\ntrace bogus\ntrace last\ntrace last x\ntrace last -1\ntrace on extra\n",
 		"\n\n  \n",
 		"node\nlink\nI\nR\nreach\nwhatif\nstats extra\nW\nunwatch\n",
 		"quit\nI 1 0 0 0 100 1\n",

@@ -144,6 +144,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"deltanet/internal/check"
@@ -184,19 +185,45 @@ type Server struct {
 	//deltanet:lockrank 30
 	flushMu   sync.Mutex
 	flushStop chan struct{}
+
+	// staged carries the in-flight mutation's server-side stage timings
+	// for the monitor trace sink (pipeline.go). Guarded by mu: written
+	// only under the write lock and cleared before it is released.
+	staged stageInfo
+
+	// tr is the per-update pipeline trace ring behind the `trace`
+	// command (pipeline.go); it has its own mutex.
+	tr tracer
+
+	// met holds the hot-path metric handles once EnableMetrics has run
+	// (nil before; metrics.go). Set before Serve, then read-only.
+	met *serverMetrics
+
+	// Transport counters, exported via EnableMetrics and /statusz.
+	connsTotal atomic.Uint64
+	bytesIn    atomic.Uint64
+	bytesOut   atomic.Uint64
+	scanErrs   atomic.Uint64
+
+	started time.Time
 }
 
 // New returns a server over a fresh empty data plane.
 func New(opts core.Options) *Server {
 	g := netgraph.New()
 	n := core.NewNetwork(g, opts)
-	return &Server{
-		graph:  g,
-		net:    n,
-		mon:    monitor.New(n, 0),
-		closed: make(chan struct{}),
-		conns:  map[net.Conn]struct{}{},
+	s := &Server{
+		graph:   g,
+		net:     n,
+		mon:     monitor.New(n, 0),
+		closed:  make(chan struct{}),
+		conns:   map[net.Conn]struct{}{},
+		started: time.Now(),
 	}
+	// Every delta-driven evaluation pass reports its stage times back to
+	// the server, merging with the staged engine-side stages (pipeline.go).
+	s.mon.SetTraceSink(s.onApplyTrace)
+	return s
 }
 
 // Monitor exposes the shared standing-invariant monitor (for preloading
@@ -366,10 +393,12 @@ type connWriter struct {
 	//deltanet:lockrank 40
 	mu sync.Mutex
 	w  *bufio.Writer
+	// sent accumulates bytes written (the server's bytes-out counter).
+	sent *atomic.Uint64
 }
 
-func newConnWriter(conn net.Conn) *connWriter {
-	return &connWriter{w: bufio.NewWriter(conn)}
+func newConnWriter(conn net.Conn, sent *atomic.Uint64) *connWriter {
+	return &connWriter{w: bufio.NewWriter(conn), sent: sent}
 }
 
 // writeLine writes one protocol line and flushes it. A non-nil error
@@ -380,14 +409,33 @@ func (cw *connWriter) writeLine(line string) error {
 	if _, err := fmt.Fprintln(cw.w, line); err != nil {
 		return err
 	}
+	if cw.sent != nil {
+		cw.sent.Add(uint64(len(line)) + 1)
+	}
 	return cw.w.Flush()
+}
+
+// countingReader counts bytes handed to the protocol scanner (the
+// server's bytes-in counter).
+type countingReader struct {
+	conn net.Conn
+	n    *atomic.Uint64
+}
+
+func (r countingReader) Read(p []byte) (int, error) {
+	n, err := r.conn.Read(p)
+	if n > 0 {
+		r.n.Add(uint64(n))
+	}
+	return n, err
 }
 
 //deltanet:dispatch
 func (s *Server) handle(conn net.Conn) {
-	sc := bufio.NewScanner(conn)
+	s.connsTotal.Add(1)
+	sc := bufio.NewScanner(countingReader{conn: conn, n: &s.bytesIn})
 	sc.Buffer(make([]byte, 4096), maxLine)
-	cw := newConnWriter(conn)
+	cw := newConnWriter(conn, &s.bytesOut)
 
 	// owned counts the references this connection holds on each watched
 	// invariant (W increments, unwatch of an owned id decrements); the
@@ -418,14 +466,17 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		if line == "quit" {
+			s.countVerb("quit")
 			return
 		}
 		var resp string
 		fatal := false
 		switch fields := strings.Fields(line); {
 		case fields[0] == "B":
+			s.countVerb("B")
 			resp, fatal = s.readAndApplyBatch(fields, sc)
 		case fields[0] == "watch":
+			s.countVerb("watch")
 			var err error
 			if resp, err = s.startWatch(fields, cw, &sub, &streamWG); err != nil {
 				return // client unwritable mid-handshake
@@ -447,6 +498,7 @@ func (s *Server) handle(conn net.Conn) {
 	// A failed write here means the client is already gone; the close
 	// below is the only remaining remedy either way.
 	if err := sc.Err(); err != nil {
+		s.scanErrs.Add(1)
 		var werr error
 		if err == bufio.ErrTooLong {
 			werr = cw.writeLine(fmt.Sprintf("err line too long (max %d bytes; closing connection)", maxLine))
@@ -607,8 +659,10 @@ func (s *Server) readAndApplyBatch(fields []string, sc *bufio.Scanner) (resp str
 			// still be writable, and "truncated by disconnect" would send
 			// the client hunting for a network problem that isn't there.
 			if err := sc.Err(); err == bufio.ErrTooLong {
+				s.scanErrs.Add(1)
 				return fmt.Sprintf("err batch line too long (max %d bytes; closing connection)", maxLine), true
 			} else if err != nil {
+				s.scanErrs.Add(1)
 				return "err batch aborted by read error: " + err.Error() + " (closing connection)", true
 			}
 			return "err batch truncated by disconnect", true
@@ -623,8 +677,11 @@ func (s *Server) readAndApplyBatch(fields []string, sc *bufio.Scanner) (resp str
 		lines = append(lines, line)
 	}
 
+	t0 := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	lockNs := time.Since(t0).Nanoseconds()
+	t0 = time.Now()
 	ops := make([]core.BatchOp, 0, count)
 	for i, line := range lines {
 		op, errmsg := s.parseUpdate(strings.Fields(line))
@@ -633,11 +690,16 @@ func (s *Server) readAndApplyBatch(fields []string, sc *bufio.Scanner) (resp str
 		}
 		ops = append(ops, op)
 	}
+	parseNs := time.Since(t0).Nanoseconds()
+	t0 = time.Now()
 	if err := s.net.ApplyBatch(ops, &s.delta, 0); err != nil {
 		return "err " + err.Error(), false
 	}
 	loops := check.FindLoopsDeltaAuto(s.net, &s.delta, 0)
+	s.staged = stageInfo{valid: true, verb: verbBatch, parseNs: parseNs,
+		lockNs: lockNs, applyNs: time.Since(t0).Nanoseconds()}
 	s.mon.ApplyWithLoops(&s.delta, loops, true)
+	s.finishUpdateLocked()
 	var b strings.Builder
 	fmt.Fprintf(&b, "ok batch n=%d atoms=%d loops=%d", count, s.net.NumAtoms(), len(loops))
 	for _, l := range loops {
@@ -700,7 +762,7 @@ func (s *Server) parseUpdate(fields []string) (core.BatchOp, string) {
 var protocolCommands = []string{
 	"B", "I", "R", "W",
 	"burst", "events", "flush", "link", "node", "quit",
-	"reach", "stats", "unwatch", "watch", "whatif",
+	"reach", "stats", "trace", "unwatch", "watch", "whatif",
 }
 
 // dispatch executes one request under the engine lock: read-only requests
@@ -714,12 +776,18 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 	if len(fields) == 0 {
 		return "err empty request"
 	}
+	s.countVerb(fields[0])
+	// lockNs is the mutation-path lock wait, stage two of the update
+	// pipeline trace (pipeline.go); reads are not traced.
+	var lockNs int64
 	switch fields[0] {
-	case "reach", "whatif", "stats", "W", "unwatch", "flush", "burst", "events":
+	case "reach", "whatif", "stats", "W", "unwatch", "flush", "burst", "events", "trace":
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 	default:
+		t0 := time.Now()
 		s.mu.Lock()
+		lockNs = time.Since(t0).Nanoseconds()
 		defer s.mu.Unlock()
 	}
 	switch fields[0] {
@@ -740,25 +808,37 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		id := s.graph.AddLink(netgraph.NodeID(src), netgraph.NodeID(dst))
 		return fmt.Sprintf("ok link %d", id)
 	case "I":
+		t0 := time.Now()
 		op, errmsg := s.parseUpdate(fields)
+		parseNs := time.Since(t0).Nanoseconds()
 		if errmsg != "" {
 			return "err " + errmsg
 		}
+		t0 = time.Now()
 		if err := s.net.InsertRuleInto(op.Rule, &s.delta); err != nil {
 			return "err " + err.Error()
 		}
 		loops := check.FindLoopsDelta(s.net, &s.delta)
+		s.staged = stageInfo{valid: true, verb: verbInsert, parseNs: parseNs,
+			lockNs: lockNs, applyNs: time.Since(t0).Nanoseconds()}
 		s.mon.ApplyWithLoops(&s.delta, loops, true)
+		s.finishUpdateLocked()
 		return s.updateResponse(loops)
 	case "R":
+		t0 := time.Now()
 		op, errmsg := s.parseUpdate(fields)
+		parseNs := time.Since(t0).Nanoseconds()
 		if errmsg != "" {
 			return "err " + errmsg
 		}
+		t0 = time.Now()
 		if err := s.net.RemoveRuleInto(op.Rule.ID, &s.delta); err != nil {
 			return "err " + err.Error()
 		}
+		s.staged = stageInfo{valid: true, verb: verbRemove, parseNs: parseNs,
+			lockNs: lockNs, applyNs: time.Since(t0).Nanoseconds()}
 		s.mon.Apply(&s.delta)
+		s.finishUpdateLocked()
 		return s.updateResponse(nil)
 	case "reach":
 		if len(fields) != 3 {
@@ -872,10 +952,12 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		for i, p := range st.IndexShardBits {
 			shards[i] = strconv.Itoa(p)
 		}
-		return fmt.Sprintf("ok stats rules=%d atoms=%d links=%d nodes=%d watch=%d pending=%d rskip=%d ix=%s",
+		return fmt.Sprintf("ok stats rules=%d atoms=%d links=%d nodes=%d watch=%d pending=%d upd=%d rskip=%d ix=%s",
 			s.net.NumRules(), s.net.NumAtoms(), s.graph.NumLinks(),
-			s.graph.NumNodes(), st.Registered, st.Pending, st.RangeSkips,
-			strings.Join(shards, ","))
+			s.graph.NumNodes(), st.Registered, st.Pending, st.Updates,
+			st.RangeSkips, strings.Join(shards, ","))
+	case "trace":
+		return s.traceResponse(fields)
 	default:
 		return "err unknown command " + fields[0]
 	}

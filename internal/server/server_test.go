@@ -86,7 +86,7 @@ func TestProtocolSession(t *testing.T) {
 	if got := c.roundTrip(t, "I 1 0 0 0 1000 10"); !strings.HasPrefix(got, "ok atoms=") {
 		t.Fatalf("insert: %q", got)
 	}
-	if got := c.roundTrip(t, "stats"); !strings.HasPrefix(got, "ok stats rules=1 atoms=2 links=1 nodes=2 watch=0 pending=0 rskip=0 ix=") {
+	if got := c.roundTrip(t, "stats"); !strings.HasPrefix(got, "ok stats rules=1 atoms=2 links=1 nodes=2 watch=0 pending=0 upd=1 rskip=0 ix=") {
 		t.Fatalf("stats: %q", got)
 	}
 	if got := c.roundTrip(t, "reach 0 1"); got != "ok reach 1" {
@@ -98,7 +98,7 @@ func TestProtocolSession(t *testing.T) {
 	if got := c.roundTrip(t, "R 1"); !strings.HasPrefix(got, "ok atoms=") {
 		t.Fatalf("remove: %q", got)
 	}
-	if got := c.roundTrip(t, "stats"); !strings.HasPrefix(got, "ok stats rules=0 atoms=2 links=1 nodes=2 watch=0 pending=0 rskip=0 ix=") {
+	if got := c.roundTrip(t, "stats"); !strings.HasPrefix(got, "ok stats rules=0 atoms=2 links=1 nodes=2 watch=0 pending=0 upd=2 rskip=0 ix=") {
 		t.Fatalf("stats after remove: %q", got)
 	}
 }

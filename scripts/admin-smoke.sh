@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Admin-endpoint smoke test: boot dnserve with the observability
+# endpoint, drive a few protocol updates, then check that /healthz
+# answers and /metrics serves a strictly parseable Prometheus exposition
+# containing the per-stage pipeline histograms. `dnquery metrics` is the
+# validator, so this also exercises the operator tooling end to end.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:16633
+ADMIN=127.0.0.1:16634
+
+go build -o /tmp/dnserve-smoke ./cmd/dnserve
+/tmp/dnserve-smoke -addr "$ADDR" -admin "$ADMIN" -slow-update 1ns &
+SRV=$!
+trap 'kill $SRV 2>/dev/null || true' EXIT
+
+# Wait for both listeners.
+for i in $(seq 1 50); do
+  if curl -sf "http://$ADMIN/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+  if ! kill -0 $SRV 2>/dev/null; then echo "dnserve died" >&2; exit 1; fi
+done
+
+# Drive updates through the protocol port (bash /dev/tcp keeps the
+# script dependency-free).
+exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}"
+printf 'node a\nnode b\nlink 0 1\nW reach 0 1\nI 1 0 0 0 100 1\nI 2 0 0 200 300 1\nR 2\nstats\nquit\n' >&3
+timeout 10 cat <&3 || true
+exec 3<&- 3>&-
+
+health=$(curl -sf "http://$ADMIN/healthz")
+[ "$health" = "ok" ] || { echo "healthz said: $health" >&2; exit 1; }
+
+curl -sf "http://$ADMIN/statusz" | grep -q '^engine: rules=' \
+  || { echo "statusz missing engine line" >&2; exit 1; }
+
+# Strict exposition validation; fails (exit 1) on anything a scraper
+# would choke on.
+go run ./cmd/dnquery metrics "http://$ADMIN/metrics"
+
+page=$(curl -sf "http://$ADMIN/metrics")
+for want in \
+  'dnserve_update_stage_seconds_bucket{stage="parse"' \
+  'dnserve_update_stage_seconds_bucket{stage="evalfanout"' \
+  dn_monitor_updates_total \
+  dnserve_commands_total \
+  dnserve_slow_updates_total; do
+  grep -qF "$want" <<<"$page" || { echo "/metrics missing $want" >&2; exit 1; }
+done
+updates=$(grep '^dn_monitor_updates_total ' <<<"$page" | awk '{print $2}')
+[ "${updates%.*}" -ge 3 ] || { echo "expected >=3 monitor updates, got $updates" >&2; exit 1; }
+
+kill $SRV
+wait $SRV 2>/dev/null || true
+echo "admin smoke OK: $updates updates, exposition valid"
