@@ -1,0 +1,257 @@
+package client_test
+
+import (
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"deltanet/client"
+	"deltanet/internal/metrics"
+	"deltanet/internal/server"
+)
+
+// startServer runs a dnserve protocol server for the duration of the
+// test and returns its address.
+func startServer(t *testing.T, opts ...server.Option) (*server.Server, string) {
+	t.Helper()
+	s := server.New(opts...)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil && !strings.Contains(err.Error(), "use of closed") {
+			t.Errorf("close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return s, l.Addr().String()
+}
+
+// buildTopology installs the two-node topology and one rule every test
+// here queries against.
+func buildTopology(t *testing.T, c *client.Client) {
+	t.Helper()
+	for _, req := range []string{"node a", "node b", "link 0 1", "I 1 0 0 0 1000 10"} {
+		if _, err := c.Do(req); err != nil {
+			t.Fatalf("%s: %v", req, err)
+		}
+	}
+}
+
+func TestDoAndTypedHelpers(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buildTopology(t, c)
+
+	atoms, err := c.Reach("a", "b")
+	if err != nil || atoms != 1 {
+		t.Fatalf("Reach = %d, %v; want 1, nil", atoms, err)
+	}
+	atoms, edges, err := c.WhatIf("a", "b")
+	if err != nil || atoms != 1 || edges < 1 {
+		t.Fatalf("WhatIf = %d, %d, %v", atoms, edges, err)
+	}
+	la, le, err := c.WhatIfLink(0)
+	if err != nil || la != atoms || le != edges {
+		t.Fatalf("WhatIfLink(0) = %d, %d, %v; want same as WhatIf", la, le, err)
+	}
+
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"rules", "atoms", "links", "nodes", "upd"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("Stats missing %q: %v", key, stats)
+		}
+	}
+	if stats["rules"] != "1" {
+		t.Errorf("stats rules = %q, want 1", stats["rules"])
+	}
+	if upd, err := c.StatUint("upd"); err != nil || upd != 1 {
+		t.Errorf("StatUint(upd) = %d, %v; want 1, nil", upd, err)
+	}
+	if _, err := c.StatUint("nosuchkey"); err == nil {
+		t.Error("StatUint of a missing key did not error")
+	}
+
+	// Protocol refusals surface as *ProtocolError carrying both sides.
+	resp, err := c.Do("definitely-not-a-command")
+	perr, ok := err.(*client.ProtocolError)
+	if !ok {
+		t.Fatalf("Do(bogus) err = %v, want *ProtocolError", err)
+	}
+	if !strings.HasPrefix(perr.Resp, "err") || perr.Resp != resp {
+		t.Errorf("ProtocolError = %+v, resp %q", perr, resp)
+	}
+}
+
+// TestWatcherFailover: a watcher over a two-address list streams from
+// the first server, survives its death, fails over to the second with
+// its since-cursor, and keeps streaming — no transitions double-counted
+// or missed as long as the second server's stream covers the cursor.
+func TestWatcherFailover(t *testing.T) {
+	s1, addr1 := startServer(t)
+	_, addr2 := startServer(t)
+
+	// Drive both servers to identical event histories, as a primary and
+	// its replica would be (here by applying the same updates to both).
+	for _, addr := range []string{addr1, addr2} {
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buildTopology(t, c)
+		if _, err := c.Do("W reach a b"); err != nil {
+			t.Fatal(err)
+		}
+		// Transition to violated: event seq=1 on both streams.
+		if _, err := c.Do("R 1"); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+
+	var notices []string
+	w := client.NewWatcher([]string{addr1, addr2}, "reach a b")
+	w.Notify = func(msg string) { notices = append(notices, msg) }
+	defer w.Close()
+
+	// First session (addr1): status snapshot, then the seq=1 event via
+	// the replay-free live path is already in the past — a fresh watch
+	// anchors on the snapshot. Read the snapshot line.
+	line, err := w.Next()
+	if err != nil || !strings.HasPrefix(line, "status ") {
+		t.Fatalf("first stream line = %q, %v; want status snapshot", line, err)
+	}
+	// Produce a live event on server 1 and observe its seq.
+	c1, err := client.Dial(addr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Do("I 1 0 0 0 1000 10"); err != nil { // back to holds: seq=2
+		t.Fatal(err)
+	}
+	c1.Close()
+	line, err = w.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, ok := client.EventSeq(line)
+	if !ok || seq != 2 {
+		t.Fatalf("live event = %q (seq %d), want seq=2", line, seq)
+	}
+	if w.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2", w.LastSeq())
+	}
+
+	// Kill server 1. The watcher must rotate to addr2 and resume with
+	// "watch since 2". Server 2 saw only seq=1, so the resume lands in
+	// a gap — the stream re-anchors explicitly, never silently.
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gotGap := false
+	deadline := time.Now().Add(10 * time.Second)
+	for !gotGap {
+		if time.Now().After(deadline) {
+			t.Fatalf("no gap/status after failover; notices: %v", notices)
+		}
+		line, err = w.Next()
+		if err != nil {
+			t.Fatalf("failover Next: %v (notices: %v)", err, notices)
+		}
+		if strings.HasPrefix(line, "gap ") || strings.HasPrefix(line, "status ") {
+			gotGap = true
+		}
+	}
+	// Live events flow from the survivor.
+	c2, err := client.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Do("I 1 0 0 0 1000 10"); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	for {
+		line, err = w.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := client.EventSeq(line); ok {
+			break
+		}
+	}
+	foundFailover := false
+	for _, n := range notices {
+		if strings.Contains(n, "reconnecting") || strings.Contains(n, "failing over") {
+			foundFailover = true
+		}
+	}
+	if !foundFailover {
+		t.Errorf("no failover notice recorded: %v", notices)
+	}
+}
+
+// TestWatcherRefusedSpecIsFatal: a spec the server rejects must not be
+// retried into the whole failover budget.
+func TestWatcherRefusedSpecIsFatal(t *testing.T) {
+	_, addr := startServer(t)
+	w := client.NewWatcher([]string{addr}, "bogus spec grammar")
+	defer w.Close()
+	start := time.Now()
+	if _, err := w.Next(); err == nil {
+		t.Fatal("refused spec did not error")
+	} else if _, ok := err.(*client.ProtocolError); !ok {
+		t.Fatalf("err = %v, want *ProtocolError", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("refused spec burned the retry budget instead of failing fast")
+	}
+}
+
+func TestScrapeMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, addr := startServer(t, server.WithMetrics(reg))
+	ts := httptest.NewServer(s.AdminHandler(reg))
+	defer ts.Close()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildTopology(t, c)
+	c.Close()
+
+	e, err := client.ScrapeMetrics(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Families == 0 || e.Samples == 0 {
+		t.Fatalf("empty exposition: %+v", e)
+	}
+	if v, err := e.Value("dn_rules"); err != nil || v != 1 {
+		t.Errorf("dn_rules = %g, %v; want 1", v, err)
+	}
+	if _, err := e.Value("dn_no_such_metric"); err == nil {
+		t.Error("Value of a missing metric did not error")
+	}
+	// Bare host:port expands to http://host:port/metrics.
+	if e2, err := client.ScrapeMetrics(strings.TrimPrefix(ts.URL, "http://")); err != nil {
+		t.Errorf("bare host:port scrape: %v", err)
+	} else if !strings.HasSuffix(e2.URL, "/metrics") {
+		t.Errorf("bare target URL = %q, want /metrics suffix", e2.URL)
+	}
+}

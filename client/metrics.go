@@ -1,0 +1,77 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"deltanet/internal/metrics"
+)
+
+// An Exposition is a fetched and strictly validated Prometheus text
+// exposition from a dnserve admin endpoint.
+type Exposition struct {
+	URL      string // the resolved scrape URL
+	Body     string // the raw exposition text
+	Families int    // # TYPE headers
+	Samples  int    // non-comment sample lines
+}
+
+// Value returns an unlabelled sample's value, or an error naming the
+// missing metric. Labelled families need the raw Body.
+func (e *Exposition) Value(name string) (float64, error) {
+	for _, line := range strings.Split(e.Body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				return 0, fmt.Errorf("client: metric %s has bad value %q", name, rest)
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("client: metric %s not in exposition from %s", name, e.URL)
+}
+
+// ScrapeMetrics fetches target's Prometheus exposition and validates it
+// strictly — the same validator the CI smoke test uses, so a nil error
+// means a scraper will parse the page. A target without a scheme is
+// treated as host:port and expanded to http://host:port/metrics.
+func ScrapeMetrics(target string) (*Exposition, error) {
+	url := target
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.Contains(strings.TrimPrefix(url, "http://"), "/") {
+		url += "/metrics"
+	}
+	hc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := hc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := metrics.ValidateExposition(bytes.NewReader(body)); err != nil {
+		return nil, fmt.Errorf("client: invalid exposition from %s: %v", url, err)
+	}
+	e := &Exposition{URL: url, Body: string(body)}
+	for _, line := range strings.Split(e.Body, "\n") {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "):
+			e.Families++
+		case line == "" || strings.HasPrefix(line, "#"):
+		default:
+			e.Samples++
+		}
+	}
+	return e, nil
+}

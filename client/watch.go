@@ -1,0 +1,257 @@
+package client
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Watcher durability knobs: how many consecutive failed sessions are
+// tolerated before Next gives up (backoff growing to watchBackoffMax —
+// about half a minute of total downtime across a failover sweep), and
+// how a session that streams at least one line resets the counter.
+const (
+	watchRetries    = 10
+	watchBackoffMax = 3 * time.Second
+)
+
+// ErrWatcherClosed is returned by Next after Close.
+var ErrWatcherClosed = fmt.Errorf("client: watcher closed")
+
+// A Watcher is a durable standing-invariant event subscription: it
+// registers the given specs, streams the server's status snapshot and
+// verdict-transition events, and survives server restarts. When the
+// connection drops it reconnects — rotating through every address in
+// the list, so a replica set is one failover domain — re-registers its
+// specs, and resumes with "watch since <seq>" from the last event
+// sequence number it saw; the server replays the missed suffix, or
+// sends an explicit gap line plus a fresh snapshot when its backlog no
+// longer covers the gap.
+//
+// Event numbering is continuous across a primary's checkpoint/restart
+// and identical on every replica (replicas replay the primary's
+// journal), which is what makes the cursor meaningful across a
+// failover: seq 41 names the same transition on every address in the
+// list.
+type Watcher struct {
+	// Notify, when non-nil, receives session lifecycle messages:
+	// registration responses, resume banners, reconnect notices. They
+	// are human-readable, one line, not part of the event stream.
+	Notify func(msg string)
+
+	addrs []string
+	specs []string
+
+	mu       sync.Mutex
+	c        *Client // nil between sessions
+	closed   bool
+	lastSeq  uint64
+	streamed bool // current session delivered at least one line
+	attempt  int  // consecutive failed sessions
+	next     int  // address rotation cursor
+}
+
+// NewWatcher prepares a watcher over the given addresses (tried in
+// order, rotating on failure) and invariant specs (the server's W
+// grammar; empty means follow the invariants other clients registered).
+// No connection is made until the first Next call.
+func NewWatcher(addrs []string, specs ...string) *Watcher {
+	return &Watcher{addrs: addrs, specs: specs}
+}
+
+// LastSeq returns the newest event sequence number seen — the cursor a
+// resumed session continues from.
+func (w *Watcher) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeq
+}
+
+// Close ends the watch; a blocked Next returns ErrWatcherClosed.
+func (w *Watcher) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	if w.c != nil {
+		w.c.Close()
+		w.c = nil
+	}
+	return nil
+}
+
+// Next blocks for the next stream line — status, event, or gap — and
+// returns it. It connects lazily, reconnects with failover and resume
+// on transport errors, and returns a terminal error only when every
+// address has kept failing past the retry budget, a spec is refused by
+// the server (not retryable), or the watcher is closed.
+func (w *Watcher) Next() (string, error) {
+	for {
+		c, err := w.session()
+		if err != nil {
+			return "", err
+		}
+		if c == nil {
+			continue // this attempt failed; session() counted it
+		}
+		line, err := c.ReadLine()
+		if err == nil {
+			w.mu.Lock()
+			w.streamed = true
+			if seq, ok := EventSeq(line); ok {
+				// The newest event line IS the cursor — taken
+				// unconditionally, not maxed, because a server restarted
+				// from a state file starts a fresh stream at seq 1 and a
+				// stale high cursor would pin every future resume to a gap.
+				w.lastSeq = seq
+			}
+			w.mu.Unlock()
+			return line, nil
+		}
+		if w.dropSession(err) {
+			return "", ErrWatcherClosed
+		}
+	}
+}
+
+// session returns the live connection, establishing one if needed:
+// rotate to the next address, register specs, enter watch mode (with a
+// since-cursor when one exists). Dial or handshake failures count
+// against the retry budget with backoff; a refused spec is fatal.
+func (w *Watcher) session() (*Client, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, ErrWatcherClosed
+	}
+	if w.c != nil {
+		c := w.c
+		w.mu.Unlock()
+		return c, nil
+	}
+	if w.attempt >= watchRetries {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("client: watch gave up after %d failed sessions across %s",
+			watchRetries, strings.Join(w.addrs, ","))
+	}
+	if w.attempt > 0 {
+		backoff := time.Duration(w.attempt) * 500 * time.Millisecond
+		if backoff > watchBackoffMax {
+			backoff = watchBackoffMax
+		}
+		w.mu.Unlock()
+		time.Sleep(backoff)
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			return nil, ErrWatcherClosed
+		}
+	}
+	addr := w.addrs[w.next%len(w.addrs)]
+	w.next++
+	resume, since := w.lastSeq > 0, w.lastSeq
+	w.mu.Unlock()
+
+	c, err := w.handshake(addr, resume, since)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		if c != nil {
+			c.Close()
+		}
+		return nil, ErrWatcherClosed
+	}
+	if err != nil {
+		if _, fatal := err.(*ProtocolError); fatal {
+			return nil, err // the server refused a spec; retrying cannot help
+		}
+		w.attempt++
+		w.notify(fmt.Sprintf("watch: %s: %v; failing over (attempt %d/%d)",
+			addr, err, w.attempt, watchRetries))
+		return nil, nil // caller loops back into session()
+	}
+	w.c, w.streamed = c, false
+	return c, nil
+}
+
+// handshake runs one session's setup on a fresh connection.
+func (w *Watcher) handshake(addr string, resume bool, since uint64) (*Client, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range w.specs {
+		resp, err := c.Do("W " + spec)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		w.notify(fmt.Sprintf("%s  (%s)", resp, spec))
+	}
+	req := "watch"
+	if resume {
+		// Resume only with a real cursor: "watch since 0" would replay
+		// the server's entire pre-connection backlog as if those
+		// historical transitions were new; a plain watch re-anchors on
+		// the status snapshot instead.
+		req = fmt.Sprintf("watch since %d", since)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if resp != "ok watching" {
+		c.Close()
+		return nil, fmt.Errorf("client: %s: %q", req, resp)
+	}
+	if resume {
+		w.notify(fmt.Sprintf("watching %s; resumed after seq %d", addr, since))
+	} else {
+		w.notify(fmt.Sprintf("watching %s; streaming transition events", addr))
+	}
+	return c, nil
+}
+
+// dropSession discards the connection after a stream error, resetting
+// the retry budget when the dead session had streamed (the failure is
+// fresh, not a repeat). Reports whether the watcher is closed.
+func (w *Watcher) dropSession(err error) (closed bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.c != nil {
+		w.c.Close()
+		w.c = nil
+	}
+	if w.closed {
+		return true
+	}
+	if w.streamed {
+		w.attempt = 0
+	}
+	w.attempt++
+	w.notify(fmt.Sprintf("watch: %v; reconnecting (attempt %d/%d)", err, w.attempt, watchRetries))
+	return false
+}
+
+func (w *Watcher) notify(msg string) {
+	if w.Notify != nil {
+		w.Notify(msg)
+	}
+}
+
+// EventSeq extracts the seq=<n> cursor from an event line; ok is false
+// for status, gap, and anything else.
+func EventSeq(line string) (seq uint64, ok bool) {
+	if !strings.HasPrefix(line, "event ") {
+		return 0, false
+	}
+	for _, f := range strings.Fields(line) {
+		if rest, found := strings.CutPrefix(f, "seq="); found {
+			v, err := strconv.ParseUint(rest, 10, 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}

@@ -9,7 +9,7 @@
 //	dnquery [-scale f] [-trace file] <dataset> whatif <nodeA> <nodeB>
 //	dnquery [-scale f] [-trace file] <dataset> loops
 //	dnquery [-scale f] [-trace file] <dataset> allpairs
-//	dnquery watch <addr> [<spec> ...]
+//	dnquery watch <addr>[,<addr>...] [<spec> ...]
 //	dnquery metrics <url|host:port>
 //
 // Node arguments are node names from the topology (e.g. "s1", "delhi").
@@ -23,12 +23,17 @@
 // prints the server's status snapshot of every registered invariant, then
 // streams verdict-transition events to stdout. With no specs it reports
 // and follows the invariants other clients registered. The watch is
-// durable: on disconnect it reconnects (bounded retries with backoff),
-// re-registers its specs, and resumes with "watch since <seq>" from the
-// last event sequence number it saw, so a dnserve restart — e.g. one
-// bounced around a -state save/restore — costs no missed transitions as
-// long as the server's event backlog still covers the gap (and an
-// explicit gap line plus a fresh snapshot when it does not).
+// durable (deltanet/client's Watcher): on disconnect it reconnects
+// (bounded retries with backoff), re-registers its specs, and resumes
+// with "watch since <seq>" from the last event sequence number it saw,
+// so a dnserve restart — e.g. one bounced around a -state save/restore —
+// costs no missed transitions as long as the server's event backlog
+// still covers the gap (and an explicit gap line plus a fresh snapshot
+// when it does not). The address may be a comma-separated list — a
+// primary and its read replicas form one failover domain: replicas
+// replay the primary's journal, so event sequence numbers mean the same
+// transition on every address and the since-cursor survives failing
+// over from one to another.
 //
 // The metrics subcommand fetches a dnserve admin endpoint's /metrics
 // page (a bare host:port is expanded to http://host:port/metrics),
@@ -38,24 +43,17 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"flag"
 	"fmt"
-	"io"
-	"net"
-	"net/http"
 	"os"
-	"strconv"
 	"strings"
-	"time"
 
+	"deltanet/client"
 	"deltanet/internal/check"
 	"deltanet/internal/core"
 	"deltanet/internal/experiments"
 	"deltanet/internal/intervalmap"
 	"deltanet/internal/ipnet"
-	"deltanet/internal/metrics"
 	"deltanet/internal/netgraph"
 	"deltanet/internal/trace"
 )
@@ -186,158 +184,32 @@ func printRanges(n *core.Network, atoms interface {
 	}
 }
 
-// watchRetries is how many consecutive failed reconnect attempts watch
-// tolerates before giving up (with backoff growing to watchBackoffMax,
-// about half a minute of server downtime in total); a session that
-// streams at least one line resets the counter.
-const (
-	watchRetries    = 10
-	watchBackoffMax = 3 * time.Second
-)
-
-// watch registers the given invariant specs with a dnserve instance and
-// tails the event stream to stdout. The session is durable: it records
-// the seq=<n> cursor of every event line, and when the connection drops
-// (server restart, network blip) it reconnects, re-registers the specs,
-// and resumes with "watch since <lastSeq>" — the server replays the
-// missed suffix, or sends an explicit gap line plus a fresh status
-// snapshot when the event backlog has truncated it.
-func watch(addr string, specs []string) {
-	var lastSeq uint64
-	for attempt := 0; ; attempt++ {
-		// Resume only with a real cursor. A session that never saw an
-		// event line leaves lastSeq at 0, and "watch since 0" would
-		// replay the server's entire pre-connection backlog as if those
-		// historical transitions were new; a plain "watch" re-anchors on
-		// the status snapshot instead.
-		streamed, err := watchSession(addr, specs, lastSeq > 0, &lastSeq)
-		if streamed {
-			attempt = 0
-		}
-		if err == nil {
-			return // interrupted locally, not by the server
-		}
-		if attempt >= watchRetries {
+// watch tails the event stream of a dnserve instance (or a failover
+// list of them) to stdout, via deltanet/client's durable Watcher:
+// registration, resume-with-cursor, reconnection, and address rotation
+// all live in the package; this command is printing.
+func watch(addrList string, specs []string) {
+	addrs := strings.Split(addrList, ",")
+	w := client.NewWatcher(addrs, specs...)
+	w.Notify = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	defer w.Close()
+	for {
+		line, err := w.Next()
+		if err != nil {
 			die(err)
 		}
-		fmt.Fprintf(os.Stderr, "watch: %v; reconnecting (attempt %d/%d)\n", err, attempt+1, watchRetries)
-		backoff := time.Duration(attempt+1) * 500 * time.Millisecond
-		if backoff > watchBackoffMax {
-			backoff = watchBackoffMax
-		}
-		time.Sleep(backoff)
-	}
-}
-
-// watchSession runs one connection's worth of watching: register specs,
-// enter (possibly resuming) watch mode, stream lines until the
-// connection ends. It reports whether any stream line arrived and
-// updates *lastSeq with the newest event sequence number seen.
-func watchSession(addr string, specs []string, resume bool, lastSeq *uint64) (streamed bool, err error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return false, err
-	}
-	defer conn.Close()
-	r := bufio.NewScanner(conn)
-	for _, spec := range specs {
-		if _, err := fmt.Fprintln(conn, "W "+spec); err != nil {
-			return false, err
-		}
-		if !r.Scan() {
-			return false, fmt.Errorf("connection closed registering %q", spec)
-		}
-		resp := r.Text()
-		if strings.HasPrefix(resp, "err") {
-			die(fmt.Errorf("register %q: %s", spec, resp)) // not retryable
-		}
-		fmt.Printf("%s  (%s)\n", resp, spec)
-	}
-	req := "watch"
-	if resume {
-		req = fmt.Sprintf("watch since %d", *lastSeq)
-	}
-	if _, err := fmt.Fprintln(conn, req); err != nil {
-		return false, err
-	}
-	if !r.Scan() || r.Text() != "ok watching" {
-		return false, fmt.Errorf("%s: %q", req, r.Text())
-	}
-	if resume {
-		fmt.Printf("watching; resumed after seq %d:\n", *lastSeq)
-	} else {
-		fmt.Println("watching; streaming transition events:")
-	}
-	for r.Scan() {
-		line := r.Text()
 		fmt.Println(line)
-		streamed = true
-		// The newest event line IS the cursor — taken unconditionally,
-		// not maxed, because a server restarted from a state file starts
-		// a fresh stream at seq 1 and a stale high cursor would pin every
-		// future resume to a gap.
-		if seq, ok := eventSeq(line); ok {
-			*lastSeq = seq
-		}
 	}
-	if err := r.Err(); err != nil {
-		return streamed, err
-	}
-	return streamed, fmt.Errorf("connection closed by server")
 }
 
-// scrapeMetrics fetches target's Prometheus exposition, validates it
-// strictly, and prints a per-family summary. A target without a scheme
-// is treated as host:port and expanded to http://host:port/metrics.
+// scrapeMetrics validates target's Prometheus exposition and prints a
+// per-family summary (see client.ScrapeMetrics for the URL expansion).
 func scrapeMetrics(target string) {
-	url := target
-	if !strings.Contains(url, "://") {
-		url = "http://" + url
-	}
-	if !strings.Contains(strings.TrimPrefix(url, "http://"), "/") {
-		url += "/metrics"
-	}
-	client := &http.Client{Timeout: 10 * time.Second}
-	resp, err := client.Get(url)
+	e, err := client.ScrapeMetrics(target)
 	if err != nil {
 		die(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		die(fmt.Errorf("GET %s: %s", url, resp.Status))
-	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		die(err)
-	}
-	if err := metrics.ValidateExposition(bytes.NewReader(body)); err != nil {
-		die(fmt.Errorf("invalid exposition from %s: %v", url, err))
-	}
-	families, samples := 0, 0
-	for _, line := range strings.Split(string(body), "\n") {
-		switch {
-		case strings.HasPrefix(line, "# TYPE "):
-			families++
-		case line == "" || strings.HasPrefix(line, "#"):
-		default:
-			samples++
-		}
-	}
-	fmt.Printf("ok: %s valid exposition, %d families, %d samples\n", url, families, samples)
-}
-
-// eventSeq extracts the seq=<n> cursor from an event line.
-func eventSeq(line string) (uint64, bool) {
-	if !strings.HasPrefix(line, "event ") {
-		return 0, false
-	}
-	for _, f := range strings.Fields(line) {
-		if rest, ok := strings.CutPrefix(f, "seq="); ok {
-			v, err := strconv.ParseUint(rest, 10, 64)
-			return v, err == nil
-		}
-	}
-	return 0, false
+	fmt.Printf("ok: %s valid exposition, %d families, %d samples\n", e.URL, e.Families, e.Samples)
 }
 
 func node(g *netgraph.Graph, name string) netgraph.NodeID {
@@ -354,7 +226,7 @@ func usage() {
   dnquery [-scale f] [-trace file] <dataset> whatif <nodeA> <nodeB>
   dnquery [-scale f] [-trace file] <dataset> loops
   dnquery [-scale f] [-trace file] <dataset> allpairs
-  dnquery watch <addr> [<spec> ...]
+  dnquery watch <addr>[,<addr>...] [<spec> ...]
   dnquery metrics <url|host:port>`)
 	os.Exit(2)
 }

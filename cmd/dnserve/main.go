@@ -7,7 +7,8 @@
 //	dnserve [-addr host:port] [-gc] [-trace file] [-batch n]
 //	        [-burst-deltas n] [-burst-age d] [-state file]
 //	        [-checkpoint <interval|Nu>] [-admin host:port]
-//	        [-slow-update d]
+//	        [-slow-update d] [-journal file] [-journal-sync none|always]
+//	        [-replica-of host:port]
 //
 // With -trace, the topology and insertions of the trace are preloaded
 // before serving; -batch n applies the preload as atomic batches of n
@@ -42,6 +43,25 @@
 // whose traced pipeline stages sum past the given duration to stderr
 // (see the protocol's trace command for the on-demand ring). See the
 // README's Observability section.
+//
+// -journal appends every applied update to a length-prefixed journal
+// file (CRC-framed; a torn final record from a crash is dropped on
+// reopen). On boot, records after the -state file's journal cursor are
+// replayed, so a crash loses nothing between checkpoints; each
+// successful checkpoint rotates the journal at the checkpointed offset,
+// bounding its size. -journal-sync always fsyncs each append (durable
+// to the crash, slower); the default none leaves flushing to the OS.
+// The journal is also the replication feed: replicas stream it with
+// the protocol's "journal since <offset>" command.
+//
+// -replica-of boots a read replica: it fetches the primary's
+// checkpoint, streams its journal tail, applies every update into its
+// own engine and monitor, and serves reach/whatif/stats/W/watch
+// locally (mutations are refused). A replica that falls behind a
+// journal rotation re-anchors on a fresh checkpoint automatically.
+// Incompatible with -trace, -state, -checkpoint, -journal, and the
+// -burst flags (the primary's burst policy does not replicate). See
+// the README's Replication section.
 package main
 
 import (
@@ -58,6 +78,7 @@ import (
 	"time"
 
 	"deltanet/internal/core"
+	"deltanet/internal/journal"
 	"deltanet/internal/metrics"
 	"deltanet/internal/monitor"
 	"deltanet/internal/netgraph"
@@ -76,6 +97,9 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "background state saves while serving: a duration (e.g. 30s) or an update count (e.g. 1000u); requires -state")
 	adminAddr := flag.String("admin", "", "serve /metrics, /healthz, /statusz, and /debug/pprof on this address")
 	slowUpdate := flag.Duration("slow-update", 0, "log updates whose traced pipeline stages exceed this duration (0 disables)")
+	journalFile := flag.String("journal", "", "append every applied update to this journal file (recovery + replication feed)")
+	journalSync := flag.String("journal-sync", "none", "journal fsync policy: none (OS-buffered) or always (fsync per append)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary at this address (refuses mutations)")
 	flag.Parse()
 	if *batch < 1 {
 		fatal(fmt.Errorf("-batch must be >= 1, got %d", *batch))
@@ -90,11 +114,55 @@ func main() {
 	if *checkpoint != "" && *stateFile == "" {
 		fatal(fmt.Errorf("-checkpoint requires -state"))
 	}
-
-	s := server.New(core.Options{GC: *gc})
-	if *burstDeltas >= 2 || *burstAge > 0 {
-		s.SetBurst(monitor.BurstConfig{MaxDeltas: *burstDeltas, MaxAge: *burstAge})
+	if *replicaOf != "" {
+		for flagName, set := range map[string]bool{
+			"-trace": *traceFile != "", "-state": *stateFile != "",
+			"-checkpoint": *checkpoint != "", "-journal": *journalFile != "",
+			"-burst-deltas": *burstDeltas != 0, "-burst-age": *burstAge != 0,
+		} {
+			if set {
+				fatal(fmt.Errorf("-replica-of is incompatible with %s: the replica's state, journal cursor, and burst policy come from the primary", flagName))
+			}
+		}
 	}
+	syncPolicy, err := journal.ParseSyncPolicy(*journalSync)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := []server.Option{server.WithEngine(core.Options{GC: *gc})}
+	if *burstDeltas >= 2 || *burstAge > 0 {
+		opts = append(opts, server.WithBurst(monitor.BurstConfig{MaxDeltas: *burstDeltas, MaxAge: *burstAge}))
+	}
+	if *slowUpdate > 0 {
+		opts = append(opts, server.WithSlowUpdate(*slowUpdate, os.Stderr))
+	}
+	if *replicaOf != "" {
+		opts = append(opts, server.WithReplicaOf(*replicaOf))
+	}
+	var jrnl *journal.Journal
+	if *journalFile != "" {
+		jrnl, err = journal.Open(*journalFile, syncPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		defer jrnl.Close()
+		if d := jrnl.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "journal %s: dropped %d bytes of torn tail from a previous crash\n", *journalFile, d)
+		}
+		opts = append(opts, server.WithJournal(jrnl))
+	}
+	// The admin endpoint gets its own listener so operational traffic
+	// (scrapes, pprof) never competes with the protocol port. The
+	// registry is wired at construction so the first scrape sees the
+	// full surface.
+	var reg *metrics.Registry
+	if *adminAddr != "" {
+		reg = metrics.NewRegistry()
+		opts = append(opts, server.WithMetrics(reg))
+	}
+
+	s := server.New(opts...)
 	haveState := false
 	if *stateFile != "" {
 		if f, err := os.Open(*stateFile); err == nil {
@@ -111,6 +179,20 @@ func main() {
 				*stateFile, s.Network().NumRules(), s.Network().NumAtoms(), s.Monitor().NumRegistered())
 		} else if !os.IsNotExist(err) {
 			fatal(err)
+		}
+	}
+	if jrnl != nil {
+		// Crash recovery: replay the journal suffix after the offset the
+		// state file was current through (the whole journal when there was
+		// no state file), so the boot state is the full pre-crash state,
+		// not just the last checkpoint.
+		applied, err := s.ReplayJournal(jrnl)
+		if err != nil {
+			fatal(err)
+		}
+		if applied > 0 {
+			fmt.Fprintf(os.Stderr, "replayed %d journal record(s): %d rules, %d atoms\n",
+				applied, s.Network().NumRules(), s.Network().NumAtoms())
 		}
 	}
 	if *traceFile != "" && !haveState {
@@ -167,16 +249,8 @@ func main() {
 			tr.Name, s.Network().NumRules(), s.Network().NumAtoms())
 	}
 
-	if *slowUpdate > 0 {
-		s.SetSlowUpdate(*slowUpdate, os.Stderr)
-	}
-	// The admin endpoint gets its own listener so operational traffic
-	// (scrapes, pprof) never competes with the protocol port. Metrics are
-	// registered before Serve so the first scrape sees the full surface.
 	var adminSrv *http.Server
 	if *adminAddr != "" {
-		reg := metrics.NewRegistry()
-		s.EnableMetrics(reg)
 		al, err := net.Listen("tcp", *adminAddr)
 		if err != nil {
 			fatal(err)
@@ -218,7 +292,7 @@ func main() {
 		ckptWG.Add(1)
 		go func() {
 			defer ckptWG.Done()
-			runCheckpointer(s, *stateFile, ckptEvery, ckptUpdates, ckptStop)
+			runCheckpointer(s, *stateFile, jrnl, ckptEvery, ckptUpdates, ckptStop)
 		}()
 	}
 
@@ -238,7 +312,7 @@ func main() {
 		default: // Serve ended without a signal; the monitor is settled
 			specs = s.Monitor().SnapshotSpecs()
 		}
-		if err := saveState(s, *stateFile, specs); err != nil {
+		if err := saveState(s, *stateFile, specs, jrnl); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "saved %s: %d rules, %d invariant(s)\n",
@@ -278,7 +352,7 @@ const checkpointPoll = time.Second
 // topology-only mutation between checkpoints is covered by the
 // shutdown save). Save errors are logged, not fatal — a full disk
 // should not take the verifier down.
-func runCheckpointer(s *server.Server, path string, every time.Duration, updates uint64, stop <-chan struct{}) {
+func runCheckpointer(s *server.Server, path string, jrnl *journal.Journal, every time.Duration, updates uint64, stop <-chan struct{}) {
 	interval := every
 	if updates > 0 {
 		interval = checkpointPoll
@@ -302,7 +376,7 @@ func runCheckpointer(s *server.Server, path string, every time.Duration, updates
 			continue // nothing changed since the last checkpoint
 		}
 		lastSaved, saved = cur, true
-		if err := saveState(s, path, s.Monitor().SnapshotSpecs()); err != nil {
+		if err := saveState(s, path, s.Monitor().SnapshotSpecs(), jrnl); err != nil {
 			fmt.Fprintf(os.Stderr, "dnserve: checkpoint failed: %v\n", err)
 		}
 	}
@@ -310,14 +384,19 @@ func runCheckpointer(s *server.Server, path string, every time.Duration, updates
 
 // saveState writes the server state to path atomically: dump to a
 // sibling temp file, then rename over the target, so a crash mid-write
-// cannot destroy the previous good state.
-func saveState(s *server.Server, path string, specs []string) error {
+// cannot destroy the previous good state. With a journal, a successful
+// save also rotates it at the checkpointed offset — everything the new
+// checkpoint covers is discarded, bounding journal growth, while the
+// suffix replicas may still need stays addressable at the same logical
+// offsets (a replica behind the rotation re-anchors on a checkpoint).
+func saveState(s *server.Server, path string, specs []string, jrnl *journal.Journal) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := s.SaveStateWithSpecs(f, specs); err != nil {
+	offset, err := s.CheckpointTo(f, specs)
+	if err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -326,7 +405,16 @@ func saveState(s *server.Server, path string, specs []string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if jrnl != nil {
+		if err := jrnl.Rotate(offset); err != nil {
+			// The checkpoint is good; an unrotated journal only costs disk.
+			fmt.Fprintf(os.Stderr, "dnserve: journal rotation failed: %v\n", err)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -47,7 +47,7 @@ func TestParseCheckpoint(t *testing.T) {
 // loadable state file through the atomic-rename path while the server
 // is live, without waiting for shutdown.
 func TestCheckpointerWritesState(t *testing.T) {
-	s := server.New(core.Options{})
+	s := server.New()
 	a := s.Graph().AddNode("a")
 	b := s.Graph().AddNode("b")
 	l := s.Graph().AddLink(a, b)
@@ -62,7 +62,7 @@ func TestCheckpointerWritesState(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		runCheckpointer(s, path, 5*time.Millisecond, 0, stop)
+		runCheckpointer(s, path, nil, 5*time.Millisecond, 0, stop)
 	}()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -81,7 +81,7 @@ func TestCheckpointerWritesState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	restored := server.New(core.Options{})
+	restored := server.New()
 	if err := restored.LoadState(strings.NewReader(string(data))); err != nil {
 		t.Fatalf("checkpoint not loadable: %v\n%s", err, data)
 	}

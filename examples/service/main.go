@@ -1,24 +1,23 @@
 // Service: Delta-net as a verification sidecar (the deployment of the
-// paper's Figure 7) — a TCP server owns the data plane state and a client
-// streams rule updates over the wire protocol, receiving a verdict for
-// each, including a loop alarm the moment a misconfigured rule closes a
-// cycle.
+// paper's Figure 7) — a TCP server owns the data plane state and a
+// client streams rule updates over the wire protocol via the public
+// deltanet/client package, receiving a verdict for each, including a
+// loop alarm the moment a misconfigured rule closes a cycle.
 //
 // Run with: go run ./examples/service
 package main
 
 import (
-	"bufio"
 	"fmt"
 	"log"
 	"net"
 
-	"deltanet/internal/core"
+	"deltanet/client"
 	"deltanet/internal/server"
 )
 
 func main() {
-	srv := server.New(core.Options{})
+	srv := server.New()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -27,20 +26,18 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("verifier listening on %s\n\n", ln.Addr())
 
-	conn, err := net.Dial("tcp", ln.Addr().String())
+	c, err := client.Dial(ln.Addr().String())
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
-	r := bufio.NewScanner(conn)
+	defer c.Close()
 	send := func(req string) string {
-		if _, err := fmt.Fprintln(conn, req); err != nil {
-			log.Fatalf("write %q: %v", req, err)
+		resp, err := c.Do(req)
+		if err != nil {
+			if _, refused := err.(*client.ProtocolError); !refused {
+				log.Fatalf("%q: %v", req, err)
+			}
 		}
-		if !r.Scan() {
-			log.Fatalf("connection lost after %q", req)
-		}
-		resp := r.Text()
 		fmt.Printf("  > %-28s < %s\n", req, resp)
 		return resp
 	}
@@ -63,4 +60,10 @@ func main() {
 	fmt.Println("\noperator reverts; verifier confirms:")
 	send("R 2")
 	send("stats")
+
+	atoms, err := c.Reach("s1", "s2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntyped helper agrees: %d atom(s) reach s1 -> s2\n", atoms)
 }

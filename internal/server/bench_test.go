@@ -1,0 +1,145 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deltanet/internal/journal"
+	"deltanet/internal/monitor"
+)
+
+// benchIngest drives insert/remove churn through dispatch — the full
+// primary ingest path (parse, engine apply, monitor, and, when opts
+// include a journal, the append) without socket noise.
+func benchIngest(b *testing.B, opts ...Option) {
+	s := New(opts...)
+	owned := map[monitor.ID]int{}
+	for _, req := range []string{"node a", "node b", "node c", "link 0 1", "link 1 2"} {
+		if got := s.dispatch(req, owned); !strings.HasPrefix(got, "ok") {
+			b.Fatalf("%s: %q", req, got)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i%1000 + 1
+		ins := fmt.Sprintf("I %d 0 0 %d %d 1", id, (i%997)*10, (i%997)*10+5)
+		if got := s.dispatch(ins, owned); !strings.HasPrefix(got, "ok") {
+			b.Fatalf("%s: %q", ins, got)
+		}
+		rm := fmt.Sprintf("R %d", id)
+		if got := s.dispatch(rm, owned); !strings.HasPrefix(got, "ok") {
+			b.Fatalf("%s: %q", rm, got)
+		}
+	}
+}
+
+// BenchmarkIngest is the journaling-cost pair: compare Journal=off to
+// Journal=none (OS-buffered appends) with benchstat to see what the
+// replication substrate costs the primary's hot path; Journal=always
+// prices per-append fsync durability.
+func BenchmarkIngest(b *testing.B) {
+	b.Run("Journal=off", func(b *testing.B) {
+		benchIngest(b)
+	})
+	b.Run("Journal=none", func(b *testing.B) {
+		j, err := journal.Open(b.TempDir()+"/bench.j", journal.SyncNone)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		benchIngest(b, WithJournal(j))
+	})
+	b.Run("Journal=always", func(b *testing.B) {
+		j, err := journal.Open(b.TempDir()+"/bench.j", journal.SyncAlways)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		benchIngest(b, WithJournal(j))
+	})
+}
+
+// benchServe boots a serving instance for a read benchmark.
+func benchServe(b *testing.B, opts ...Option) (*Server, string) {
+	b.Helper()
+	s := New(opts...)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go s.Serve(l)
+	b.Cleanup(func() { s.Close() })
+	return s, l.Addr().String()
+}
+
+// benchReads hammers reach queries from GOMAXPROCS workers, each on
+// its own connection, round-robined across the given servers.
+func benchReads(b *testing.B, addrs []string) {
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		addr := addrs[next.Add(1)%uint64(len(addrs))]
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		sc := bufio.NewScanner(conn)
+		for pb.Next() {
+			if _, err := fmt.Fprintln(conn, "reach a b"); err != nil {
+				b.Error(err)
+				return
+			}
+			if !sc.Scan() || !strings.HasPrefix(sc.Text(), "ok reach") {
+				b.Errorf("bad reach response %q (%v)", sc.Text(), sc.Err())
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkReplicaReadScaling is the read scale-out pair: the same
+// concurrent reach load against the primary alone versus round-robined
+// across the primary and a caught-up replica. Both servers share this
+// process's runtime, so in-process the claim this pair supports is
+// per-request cost parity: a replica answers reads exactly as fast as
+// the primary (same ns/op with the load split), so each replica on its
+// own machine adds one primary's worth of read capacity — the linear
+// scale-out is in deployment, the parity is what's measurable here.
+func BenchmarkReplicaReadScaling(b *testing.B) {
+	j, err := journal.Open(b.TempDir()+"/p.j", journal.SyncNone)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	p, paddr := benchServe(b, WithJournal(j))
+	owned := map[monitor.ID]int{}
+	reqs := []string{"node a", "node b", "node c", "link 0 1", "link 1 2"}
+	for i := 0; i < 200; i++ {
+		reqs = append(reqs, fmt.Sprintf("I %d 0 0 %d %d 1", i+1, i*10, i*10+5))
+	}
+	for _, req := range reqs {
+		if got := p.dispatch(req, owned); !strings.HasPrefix(got, "ok") {
+			b.Fatalf("%s: %q", req, got)
+		}
+	}
+
+	r, raddr := benchServe(b, WithReplicaOf(paddr))
+	deadline := time.Now().Add(10 * time.Second)
+	for r.mon.UpdateSeq() != p.mon.UpdateSeq() || r.replicaLagBytes() != 0 {
+		if time.Now().After(deadline) {
+			b.Fatal("replica never caught up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	b.Run("servers=1", func(b *testing.B) { benchReads(b, []string{paddr}) })
+	b.Run("servers=2", func(b *testing.B) { benchReads(b, []string{paddr, raddr}) })
+}

@@ -472,7 +472,7 @@ func TestWatchLinesCarrySinkSet(t *testing.T) {
 // and re-register every invariant with the verdict a from-scratch
 // evaluation gives (which is what registration at save time computed).
 func TestStateRoundTrip(t *testing.T) {
-	s1 := New(core.Options{})
+	s1 := New()
 	a := s1.Graph().AddNode("a")
 	b := s1.Graph().AddNode("b")
 	c := s1.Graph().AddNode("c")
@@ -505,7 +505,7 @@ func TestStateRoundTrip(t *testing.T) {
 	}
 	saved := buf.String()
 
-	s2 := New(core.Options{})
+	s2 := New()
 	if err := s2.LoadState(strings.NewReader(saved)); err != nil {
 		t.Fatalf("LoadState: %v\nstate:\n%s", err, saved)
 	}
@@ -558,11 +558,11 @@ func TestStateRoundTrip(t *testing.T) {
 		t.Fatalf("LoadState into non-empty server succeeded")
 	}
 	// Garbage is refused with a line number.
-	if err := New(core.Options{}).LoadState(strings.NewReader(stateHeader + "\nnonsense here\n")); err == nil ||
+	if err := New().LoadState(strings.NewReader(stateHeader + "\nnonsense here\n")); err == nil ||
 		!strings.Contains(err.Error(), "line 2") {
 		t.Fatalf("garbage state error: %v", err)
 	}
-	if err := New(core.Options{}).LoadState(strings.NewReader("not a state file\n")); err == nil {
+	if err := New().LoadState(strings.NewReader("not a state file\n")); err == nil {
 		t.Fatalf("missing header accepted")
 	}
 }

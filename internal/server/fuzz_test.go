@@ -5,8 +5,6 @@ import (
 	"net"
 	"testing"
 	"time"
-
-	"deltanet/internal/core"
 )
 
 // FuzzDispatch drives a full protocol session — including the multi-line
@@ -34,6 +32,8 @@ func FuzzDispatch(f *testing.F) {
 		"W reach 0 1\nunwatch 0\nunwatch 0\nquit\n",
 		"trace on\nI 1 0 0 0 100 1\ntrace last 5\ntrace off\ntrace last 1\n",
 		"trace\ntrace bogus\ntrace last\ntrace last x\ntrace last -1\ntrace on extra\n",
+		"checkpoint\nI 1 0 0 0 100 1\ncheckpoint extra\n",
+		"journal since 0\njournal\njournal since\njournal since x\njournal since 18446744073709551615\n",
 		"\n\n  \n",
 		"node\nlink\nI\nR\nreach\nwhatif\nstats extra\nW\nunwatch\n",
 		"quit\nI 1 0 0 0 100 1\n",
@@ -44,7 +44,7 @@ func FuzzDispatch(f *testing.F) {
 		if len(data) > 4096 {
 			return // keep iterations fast; huge inputs add no new paths
 		}
-		s := New(core.Options{})
+		s := New()
 		// Pre-provision a small topology so numeric ids in fuzz inputs can
 		// resolve and exercise deeper paths.
 		a := s.Graph().AddNode("a")

@@ -1,0 +1,315 @@
+package server
+
+// This file is the primary side of the replication substrate: appending
+// every applied mutation to the update journal, serving a consistent
+// checkpoint over the wire, streaming the journal tail to replicas
+// ("journal since <offset>"), and replaying a local journal suffix
+// after a restart.
+//
+// Journal records reuse the wire line grammar — "node <name>",
+// "link <src> <dst>", "I ...", "R ...", and a whole batch as one
+// "B <n>\n<n lines>" record — so replay goes through exactly the parse
+// and apply paths a live client exercises. Each record is stamped with
+// the monitor's post-apply update sequence number; topology records
+// reuse the current number (they consume no delta).
+//
+// The streaming protocol after "ok journal offset=<o> end=<e>":
+//
+//	r end=<recEnd> pend=<primaryEnd> seq=<s> t=<unixnano> n=<k>
+//	<k payload lines>
+//
+// recEnd is the record's end offset — the replica's next cursor — and
+// pend the primary journal's end at send time, so the replica can
+// compute its byte lag from every frame. A replica whose offset
+// predates the journal's base (a rotation won) is told
+// "err journal truncated base=<b> end=<e>" and re-anchors on a fresh
+// checkpoint.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"deltanet/internal/check"
+	"deltanet/internal/core"
+	"deltanet/internal/journal"
+	"deltanet/internal/netgraph"
+)
+
+// journalAppendLocked appends one applied mutation to the journal and
+// fans it out to live journal streams. Caller holds the write lock, so
+// records land in apply order and the recorded update seq is the one
+// the mutation produced. An append failure is counted, not propagated:
+// the mutation is already applied and will be acknowledged; what
+// degrades is durability/replication, which the jrnlErrs counter and
+// lag metrics surface.
+func (s *Server) journalAppendLocked(payload string) {
+	if s.jrnl == nil {
+		return
+	}
+	seq := s.mon.UpdateSeq()
+	end, err := s.jrnl.Append(seq, payload)
+	if err != nil {
+		s.jrnlErrs.Add(1)
+		return
+	}
+	s.jsubMu.Lock()
+	if len(s.jsubs) > 0 {
+		rec := journal.Record{Seq: seq, End: end, Payload: []byte(payload)}
+		for ch := range s.jsubs {
+			select {
+			case ch <- rec:
+			default:
+				// A stream this far behind is cheaper to drop: the replica
+				// reconnects and catches up from the file.
+				delete(s.jsubs, ch)
+				close(ch)
+			}
+		}
+	}
+	s.jsubMu.Unlock()
+}
+
+// jstreamBuffer is a journal stream's fan-out channel capacity; a
+// subscriber that falls this far behind live appends is dropped and
+// re-anchors from the file on reconnect.
+const jstreamBuffer = 1024
+
+// checkpointResponse serves the checkpoint verb: the state dump in
+// SaveState's format, framed for the wire as
+// "ok checkpoint n=<k> offset=<o>" followed by exactly k dump lines.
+// offset is the journal offset the dump is current through — the
+// cursor the client hands to "journal since". Caller holds at least
+// the read lock.
+func (s *Server) checkpointResponse() string {
+	var dump strings.Builder
+	off, err := s.saveStateLocked(&dump, s.mon.SnapshotSpecs())
+	if err != nil {
+		return "err checkpoint: " + err.Error()
+	}
+	body := strings.TrimSuffix(dump.String(), "\n")
+	n := strings.Count(body, "\n") + 1
+	return fmt.Sprintf("ok checkpoint n=%d offset=%d\n%s", n, off, body)
+}
+
+// streamJournal serves "journal since <offset>": it subscribes to live
+// appends, catches up from the file, and then streams frames until the
+// connection dies or the server closes. It returns "" when streaming
+// ran (the connection is spent) and a response line when the request
+// was refused.
+func (s *Server) streamJournal(fields []string, cw *connWriter) string {
+	if s.jrnl == nil {
+		return "err journal disabled"
+	}
+	if len(fields) != 3 || fields[1] != "since" {
+		return "err usage: journal since <offset>"
+	}
+	from, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return "err bad journal offset"
+	}
+	base, end := s.jrnl.Base(), s.jrnl.End()
+	if from < base {
+		return fmt.Sprintf("err journal truncated base=%d end=%d", base, end)
+	}
+	if from > end {
+		return fmt.Sprintf("err journal offset %d beyond end %d", from, end)
+	}
+
+	// Subscribe before the file catch-up so no append can fall between
+	// the two; the cursor check below deduplicates the overlap.
+	ch := make(chan journal.Record, jstreamBuffer)
+	s.jsubMu.Lock()
+	s.jsubs[ch] = struct{}{}
+	s.jsubMu.Unlock()
+	defer func() {
+		s.jsubMu.Lock()
+		if _, live := s.jsubs[ch]; live {
+			delete(s.jsubs, ch)
+			close(ch)
+		}
+		s.jsubMu.Unlock()
+	}()
+
+	if err := cw.writeLine(fmt.Sprintf("ok journal offset=%d end=%d", from, end)); err != nil {
+		return ""
+	}
+	cursor, ok := s.streamJournalFile(cw, from)
+	if !ok {
+		return ""
+	}
+	for {
+		select {
+		case rec, live := <-ch:
+			if !live {
+				// Dropped by the publisher: end the stream; the replica
+				// reconnects and catches up from the file.
+				return ""
+			}
+			if rec.End <= cursor {
+				continue // already sent by the file catch-up
+			}
+			if !s.writeJournalFrame(cw, rec) {
+				return ""
+			}
+			cursor = rec.End
+		case <-s.closed:
+			return ""
+		}
+	}
+}
+
+// streamJournalFile replays the on-disk suffix after from, re-anchoring
+// the reader until it has caught up with the journal's end at scan
+// time. It returns the cursor reached and whether the client is still
+// writable.
+func (s *Server) streamJournalFile(cw *connWriter, from uint64) (cursor uint64, ok bool) {
+	cursor = from
+	for cursor < s.jrnl.End() {
+		r, err := s.jrnl.ReadFrom(cursor)
+		if err != nil {
+			// A rotation raced past the cursor mid-stream; the truncation
+			// error line tells the replica to re-anchor.
+			werr := cw.writeLine(fmt.Sprintf("err journal truncated base=%d end=%d", s.jrnl.Base(), s.jrnl.End()))
+			_ = werr // the stream ends either way
+			return cursor, false
+		}
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.Close()
+				return cursor, false
+			}
+			if !s.writeJournalFrame(cw, rec) {
+				r.Close()
+				return cursor, false
+			}
+			cursor = rec.End
+		}
+		r.Close()
+	}
+	return cursor, true
+}
+
+// writeJournalFrame writes one record as a frame header plus its
+// payload lines, reporting whether the client is still writable.
+func (s *Server) writeJournalFrame(cw *connWriter, rec journal.Record) bool {
+	lines := strings.Split(string(rec.Payload), "\n")
+	var b strings.Builder
+	fmt.Fprintf(&b, "r end=%d pend=%d seq=%d t=%d n=%d",
+		rec.End, s.jrnl.End(), rec.Seq, rec.Stamp, len(lines))
+	for _, l := range lines {
+		b.WriteByte('\n')
+		b.WriteString(l)
+	}
+	return cw.writeLine(b.String()) == nil
+}
+
+// ReplayJournal applies the records of j after the offset the loaded
+// state dump was current through (LoadState's journal record; 0 when
+// the dump predates journaling) — the local crash-recovery path:
+// checkpoint + journal suffix = the full pre-crash state. Call it
+// after LoadState and before Serve, with j the same journal the server
+// was constructed with (WithJournal). It returns the number of records
+// applied.
+func (s *Server) ReplayJournal(j *journal.Journal) (int, error) {
+	from := s.loadedJournal
+	if from < j.Base() {
+		return 0, fmt.Errorf("server: journal rotated past the state file's offset %d (base %d); checkpoint and journal disagree", from, j.Base())
+	}
+	if from >= j.End() {
+		return 0, nil
+	}
+	applied := 0
+	r, err := j.ReadFrom(from)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return applied, nil
+		}
+		if err != nil {
+			return applied, err
+		}
+		if msg := s.applyJournalLocked(string(rec.Payload), rec.Seq); msg != "" {
+			return applied, fmt.Errorf("server: journal replay at offset %d: %s", rec.End, msg)
+		}
+		applied++
+	}
+}
+
+// applyJournalLocked replays one journal record payload through the
+// same parse/apply paths as live protocol input, stamping the monitor
+// with the record's update seq. It returns "" on success or an error
+// message. Caller holds the write lock.
+func (s *Server) applyJournalLocked(payload string, seq uint64) string {
+	lines := strings.Split(payload, "\n")
+	fields := strings.Fields(lines[0])
+	if len(fields) == 0 {
+		return "empty record"
+	}
+	switch fields[0] {
+	case "node":
+		if len(fields) != 2 {
+			return "bad node record"
+		}
+		s.graph.AddNode(fields[1])
+		s.mon.ResumeUpdates(seq)
+		return ""
+	case "link":
+		src, dst, err := twoInts(fields)
+		if err != nil || !s.validNode(src) || !s.validNode(dst) {
+			return "bad link record"
+		}
+		s.graph.AddLink(netgraph.NodeID(src), netgraph.NodeID(dst))
+		s.mon.ResumeUpdates(seq)
+		return ""
+	case "I":
+		op, errmsg := s.parseUpdate(fields)
+		if errmsg != "" {
+			return errmsg
+		}
+		if err := s.net.InsertRuleInto(op.Rule, &s.delta); err != nil {
+			return err.Error()
+		}
+		loops := check.FindLoopsDelta(s.net, &s.delta)
+		s.mon.ApplyReplay(&s.delta, loops, true, seq)
+		return ""
+	case "R":
+		op, errmsg := s.parseUpdate(fields)
+		if errmsg != "" {
+			return errmsg
+		}
+		if err := s.net.RemoveRuleInto(op.Rule.ID, &s.delta); err != nil {
+			return err.Error()
+		}
+		s.mon.ApplyReplay(&s.delta, nil, false, seq)
+		return ""
+	case "B":
+		ops := make([]core.BatchOp, 0, len(lines)-1)
+		for _, l := range lines[1:] {
+			op, errmsg := s.parseUpdate(strings.Fields(l))
+			if errmsg != "" {
+				return errmsg
+			}
+			ops = append(ops, op)
+		}
+		if err := s.net.ApplyBatch(ops, &s.delta, 0); err != nil {
+			return err.Error()
+		}
+		loops := check.FindLoopsDeltaAuto(s.net, &s.delta, 0)
+		s.mon.ApplyReplay(&s.delta, loops, true, seq)
+		return ""
+	default:
+		return "unknown record verb " + fields[0]
+	}
+}

@@ -26,12 +26,14 @@ type serverMetrics struct {
 	updateDur *metrics.Histogram
 }
 
-// EnableMetrics registers the server's full metric surface — engine
-// sizes, every monitor Stats counter, connection/transport counters, and
-// the per-stage update-pipeline histograms — with reg, and starts
-// feeding the histograms. Call once, before Serve; the admin endpoint
-// (AdminHandler) renders reg at /metrics.
-func (s *Server) EnableMetrics(reg *metrics.Registry) {
+// enableMetrics registers the server's full metric surface — engine
+// sizes, every monitor Stats counter, connection/transport counters,
+// the per-stage update-pipeline histograms, and (when configured) the
+// journal and replica-lag gauges — with reg, and starts feeding the
+// histograms. Applied by WithMetrics, after every other option, so the
+// conditional series reflect the final configuration; the admin
+// endpoint (AdminHandler) renders reg at /metrics.
+func (s *Server) enableMetrics(reg *metrics.Registry) {
 	m := &serverMetrics{
 		commands:  reg.CounterVec("dnserve_commands_total", "Protocol commands handled, by verb.", "verb"),
 		stages:    reg.HistogramVec("dnserve_update_stage_seconds", "Update pipeline stage latency: parse, lockwait, apply, dirtymark, evalfanout, publish.", "stage"),
@@ -129,6 +131,28 @@ func (s *Server) EnableMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("dnserve_slow_updates_total", "Updates exceeding the -slow-update threshold.", func() float64 {
 		return float64(s.tr.slows())
 	})
+
+	// Replication surface: journal position/errors on a journaling
+	// primary, lag gauges on a replica.
+	if s.jrnl != nil {
+		reg.GaugeFunc("dn_journal_end_offset", "Logical end offset of the update journal.", func() float64 {
+			return float64(s.jrnl.End())
+		})
+		reg.CounterFunc("dn_journal_append_errors_total", "Journal appends that failed (updates applied but not journaled).", func() float64 {
+			return float64(s.jrnlErrs.Load())
+		})
+	}
+	if s.replicaOf != "" {
+		reg.GaugeFunc("dn_replica_lag_bytes", "Journal bytes the replica has not yet applied (primary end - applied cursor).", func() float64 {
+			return float64(s.replicaLagBytes())
+		})
+		reg.GaugeFunc("dn_replica_lag_seconds", "Age of the newest applied journal record when behind (0 when caught up).", func() float64 {
+			return s.replicaLagSeconds()
+		})
+		reg.CounterFunc("dn_replica_reanchors_total", "Checkpoint re-anchors forced by journal truncation at the primary.", func() float64 {
+			return float64(s.replanchors.Load())
+		})
+	}
 
 	s.met = m
 }

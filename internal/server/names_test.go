@@ -89,7 +89,7 @@ func TestNameAddressing(t *testing.T) {
 // the same stream position, and the post-restart gap covers only the
 // genuinely missed window.
 func TestStateSeqContinuity(t *testing.T) {
-	s1 := New(core.Options{})
+	s1 := New()
 	a := s1.Graph().AddNode("a")
 	b := s1.Graph().AddNode("b")
 	cNode := s1.Graph().AddNode("c")
@@ -126,7 +126,7 @@ func TestStateSeqContinuity(t *testing.T) {
 		t.Fatalf("state file missing seq record:\n%s", buf.String())
 	}
 
-	s2 := New(core.Options{})
+	s2 := New()
 	if err := s2.LoadState(strings.NewReader(buf.String())); err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestStateSeqContinuity(t *testing.T) {
 	// Version-1 files (no seq record) still load, starting a fresh stream.
 	v1 := strings.Replace(buf.String(), stateHeader, stateHeaderV1, 1)
 	v1 = strings.Replace(v1, "seq 2\n", "", 1)
-	s3 := New(core.Options{})
+	s3 := New()
 	if err := s3.LoadState(strings.NewReader(v1)); err != nil {
 		t.Fatalf("v1 state refused: %v", err)
 	}

@@ -53,10 +53,9 @@ func metricValue(t *testing.T, exp, name string) float64 {
 // valid Prometheus exposition, and the monotonic counters must never go
 // backwards between scrapes.
 func TestAdminEndpointMidChurn(t *testing.T) {
-	s, addr, cleanup := startServer(t)
-	defer cleanup()
 	reg := metrics.NewRegistry()
-	s.EnableMetrics(reg)
+	s, addr, cleanup := startServer(t, WithMetrics(reg))
+	defer cleanup()
 	ts := httptest.NewServer(s.AdminHandler(reg))
 	defer ts.Close()
 
@@ -153,9 +152,8 @@ func TestAdminEndpointMidChurn(t *testing.T) {
 }
 
 func TestHealthzAfterClose(t *testing.T) {
-	s, _, cleanup := startServer(t)
 	reg := metrics.NewRegistry()
-	s.EnableMetrics(reg)
+	s, _, cleanup := startServer(t, WithMetrics(reg))
 	ts := httptest.NewServer(s.AdminHandler(reg))
 	defer ts.Close()
 	cleanup() // close the protocol server; admin handler stays up
@@ -212,8 +210,12 @@ func TestStatsKeysDocumented(t *testing.T) {
 			t.Errorf("stats emits %q but the README table does not document it", k)
 		}
 	}
+	// Keys only a journaling primary (jrnl) or a replica (lag) emits;
+	// this plain server legitimately omits them. Their emission is
+	// covered by the replication tests.
+	conditional := map[string]bool{"jrnl": true, "lag": true}
 	for k := range documented {
-		if !emitted[k] {
+		if !emitted[k] && !conditional[k] {
 			t.Errorf("README documents stats key %q but the server does not emit it", k)
 		}
 	}
@@ -308,10 +310,9 @@ func (b *syncBuf) String() string {
 }
 
 func TestSlowUpdateLog(t *testing.T) {
-	s, addr, cleanup := startServer(t)
-	defer cleanup()
 	var log syncBuf
-	s.SetSlowUpdate(time.Nanosecond, &log) // every update is "slow"
+	s, addr, cleanup := startServer(t, WithSlowUpdate(time.Nanosecond, &log)) // every update is "slow"
+	defer cleanup()
 	c := dial(t, addr)
 	defer c.close()
 	c.roundTrip(t, "node a")

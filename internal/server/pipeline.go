@@ -181,11 +181,11 @@ func (t *tracer) slows() uint64 {
 	return t.slowCount
 }
 
-// SetSlowUpdate configures the slow-update log: updates whose summed
+// setSlowUpdate configures the slow-update log: updates whose summed
 // pipeline stages exceed threshold are counted and logged to w (nil w
-// counts without logging; threshold ≤ 0 disables both). dnserve's
-// -slow-update flag calls this before serving.
-func (s *Server) SetSlowUpdate(threshold time.Duration, w io.Writer) {
+// counts without logging; threshold ≤ 0 disables both). Applied by
+// WithSlowUpdate at construction.
+func (s *Server) setSlowUpdate(threshold time.Duration, w io.Writer) {
 	s.tr.mu.Lock()
 	defer s.tr.mu.Unlock()
 	s.tr.slowNs = threshold.Nanoseconds()

@@ -1,0 +1,298 @@
+package server
+
+// This file is the replica side of the replication substrate
+// (WithReplicaOf): a loop that dials the primary, anchors on its
+// checkpoint when needed, streams the journal tail, and applies every
+// record into this server's own data plane and monitor — which then
+// serves reach/whatif/stats/W/watch locally, with verdicts and event
+// numbering that track the primary's (monitor.ApplyReplay).
+//
+// Consistency model: the replica is an eventually consistent snapshot
+// of the primary. Applied journal records are whole updates, so every
+// state a query sees existed on the primary; the event sequence is
+// monotonic and shared with the primary, so a watcher that fails over
+// carries its "watch since <seq>" cursor and sees either the missed
+// suffix or an explicit gap + snapshot — never silent divergence. When
+// the primary rotates its journal past the replica's cursor (replica
+// down across a checkpoint), the replica re-anchors: fresh checkpoint,
+// rebuilt data plane, resumed counters.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"deltanet/internal/core"
+	"deltanet/internal/netgraph"
+)
+
+const (
+	// replicaDialTimeout bounds one connection attempt to the primary.
+	replicaDialTimeout = 5 * time.Second
+	// replicaBackoffMax caps the reconnect backoff.
+	replicaBackoffMax = 3 * time.Second
+)
+
+// replicaLagBytes is the replica's byte lag: primary journal end (as of
+// the last received frame) minus the offset applied through.
+func (s *Server) replicaLagBytes() uint64 {
+	end, cur := s.replEnd.Load(), s.replCursor.Load()
+	if end <= cur {
+		return 0
+	}
+	return end - cur
+}
+
+// replicaLagSeconds is the replica's time lag: 0 when caught up, else
+// the age of the last applied record's stamp.
+func (s *Server) replicaLagSeconds() float64 {
+	if s.replicaLagBytes() == 0 {
+		return 0
+	}
+	st := s.replStamp.Load()
+	if st == 0 {
+		return 0
+	}
+	lag := time.Since(time.Unix(0, st)).Seconds()
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
+// replicaLoop runs replication sessions against the primary until the
+// server closes, reconnecting with capped backoff. Started by Serve.
+func (s *Server) replicaLoop() {
+	backoff := 100 * time.Millisecond
+	for {
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
+		err := s.replicaSession()
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnserve: replica: %v (retrying in %v)\n", err, backoff)
+		}
+		select {
+		case <-s.closed:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > replicaBackoffMax {
+			backoff = replicaBackoffMax
+		}
+	}
+}
+
+// replicaSession runs one connection's worth of replication: anchor on
+// a checkpoint when this replica has no state yet (or was told its
+// cursor is truncated), then stream and apply the journal tail until
+// the connection dies.
+func (s *Server) replicaSession() error {
+	conn, err := net.DialTimeout("tcp", s.replicaOf, replicaDialTimeout)
+	if err != nil {
+		return err
+	}
+	// Track the conn like an inbound one so Close unblocks the stream
+	// read; track refuses when the server is already closing.
+	if !s.track(conn) {
+		conn.Close()
+		return nil
+	}
+	defer func() {
+		conn.Close()
+		s.untrack(conn)
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), maxLine)
+
+	s.mu.RLock()
+	anchored := s.graph.NumNodes() > 0 || s.net.NumRules() > 0 || s.replCursor.Load() > 0
+	s.mu.RUnlock()
+	for {
+		if !anchored {
+			if err := s.replicaAnchor(conn, sc); err != nil {
+				return err
+			}
+		}
+		err := s.replicaStream(conn, sc)
+		if err == errJournalTruncated {
+			// The primary rotated past our cursor: re-anchor on a fresh
+			// checkpoint over the same connection.
+			s.replanchors.Add(1)
+			anchored = false
+			continue
+		}
+		return err
+	}
+}
+
+// errJournalTruncated is replicaStream's signal that the primary
+// refused the cursor and a checkpoint re-anchor is needed.
+var errJournalTruncated = fmt.Errorf("journal truncated at primary")
+
+// replicaAnchor fetches the primary's checkpoint and (re)builds the
+// local data plane from it: fresh graph, network, and monitor state,
+// with event/update counters resumed from the dump so numbering stays
+// continuous with the primary.
+func (s *Server) replicaAnchor(conn net.Conn, sc *bufio.Scanner) error {
+	//deltanet:nolint guardedwriter outbound client conn to the primary, owned by this goroutine alone; the guard is for served conns shared with watch fan-out
+	if _, err := fmt.Fprintln(conn, "checkpoint"); err != nil {
+		return err
+	}
+	if !sc.Scan() {
+		return scanFail(sc, "checkpoint response")
+	}
+	resp := strings.Fields(strings.TrimSpace(sc.Text()))
+	if len(resp) != 4 || resp[0] != "ok" || resp[1] != "checkpoint" {
+		return fmt.Errorf("bad checkpoint response %q", strings.Join(resp, " "))
+	}
+	n, err1 := strconv.Atoi(strings.TrimPrefix(resp[2], "n="))
+	off, err2 := strconv.ParseUint(strings.TrimPrefix(resp[3], "offset="), 10, 64)
+	if err1 != nil || err2 != nil || n < 1 {
+		return fmt.Errorf("bad checkpoint response %q", strings.Join(resp, " "))
+	}
+	var dump strings.Builder
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			return scanFail(sc, "checkpoint dump")
+		}
+		dump.WriteString(sc.Text())
+		dump.WriteByte('\n')
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetReplicaLocked()
+	if err := s.LoadState(strings.NewReader(dump.String())); err != nil {
+		return err
+	}
+	s.replCursor.Store(off)
+	if end := s.replEnd.Load(); end < off {
+		s.replEnd.Store(off)
+	}
+	return nil
+}
+
+// resetReplicaLocked empties the data plane for a checkpoint re-anchor:
+// fresh graph and network, monitor unbound from the old ones with its
+// sequence counters intact (monitor.Reset). Caller holds the write
+// lock, which excludes every query and dump for the duration.
+func (s *Server) resetReplicaLocked() {
+	g := netgraph.New()
+	n := core.NewNetwork(g, s.engineOpts)
+	s.graph = g
+	s.net = n
+	s.delta = core.Delta{}
+	s.loadedJournal = 0
+	s.mon.Reset(n)
+}
+
+// replicaStream requests the journal tail after the current cursor and
+// applies frames until the connection dies (error returned) or the
+// primary reports the cursor truncated (errJournalTruncated).
+func (s *Server) replicaStream(conn net.Conn, sc *bufio.Scanner) error {
+	cursor := s.replCursor.Load()
+	//deltanet:nolint guardedwriter outbound client conn to the primary, owned by this goroutine alone; the guard is for served conns shared with watch fan-out
+	if _, err := fmt.Fprintf(conn, "journal since %d\n", cursor); err != nil {
+		return err
+	}
+	if !sc.Scan() {
+		return scanFail(sc, "journal response")
+	}
+	resp := strings.TrimSpace(sc.Text())
+	if strings.HasPrefix(resp, "err journal truncated") {
+		return errJournalTruncated
+	}
+	if !strings.HasPrefix(resp, "ok journal ") {
+		return fmt.Errorf("bad journal response %q", resp)
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "err journal truncated") {
+			// A rotation raced the file catch-up mid-stream.
+			return errJournalTruncated
+		}
+		end, pend, seq, stamp, n, err := parseJournalFrame(line)
+		if err != nil {
+			return err
+		}
+		var payload strings.Builder
+		for i := 0; i < n; i++ {
+			if !sc.Scan() {
+				return scanFail(sc, "journal frame payload")
+			}
+			if i > 0 {
+				payload.WriteByte('\n')
+			}
+			payload.WriteString(strings.TrimSpace(sc.Text()))
+		}
+		s.mu.Lock()
+		msg := s.applyJournalLocked(payload.String(), seq)
+		s.mu.Unlock()
+		if msg != "" {
+			return fmt.Errorf("applying journal record at offset %d: %s", end, msg)
+		}
+		s.replCursor.Store(end)
+		s.replEnd.Store(pend)
+		s.replStamp.Store(stamp)
+	}
+	return scanFail(sc, "journal stream")
+}
+
+// parseJournalFrame parses one "r end=.. pend=.. seq=.. t=.. n=.."
+// frame header.
+func parseJournalFrame(line string) (end, pend, seq uint64, stamp int64, n int, err error) {
+	fields := strings.Fields(line)
+	if len(fields) != 6 || fields[0] != "r" {
+		return 0, 0, 0, 0, 0, fmt.Errorf("bad journal frame %q", line)
+	}
+	bad := func() error { return fmt.Errorf("bad journal frame %q", line) }
+	if end, err = parseKeyUint(fields[1], "end="); err != nil {
+		return 0, 0, 0, 0, 0, bad()
+	}
+	if pend, err = parseKeyUint(fields[2], "pend="); err != nil {
+		return 0, 0, 0, 0, 0, bad()
+	}
+	if seq, err = parseKeyUint(fields[3], "seq="); err != nil {
+		return 0, 0, 0, 0, 0, bad()
+	}
+	st, err := parseKeyUint(fields[4], "t=")
+	if err != nil {
+		return 0, 0, 0, 0, 0, bad()
+	}
+	cnt, err := parseKeyUint(fields[5], "n=")
+	if err != nil || cnt < 1 || cnt > maxBatch+1 {
+		return 0, 0, 0, 0, 0, bad()
+	}
+	return end, pend, seq, int64(st), int(cnt), nil
+}
+
+func parseKeyUint(field, prefix string) (uint64, error) {
+	v, ok := strings.CutPrefix(field, prefix)
+	if !ok {
+		return 0, fmt.Errorf("missing %s", prefix)
+	}
+	return strconv.ParseUint(v, 10, 64)
+}
+
+// scanFail turns a scanner stop into an error: the scanner's own error
+// when it has one, a disconnect otherwise.
+func scanFail(sc *bufio.Scanner, during string) error {
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading %s: %w", during, err)
+	}
+	return fmt.Errorf("primary closed the connection during %s", during)
+}

@@ -1,0 +1,514 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deltanet/internal/check"
+	"deltanet/internal/journal"
+	"deltanet/internal/monitor"
+)
+
+// startJournaledPrimary runs a primary with a journal at dir/primary.j.
+func startJournaledPrimary(t *testing.T, dir string) (*Server, *journal.Journal, string, func()) {
+	t.Helper()
+	j, err := journal.Open(dir+"/primary.j", journal.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, addr, cleanup := startServer(t, WithJournal(j))
+	return s, j, addr, func() {
+		cleanup()
+		j.Close()
+	}
+}
+
+// startReplica runs a read replica of the primary at primaryAddr.
+func startReplica(t *testing.T, primaryAddr string) (*Server, string, func()) {
+	t.Helper()
+	return startServer(t, WithReplicaOf(primaryAddr))
+}
+
+// waitReplicaCaughtUp polls until the replica's applied update count
+// reaches the primary's and its byte lag is zero.
+func waitReplicaCaughtUp(t *testing.T, primary, replica *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		want := primary.Monitor().UpdateSeq()
+		if replica.Monitor().UpdateSeq() >= want && replica.replicaLagBytes() == 0 &&
+			primary.Monitor().UpdateSeq() == want { // unchanged across the read
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never caught up: primary upd=%d replica upd=%d lag=%d",
+				primary.Monitor().UpdateSeq(), replica.Monitor().UpdateSeq(), replica.replicaLagBytes())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReplicaConvergence is the convergence equivalence test: under
+// concurrent rule churn on the primary, a replica must fold to the same
+// state — all-pairs reach verdicts, loop events, and the brute-force
+// loop oracle all agree once the journal drains.
+func TestReplicaConvergence(t *testing.T) {
+	primary, _, addr, cleanup := startJournaledPrimary(t, t.TempDir())
+	defer cleanup()
+
+	// Topology plus a standing loopfree invariant, registered before the
+	// replica anchors so the checkpoint dump carries the spec.
+	pc := dial(t, addr)
+	defer pc.close()
+	for _, req := range []string{
+		"node a", "node b", "node c",
+		"link 0 1",          // 0: a->b
+		"link 1 2",          // 1: b->c
+		"link 1 0",          // 2: b->a (the bounce link churn abuses)
+		"link 2 0",          // 3: c->a
+		"I 1 0 0 0 1000 10", // a->b for 0..1000
+	} {
+		if got := pc.roundTrip(t, req); !strings.HasPrefix(got, "ok") {
+			t.Fatalf("%s: %q", req, got)
+		}
+	}
+	if got := pc.roundTrip(t, "W loopfree"); !strings.HasPrefix(got, "ok watch 0 ") {
+		t.Fatalf("W loopfree: %q", got)
+	}
+
+	replica, raddr, rcleanup := startReplica(t, addr)
+	defer rcleanup()
+	waitReplicaCaughtUp(t, primary, replica)
+
+	// Concurrent churn: one writer toggles a loop-closing bounce rule
+	// (each toggle is a loopfree verdict transition), another churns
+	// plain rules, while readers query the replica mid-stream.
+	const rounds = 8
+	var wg sync.WaitGroup
+	wg.Add(3)
+	churnErr := make(chan error, 3)
+	go func() {
+		defer wg.Done()
+		c := dial(t, addr)
+		defer c.close()
+		for i := 0; i < rounds; i++ {
+			if got := c.roundTrip(t, "I 100 1 2 0 1000 10"); !strings.HasPrefix(got, "ok") {
+				churnErr <- fmt.Errorf("bounce insert: %q", got)
+				return
+			}
+			if got := c.roundTrip(t, "R 100"); !strings.HasPrefix(got, "ok") {
+				churnErr <- fmt.Errorf("bounce remove: %q", got)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		c := dial(t, addr)
+		defer c.close()
+		for i := 0; i < rounds*4; i++ {
+			id := 200 + i
+			if got := c.roundTrip(t, fmt.Sprintf("I %d 1 1 %d %d 5", id, i*10, i*10+5)); !strings.HasPrefix(got, "ok") {
+				churnErr <- fmt.Errorf("churn insert: %q", got)
+				return
+			}
+			if i%2 == 0 {
+				if got := c.roundTrip(t, fmt.Sprintf("R %d", id)); !strings.HasPrefix(got, "ok") {
+					churnErr <- fmt.Errorf("churn remove: %q", got)
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		c := dial(t, raddr)
+		defer c.close()
+		for i := 0; i < rounds*4; i++ {
+			if got := c.roundTrip(t, "reach a c"); !strings.HasPrefix(got, "ok reach ") {
+				churnErr <- fmt.Errorf("replica read mid-churn: %q", got)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-churnErr:
+		t.Fatal(err)
+	default:
+	}
+	waitReplicaCaughtUp(t, primary, replica)
+
+	// All-pairs reach verdicts agree over the wire.
+	prc, rrc := dial(t, addr), dial(t, raddr)
+	defer prc.close()
+	defer rrc.close()
+	for _, src := range []string{"a", "b", "c"} {
+		for _, dst := range []string{"a", "b", "c"} {
+			if src == dst {
+				continue
+			}
+			req := fmt.Sprintf("reach %s %s", src, dst)
+			p, r := prc.roundTrip(t, req), rrc.roundTrip(t, req)
+			if p != r {
+				t.Errorf("%s: primary %q, replica %q", req, p, r)
+			}
+		}
+	}
+
+	// Loop oracle: the replica's own engine agrees with a brute-force
+	// loop scan, and with the primary's.
+	pLoops := len(check.FindLoopsAll(primary.Network()))
+	rLoops := len(check.FindLoopsAll(replica.Network()))
+	if pLoops != rLoops {
+		t.Errorf("loop oracle: primary %d, replica %d", pLoops, rLoops)
+	}
+
+	// Event streams: the replica replayed every loopfree transition the
+	// churn produced, with the primary's numbering — its backlog is a
+	// suffix of the primary's, line for line.
+	pEvents := eventLines(t, prc, "events since 0")
+	rEvents := eventLines(t, rrc, "events since 0")
+	if len(rEvents) == 0 || len(pEvents) < len(rEvents) {
+		t.Fatalf("event counts: primary %d, replica %d", len(pEvents), len(rEvents))
+	}
+	offset := len(pEvents) - len(rEvents)
+	for i, r := range rEvents {
+		if p := pEvents[offset+i]; p != r {
+			t.Errorf("event %d diverged:\nprimary %q\nreplica %q", i, p, r)
+		}
+	}
+	if got := rrc.roundTrip(t, "stats"); !strings.Contains(got, " lag=0") {
+		t.Errorf("replica stats missing lag=0: %q", got)
+	}
+	if got := prc.roundTrip(t, "stats"); !strings.Contains(got, " jrnl=") {
+		t.Errorf("primary stats missing jrnl=: %q", got)
+	}
+}
+
+// eventLines replays the event backlog via req, skipping gap markers.
+func eventLines(t *testing.T, c *client, req string) []string {
+	t.Helper()
+	resp := c.roundTrip(t, req)
+	var n int
+	if _, err := fmt.Sscanf(resp, "ok events n=%d", &n); err != nil {
+		t.Fatalf("%s: %q", req, resp)
+	}
+	var lines []string
+	for i := 0; i < n; i++ {
+		if !c.r.Scan() {
+			t.Fatalf("event replay truncated at %d/%d: %v", i, n, c.r.Err())
+		}
+		if l := c.r.Text(); strings.HasPrefix(l, "event ") {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// TestReplicaRejectsMutations: every mutation verb is refused by a
+// replica — including batch bodies, which must be drained, not
+// executed.
+func TestReplicaRejectsMutations(t *testing.T) {
+	_, _, addr, cleanup := startJournaledPrimary(t, t.TempDir())
+	defer cleanup()
+	replica, raddr, rcleanup := startReplica(t, addr)
+	defer rcleanup()
+
+	c := dial(t, raddr)
+	defer c.close()
+	for _, req := range []string{
+		"node x", "link 0 1", "I 1 0 0 0 100 1", "R 1", "burst 2 0",
+	} {
+		if got := c.roundTrip(t, req); !strings.HasPrefix(got, "err read-only replica") {
+			t.Errorf("%s on replica: %q, want read-only refusal", req, got)
+		}
+	}
+	// The batch body must be consumed as the batch's payload: the I line
+	// inside it is not executed as a command, and the connection stays
+	// usable in sync.
+	if got := c.roundTrip(t, "B 1\nI 1 0 0 0 100 1"); !strings.HasPrefix(got, "err read-only replica") {
+		t.Errorf("B on replica: %q", got)
+	}
+	if got := c.roundTrip(t, "stats"); !strings.HasPrefix(got, "ok stats ") {
+		t.Errorf("stats after refused batch: %q", got)
+	}
+	if replica.Network().NumRules() != 0 {
+		t.Errorf("refused mutations changed replica state: %d rules", replica.Network().NumRules())
+	}
+}
+
+// proxy is a byte-level TCP forwarder whose upstream can be swapped,
+// so a replica's fixed -replica-of address can survive a primary
+// restart on a new port.
+type proxy struct {
+	l  net.Listener
+	mu sync.Mutex
+	up string
+}
+
+func newProxy(t *testing.T) *proxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &proxy{l: l}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go p.forward(c)
+		}
+	}()
+	t.Cleanup(func() { l.Close() })
+	return p
+}
+
+func (p *proxy) addr() string { return p.l.Addr().String() }
+
+func (p *proxy) setUpstream(addr string) {
+	p.mu.Lock()
+	p.up = addr
+	p.mu.Unlock()
+}
+
+func (p *proxy) forward(c net.Conn) {
+	p.mu.Lock()
+	up := p.up
+	p.mu.Unlock()
+	if up == "" {
+		c.Close()
+		return
+	}
+	u, err := net.Dial("tcp", up)
+	if err != nil {
+		c.Close()
+		return
+	}
+	go func() {
+		io.Copy(u, c)
+		u.Close()
+		c.Close()
+	}()
+	io.Copy(c, u)
+	u.Close()
+	c.Close()
+}
+
+// TestReplicaReanchorsAfterRotation: a replica that was offline across
+// a primary restart plus journal rotation finds its cursor truncated
+// and re-anchors on a fresh checkpoint instead of failing permanently.
+func TestReplicaReanchorsAfterRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := journal.Open(dir+"/p.j", journal.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	primary1, addr1, cleanup1 := startServer(t, WithJournal(j))
+	px := newProxy(t)
+	px.setUpstream(addr1)
+
+	pc := dial(t, addr1)
+	for _, req := range []string{
+		"node a", "node b", "link 0 1", "link 1 0", "I 1 0 0 0 1000 10",
+	} {
+		if got := pc.roundTrip(t, req); !strings.HasPrefix(got, "ok") {
+			t.Fatalf("%s: %q", req, got)
+		}
+	}
+	pc.close()
+
+	replica, _, rcleanup := startReplica(t, px.addr())
+	defer rcleanup()
+	waitReplicaCaughtUp(t, primary1, replica)
+	cursorBefore := replica.replCursor.Load()
+
+	// Take the primary down; its state survives as a checkpoint dump.
+	var state bytes.Buffer
+	if _, err := primary1.CheckpointTo(&state, primary1.Monitor().SnapshotSpecs()); err != nil {
+		t.Fatal(err)
+	}
+	cleanup1()
+
+	// Restart: load the checkpoint, apply more updates, checkpoint
+	// again, and rotate the journal past the replica's cursor — the
+	// window the replica missed no longer exists as journal records.
+	primary2 := New(WithJournal(j))
+	if err := primary2.LoadState(bytes.NewReader(state.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary2.ReplayJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	owned := map[monitor.ID]int{}
+	for _, req := range []string{
+		"node c", "link 1 2", "I 2 1 2 0 500 5", "R 1",
+	} {
+		if got := primary2.dispatch(req, owned); !strings.HasPrefix(got, "ok") {
+			t.Fatalf("%s on primary2: %q", req, got)
+		}
+	}
+	off, err := primary2.CheckpointTo(io.Discard, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Rotate(off); err != nil {
+		t.Fatal(err)
+	}
+	if j.Base() <= cursorBefore {
+		t.Fatalf("rotation did not pass the replica's cursor: base=%d cursor=%d", j.Base(), cursorBefore)
+	}
+
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan error, 1)
+	go func() { done2 <- primary2.Serve(l2) }()
+	defer func() {
+		primary2.Close()
+		<-done2
+		j.Close()
+	}()
+	px.setUpstream(l2.Addr().String())
+
+	deadline := time.Now().Add(15 * time.Second)
+	for replica.replanchors.Load() == 0 || replica.Monitor().UpdateSeq() < primary2.Monitor().UpdateSeq() {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never re-anchored: reanchors=%d upd=%d (primary %d)",
+				replica.replanchors.Load(), replica.Monitor().UpdateSeq(), primary2.Monitor().UpdateSeq())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitReplicaCaughtUp(t, primary2, replica)
+	if pr, rr := primary2.Network().NumRules(), replica.Network().NumRules(); pr != rr {
+		t.Errorf("post-re-anchor rules: primary %d, replica %d", pr, rr)
+	}
+	if pn, rn := primary2.Graph().NumNodes(), replica.Graph().NumNodes(); pn != rn {
+		t.Errorf("post-re-anchor nodes: primary %d, replica %d", pn, rn)
+	}
+}
+
+// TestJournalCrashRecovery: checkpoint + journal suffix equals the full
+// pre-crash state, and a torn final record (the crash landed mid-write)
+// is dropped, not misapplied.
+func TestJournalCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/p.j"
+	j, err := journal.Open(path, journal.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := New(WithJournal(j))
+	owned := map[monitor.ID]int{}
+	reqs := []string{
+		"node a", "node b", "link 0 1",
+		"I 1 0 0 0 100 1", "I 2 0 0 200 300 1", "I 3 0 0 400 500 1",
+	}
+	for _, req := range reqs {
+		if got := s1.dispatch(req, owned); !strings.HasPrefix(got, "ok") {
+			t.Fatalf("%s: %q", req, got)
+		}
+	}
+	wantUpd := s1.Monitor().UpdateSeq()
+	j.Close() // crash: no checkpoint was ever written
+
+	// Clean recovery: replay the whole journal into a fresh server.
+	j2, err := journal.Open(path, journal.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(WithJournal(j2))
+	applied, err := s2.ReplayJournal(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(reqs) {
+		t.Fatalf("replayed %d records, want %d", applied, len(reqs))
+	}
+	if s2.Network().NumRules() != 3 || s2.Graph().NumNodes() != 2 || s2.Monitor().UpdateSeq() != wantUpd {
+		t.Fatalf("recovered state wrong: %d rules, %d nodes, upd=%d (want 3, 2, %d)",
+			s2.Network().NumRules(), s2.Graph().NumNodes(), s2.Monitor().UpdateSeq(), wantUpd)
+	}
+	j2.Close()
+
+	// Torn tail: chop bytes off the final record; recovery must drop
+	// exactly that record and apply the rest.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := journal.Open(path, journal.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Dropped() == 0 {
+		t.Fatal("torn tail not detected")
+	}
+	s3 := New(WithJournal(j3))
+	applied, err = s3.ReplayJournal(j3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(reqs)-1 {
+		t.Fatalf("torn replay applied %d records, want %d", applied, len(reqs)-1)
+	}
+	if s3.Network().NumRules() != 2 {
+		t.Fatalf("torn recovery: %d rules, want 2 (last insert dropped)", s3.Network().NumRules())
+	}
+}
+
+// TestCheckpointVerb: the wire checkpoint is a loadable state dump
+// whose offset anchors "journal since" exactly at the dump's cut.
+func TestCheckpointVerb(t *testing.T) {
+	_, j, addr, cleanup := startJournaledPrimary(t, t.TempDir())
+	defer cleanup()
+	c := dial(t, addr)
+	defer c.close()
+	for _, req := range []string{"node a", "node b", "link 0 1", "I 1 0 0 0 100 1"} {
+		c.roundTrip(t, req)
+	}
+	resp := c.roundTrip(t, "checkpoint")
+	var n int
+	var off uint64
+	if _, err := fmt.Sscanf(resp, "ok checkpoint n=%d offset=%d", &n, &off); err != nil {
+		t.Fatalf("checkpoint: %q", resp)
+	}
+	if off != j.End() {
+		t.Errorf("checkpoint offset %d, journal end %d", off, j.End())
+	}
+	var dump strings.Builder
+	for i := 0; i < n; i++ {
+		if !c.r.Scan() {
+			t.Fatalf("dump truncated at %d/%d", i, n)
+		}
+		dump.WriteString(c.r.Text())
+		dump.WriteByte('\n')
+	}
+	restored := New()
+	if err := restored.LoadState(strings.NewReader(dump.String())); err != nil {
+		t.Fatalf("checkpoint dump not loadable: %v\n%s", err, dump.String())
+	}
+	if restored.Network().NumRules() != 1 || restored.Graph().NumNodes() != 2 {
+		t.Fatalf("restored %d rules, %d nodes", restored.Network().NumRules(), restored.Graph().NumNodes())
+	}
+	if restored.loadedJournal != off {
+		t.Errorf("restored journal cursor %d, want %d", restored.loadedJournal, off)
+	}
+}

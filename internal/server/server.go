@@ -150,6 +150,7 @@ import (
 	"deltanet/internal/check"
 	"deltanet/internal/core"
 	"deltanet/internal/ipnet"
+	"deltanet/internal/journal"
 	"deltanet/internal/monitor"
 	"deltanet/internal/netgraph"
 )
@@ -168,6 +169,11 @@ type Server struct {
 	delta core.Delta
 	mon   *monitor.Monitor
 
+	// engineOpts is the engine configuration New built the network with,
+	// kept so a replica re-anchor (replica.go) rebuilds an identically
+	// configured one. Set once in New, then read-only.
+	engineOpts core.Options
+
 	wg        sync.WaitGroup
 	listener  net.Listener
 	closeOnce sync.Once
@@ -179,12 +185,42 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
+	// jsubMu guards the journal stream subscriber set (journal.go).
+	//
+	//deltanet:lockrank 15
+	jsubMu sync.Mutex
+	jsubs  map[chan journal.Record]struct{}
+
 	// flushMu guards the background burst flusher's lifecycle; flushStop
 	// is non-nil while a flusher goroutine runs.
 	//
 	//deltanet:lockrank 30
 	flushMu   sync.Mutex
 	flushStop chan struct{}
+
+	// jrnl, when non-nil, receives every applied mutation (options.go:
+	// WithJournal). Set before Serve, then read-only; appends happen
+	// under the write lock. jrnlErrs counts failed appends (the update
+	// itself is already applied and acknowledged; durability, not
+	// correctness, is what degrades).
+	jrnl     *journal.Journal
+	jrnlErrs atomic.Uint64
+
+	// loadedJournal is the journal offset a LoadState-restored dump was
+	// current through (state.go); LoadedJournalOffset exposes it so the
+	// caller knows where to resume journal replay. Written only by
+	// LoadState (before Serve) and the replica re-anchor path (under the
+	// write lock).
+	loadedJournal uint64
+
+	// replicaOf, when non-empty, is the primary address this server
+	// replicates from (options.go: WithReplicaOf); replica.go holds the
+	// loop and the lag state below. Set before Serve, then read-only.
+	replicaOf   string
+	replCursor  atomic.Uint64 // journal offset applied through
+	replEnd     atomic.Uint64 // primary journal end, as of the last frame
+	replStamp   atomic.Int64  // unixnano stamp of the last applied record
+	replanchors atomic.Uint64 // checkpoint re-anchors (journal truncations)
 
 	// staged carries the in-flight mutation's server-side stage timings
 	// for the monitor trace sink (pipeline.go). Guarded by mu: written
@@ -208,21 +244,45 @@ type Server struct {
 	started time.Time
 }
 
-// New returns a server over a fresh empty data plane.
-func New(opts core.Options) *Server {
+// New returns a server over a fresh empty data plane, configured by
+// functional options (options.go).
+func New(opts ...Option) *Server {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
 	g := netgraph.New()
-	n := core.NewNetwork(g, opts)
+	n := core.NewNetwork(g, o.engine)
 	s := &Server{
-		graph:   g,
-		net:     n,
-		mon:     monitor.New(n, 0),
-		closed:  make(chan struct{}),
-		conns:   map[net.Conn]struct{}{},
-		started: time.Now(),
+		graph:      g,
+		net:        n,
+		mon:        monitor.New(n, 0),
+		engineOpts: o.engine,
+		closed:     make(chan struct{}),
+		conns:      map[net.Conn]struct{}{},
+		jsubs:      map[chan journal.Record]struct{}{},
+		started:    time.Now(),
 	}
 	// Every delta-driven evaluation pass reports its stage times back to
 	// the server, merging with the staged engine-side stages (pipeline.go).
 	s.mon.SetTraceSink(s.onApplyTrace)
+	if o.backlog != 0 {
+		s.mon.SetBacklog(o.backlog)
+	}
+	if o.slow > 0 {
+		s.setSlowUpdate(o.slow, o.slowLog)
+	}
+	s.jrnl = o.jrnl
+	s.replicaOf = o.replicaOf
+	if s.replicaOf == "" && (o.burst.MaxDeltas >= 2 || o.burst.MaxAge > 0) {
+		// Replicas force burst off: coalescing on a replica would flush on
+		// different boundaries than the primary and the event streams
+		// would diverge.
+		s.setBurst(o.burst)
+	}
+	if o.reg != nil {
+		s.enableMetrics(o.reg)
+	}
 	return s
 }
 
@@ -230,14 +290,14 @@ func New(opts core.Options) *Server {
 // invariants before serving).
 func (s *Server) Monitor() *monitor.Monitor { return s.mon }
 
-// SetBurst configures coalescing burst mode on the shared monitor (the
+// setBurst configures coalescing burst mode on the shared monitor (the
 // zero config disables it and flushes any pending burst), and manages the
 // background flusher that bounds event latency when cfg.MaxAge > 0. It is
-// what the protocol's burst command calls; dnserve's -burst flags call it
-// before serving. The caller must guarantee the data plane is stable for
+// what the protocol's burst command calls; WithBurst applies it at
+// construction. The caller must guarantee the data plane is stable for
 // the disable path's flush: hold at least the read lock (the protocol
 // path does), or call before serving starts.
-func (s *Server) SetBurst(cfg monitor.BurstConfig) {
+func (s *Server) setBurst(cfg monitor.BurstConfig) {
 	s.mon.SetBurst(cfg)
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
@@ -308,6 +368,13 @@ func (s *Server) Serve(l net.Listener) error {
 		l.Close()
 		return nil
 	default:
+	}
+	if s.replicaOf != "" {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.replicaLoop()
+		}()
 	}
 	for {
 		conn, err := l.Accept()
@@ -475,6 +542,14 @@ func (s *Server) handle(conn net.Conn) {
 		case fields[0] == "B":
 			s.countVerb("B")
 			resp, fatal = s.readAndApplyBatch(fields, sc)
+		case fields[0] == "journal":
+			s.countVerb("journal")
+			// Streaming mode: on success the connection is dedicated to the
+			// journal tail until it closes (the replica speaks no further
+			// commands on it); an error response keeps the line loop going.
+			if resp = s.streamJournal(fields, cw); resp == "" {
+				return
+			}
 		case fields[0] == "watch":
 			s.countVerb("watch")
 			var err error
@@ -676,6 +751,11 @@ func (s *Server) readAndApplyBatch(fields []string, sc *bufio.Scanner) (resp str
 		}
 		lines = append(lines, line)
 	}
+	// The body is fully drained before the read-only check so its lines
+	// are never executed as individual commands.
+	if s.replicaOf != "" {
+		return errReadOnly, false
+	}
 
 	t0 := time.Now()
 	s.mu.Lock()
@@ -700,6 +780,9 @@ func (s *Server) readAndApplyBatch(fields []string, sc *bufio.Scanner) (resp str
 		lockNs: lockNs, applyNs: time.Since(t0).Nanoseconds()}
 	s.mon.ApplyWithLoops(&s.delta, loops, true)
 	s.finishUpdateLocked()
+	// One journal record for the whole batch: replay re-applies it
+	// atomically through the same ApplyBatch path.
+	s.journalAppendLocked("B " + strconv.Itoa(count) + "\n" + strings.Join(lines, "\n"))
 	var b strings.Builder
 	fmt.Fprintf(&b, "ok batch n=%d atoms=%d loops=%d", count, s.net.NumAtoms(), len(loops))
 	for _, l := range loops {
@@ -761,9 +844,14 @@ func (s *Server) parseUpdate(fields []string) (core.BatchOp, string) {
 //deltanet:dispatch
 var protocolCommands = []string{
 	"B", "I", "R", "W",
-	"burst", "events", "flush", "link", "node", "quit",
-	"reach", "stats", "trace", "unwatch", "watch", "whatif",
+	"burst", "checkpoint", "events", "flush", "journal", "link", "node",
+	"quit", "reach", "stats", "trace", "unwatch", "watch", "whatif",
 }
+
+// errReadOnly is the refusal every mutating command gets on a replica
+// (node, link, I, R, B, and burst — coalescing would desync the event
+// stream from the primary's).
+const errReadOnly = "err read-only replica: mutations go to the primary"
 
 // dispatch executes one request under the engine lock: read-only requests
 // (including monitor registration and burst flushing, which only read the
@@ -781,7 +869,15 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 	// pipeline trace (pipeline.go); reads are not traced.
 	var lockNs int64
 	switch fields[0] {
-	case "reach", "whatif", "stats", "W", "unwatch", "flush", "burst", "events", "trace":
+	case "node", "link", "I", "R", "burst":
+		if s.replicaOf != "" {
+			// Refused before any lock: a replica's write lock belongs to
+			// the apply loop, and burst would desync it from the primary.
+			return errReadOnly
+		}
+	}
+	switch fields[0] {
+	case "reach", "whatif", "stats", "W", "unwatch", "flush", "burst", "events", "trace", "checkpoint":
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 	default:
@@ -796,6 +892,7 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 			return "err usage: node <name>"
 		}
 		id := s.graph.AddNode(fields[1])
+		s.journalAppendLocked(line)
 		return fmt.Sprintf("ok node %d", id)
 	case "link":
 		src, dst, err := twoInts(fields)
@@ -806,6 +903,7 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 			return "err unknown node id"
 		}
 		id := s.graph.AddLink(netgraph.NodeID(src), netgraph.NodeID(dst))
+		s.journalAppendLocked(line)
 		return fmt.Sprintf("ok link %d", id)
 	case "I":
 		t0 := time.Now()
@@ -823,6 +921,7 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 			lockNs: lockNs, applyNs: time.Since(t0).Nanoseconds()}
 		s.mon.ApplyWithLoops(&s.delta, loops, true)
 		s.finishUpdateLocked()
+		s.journalAppendLocked(line)
 		return s.updateResponse(loops)
 	case "R":
 		t0 := time.Now()
@@ -839,6 +938,7 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 			lockNs: lockNs, applyNs: time.Since(t0).Nanoseconds()}
 		s.mon.Apply(&s.delta)
 		s.finishUpdateLocked()
+		s.journalAppendLocked(line)
 		return s.updateResponse(nil)
 	case "reach":
 		if len(fields) != 3 {
@@ -915,7 +1015,7 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		if err1 != nil || err2 != nil || deltas < 0 || ageMs < 0 {
 			return "err burst arguments must be non-negative integers"
 		}
-		s.SetBurst(monitor.BurstConfig{MaxDeltas: deltas, MaxAge: time.Duration(ageMs) * time.Millisecond})
+		s.setBurst(monitor.BurstConfig{MaxDeltas: deltas, MaxAge: time.Duration(ageMs) * time.Millisecond})
 		return fmt.Sprintf("ok burst deltas=%d age=%d", deltas, ageMs)
 	case "flush":
 		if len(fields) != 1 {
@@ -952,10 +1052,20 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		for i, p := range st.IndexShardBits {
 			shards[i] = strconv.Itoa(p)
 		}
-		return fmt.Sprintf("ok stats rules=%d atoms=%d links=%d nodes=%d watch=%d pending=%d upd=%d rskip=%d ix=%s",
+		var b strings.Builder
+		fmt.Fprintf(&b, "ok stats rules=%d atoms=%d links=%d nodes=%d watch=%d pending=%d upd=%d rskip=%d ix=%s",
 			s.net.NumRules(), s.net.NumAtoms(), s.graph.NumLinks(),
 			s.graph.NumNodes(), st.Registered, st.Pending, st.Updates,
 			st.RangeSkips, strings.Join(shards, ","))
+		if s.jrnl != nil {
+			fmt.Fprintf(&b, " jrnl=%d", s.jrnl.End())
+		}
+		if s.replicaOf != "" {
+			fmt.Fprintf(&b, " lag=%d", s.replicaLagBytes())
+		}
+		return b.String()
+	case "checkpoint":
+		return s.checkpointResponse()
 	case "trace":
 		return s.traceResponse(fields)
 	default:

@@ -20,9 +20,9 @@ import (
 )
 
 // startServer returns a running server, its address, and a cleanup func.
-func startServer(t *testing.T) (*Server, string, func()) {
+func startServer(t *testing.T, opts ...Option) (*Server, string, func()) {
 	t.Helper()
-	s := New(core.Options{})
+	s := New(opts...)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -336,7 +336,7 @@ func TestBatchBodySizeCap(t *testing.T) {
 // TestCloseIdempotent: a second Close must not panic and must return nil
 // (regression: it used to re-close the shutdown channel).
 func TestCloseIdempotent(t *testing.T) {
-	s := New(core.Options{})
+	s := New()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -417,7 +417,7 @@ func TestQuitClosesConnection(t *testing.T) {
 }
 
 func TestPreloadedServer(t *testing.T) {
-	s := New(core.Options{})
+	s := New()
 	a := s.Graph().AddNode("a")
 	b := s.Graph().AddNode("b")
 	l := s.Graph().AddLink(a, b)
@@ -596,7 +596,7 @@ func TestWatchStreamingBatch(t *testing.T) {
 // disconnect voluntarily — a watcher idling in streaming mode (the
 // designed long-lived usage) is closed by the server.
 func TestCloseUnblocksIdleWatcher(t *testing.T) {
-	s := New(core.Options{})
+	s := New()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -778,7 +778,7 @@ func waitFor(t *testing.T, cond func() bool) {
 // invariant.
 func TestWatchEquivalence10K(t *testing.T) {
 	const numNodes, chainLen, numInv = 128, 16, 10_000
-	s := New(core.Options{})
+	s := New()
 	g := s.Graph()
 	for i := 0; i < numNodes; i++ {
 		g.AddNode(fmt.Sprintf("n%d", i))

@@ -21,15 +21,17 @@ import (
 	"deltanet/internal/netgraph"
 )
 
-// stateHeader is the first line of a version-2 state file. The format is
+// stateHeader is the first line of a version-3 state file. The format is
 // line-oriented and human-readable, in this order:
 //
-//	deltanet-state 2
+//	deltanet-state 3
 //	node <name>                              (one per node, in id order)
 //	link <srcID> <dstID>                     (one per link, in id order)
 //	drop <nodeID>                            (optional: the drop sink)
 //	rule <id> <srcID> <linkID> <lo> <hi> <prio>
 //	seq <lastEventSeq>                       (optional: event-stream cursor)
+//	upd <updateSeq>                          (optional: update counter)
+//	journal <offset>                         (optional: journal cursor)
 //	spec <serialized invariant>              (monitor.FormatSpec form)
 //
 // Nodes and links are dumped positionally so every id a client or a spec
@@ -41,10 +43,16 @@ import (
 // monitor resumes numbering where the previous incarnation stopped and
 // a watcher's "watch since <seq>" cursor keeps meaning the same point
 // in the stream — the gap it is shown covers only the genuinely missed
-// window, not a whole foreign stream. Version-1 files (everything but
-// the seq line) load unchanged.
+// window, not a whole foreign stream. The v3 additions serve the
+// journal/replication substrate: upd carries the monitor's update
+// sequence counter (so replayed journal records keep the primary's
+// numbering), and journal is the logical journal offset the dump is
+// current through — the exact cursor to resume "journal since" from, or
+// to replay a local journal suffix after a crash. Version-1 and -2
+// files load unchanged.
 const (
-	stateHeader   = "deltanet-state 2"
+	stateHeader   = "deltanet-state 3"
+	stateHeaderV2 = "deltanet-state 2"
 	stateHeaderV1 = "deltanet-state 1"
 )
 
@@ -66,8 +74,25 @@ func (s *Server) SaveState(w io.Writer) error {
 // SnapshotSpecs format), for callers that captured the watch set at a
 // different moment than the dump — see SaveState.
 func (s *Server) SaveStateWithSpecs(w io.Writer, specs []string) error {
+	_, err := s.CheckpointTo(w, specs)
+	return err
+}
+
+// CheckpointTo is SaveStateWithSpecs returning the journal offset the
+// dump is current through (0 without a journal): the cursor a journal
+// rotation anchors to (Journal.Rotate keeps everything after it), and
+// the dump's own journal record. Offset and dump are captured under one
+// read-lock acquisition, so no update can land between them.
+func (s *Server) CheckpointTo(w io.Writer, specs []string) (journalOffset uint64, err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.saveStateLocked(w, specs)
+}
+
+// saveStateLocked writes the state dump. Caller holds s.mu in some mode
+// (mutations are excluded for the duration, so the journal offset, the
+// monitor counters, and the engine contents are one consistent cut).
+func (s *Server) saveStateLocked(w io.Writer, specs []string) (journalOffset uint64, err error) {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, stateHeader)
 	for v := 0; v < s.graph.NumNodes(); v++ {
@@ -86,10 +111,23 @@ func (s *Server) SaveStateWithSpecs(w io.Writer, specs []string) error {
 	if seq := s.mon.LastSeq(); seq > 0 {
 		fmt.Fprintf(bw, "seq %d\n", seq)
 	}
+	if upd := s.mon.UpdateSeq(); upd > 0 {
+		fmt.Fprintf(bw, "upd %d\n", upd)
+	}
+	if s.jrnl != nil {
+		journalOffset = s.jrnl.End()
+		fmt.Fprintf(bw, "journal %d\n", journalOffset)
+	} else if s.replicaOf != "" {
+		// A replica's dump carries its applied-through cursor, so a
+		// replica restarted from its own state file resumes the stream
+		// where it stopped.
+		journalOffset = s.replCursor.Load()
+		fmt.Fprintf(bw, "journal %d\n", journalOffset)
+	}
 	for _, spec := range specs {
 		fmt.Fprintf(bw, "spec %s\n", spec)
 	}
-	return bw.Flush()
+	return journalOffset, bw.Flush()
 }
 
 // LoadState restores a state dump (version 1 or 2) into an empty server:
@@ -108,7 +146,7 @@ func (s *Server) LoadState(r io.Reader) error {
 	if !sc.Scan() {
 		return fmt.Errorf("server: not a %q file", stateHeader)
 	}
-	if h := strings.TrimSpace(sc.Text()); h != stateHeader && h != stateHeaderV1 {
+	if h := strings.TrimSpace(sc.Text()); h != stateHeader && h != stateHeaderV2 && h != stateHeaderV1 {
 		return fmt.Errorf("server: not a %q file", stateHeader)
 	}
 	var rules []core.Rule
@@ -183,6 +221,24 @@ func (s *Server) LoadState(r io.Reader) error {
 				return bad("bad sequence number")
 			}
 			s.mon.ResumeSeq(seq)
+		case "upd":
+			if len(fields) != 2 {
+				return bad("usage: upd <updateSeq>")
+			}
+			upd, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return bad("bad update counter")
+			}
+			s.mon.ResumeUpdates(upd)
+		case "journal":
+			if len(fields) != 2 {
+				return bad("usage: journal <offset>")
+			}
+			off, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return bad("bad journal offset")
+			}
+			s.loadedJournal = off
 		case "spec":
 			spec, err := monitor.ParseSpec(strings.TrimSpace(strings.TrimPrefix(line, "spec")))
 			if err != nil {
