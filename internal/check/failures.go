@@ -32,7 +32,9 @@ type FailureImpact struct {
 // rerouting happened — the instant after the failure, before the
 // controller reacts.
 func ReachableAvoiding(n *core.Network, from, to netgraph.NodeID, failed map[netgraph.LinkID]bool) *bitset.Set {
-	return at(fixpoint{avoid: netgraph.NoNode, failed: failed}.run(n, from), to)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	return cloneAt(fixpoint{avoid: netgraph.NoNode, failed: failed}.run(n, from, sc), to)
 }
 
 // AnalyzeFailure computes the impact of failing a combination of links.

@@ -33,19 +33,28 @@ type Loop struct {
 //
 // The returned loops are deduplicated per atom.
 func FindLoopsDelta(n *core.Network, d *core.Delta) []Loop {
+	sc := GetScratch()
+	defer PutScratch(sc)
+	return FindLoopsDeltaScratch(n, d, sc)
+}
+
+// FindLoopsDeltaScratch is FindLoopsDelta over caller-owned scratch —
+// the monitor threads its per-worker Scratch through here so steady-state
+// churn checks allocate nothing (beyond any loops found).
+func FindLoopsDeltaScratch(n *core.Network, d *core.Delta, sc *Scratch) []Loop {
 	if d == nil || len(d.Added) == 0 {
 		return nil
 	}
 	var loops []Loop
-	seen := map[intervalmap.AtomID]bool{}
+	sc.beginAtoms(n.MaxAtomID())
 	for _, la := range d.Added {
-		if seen[la.Atom] {
-			continue
+		if sc.atomGen[la.Atom] == sc.atomEpoch {
+			continue // already reported a loop for this atom
 		}
 		l := n.Graph().Link(la.Link)
-		if loop, ok := traceLoop(n, l.Src, la.Atom); ok {
+		if loop, ok := traceLoop(n, l.Src, la.Atom, sc); ok {
 			loops = append(loops, loop)
-			seen[la.Atom] = true
+			sc.markAtom(la.Atom)
 		}
 	}
 	return loops
@@ -54,17 +63,21 @@ func FindLoopsDelta(n *core.Network, d *core.Delta) []Loop {
 // traceLoop follows atom's forwarding function from node start. Because
 // each (node, atom) has at most one out-edge, the walk either terminates
 // (delivery, drop, or rule miss) or revisits a node, which is a loop.
-func traceLoop(n *core.Network, start netgraph.NodeID, atom intervalmap.AtomID) (Loop, bool) {
+// Walk state lives in sc's epoch-stamped position arrays; only a found
+// loop's node list is allocated.
+func traceLoop(n *core.Network, start netgraph.NodeID, atom intervalmap.AtomID, sc *Scratch) (Loop, bool) {
 	g := n.Graph()
-	visited := map[netgraph.NodeID]int{}
-	var path []netgraph.NodeID
+	sc.growNodes(g.NumNodes())
+	sc.beginWalk()
 	v := start
 	for {
-		if at, ok := visited[v]; ok {
-			return Loop{Atom: atom, Nodes: append(append([]netgraph.NodeID(nil), path[at:]...), v)}, true
+		if sc.posGen[v] == sc.walkGen {
+			at := sc.pos[v]
+			return Loop{Atom: atom, Nodes: append(append([]netgraph.NodeID(nil), sc.path[at:]...), v)}, true
 		}
-		visited[v] = len(path)
-		path = append(path, v)
+		sc.posGen[v] = sc.walkGen
+		sc.pos[v] = int32(len(sc.path))
+		sc.path = append(sc.path, v)
 		next := n.ForwardLink(v, atom)
 		if next == netgraph.NoLink || g.IsDropLink(next) {
 			return Loop{}, false
@@ -81,7 +94,14 @@ func traceLoop(n *core.Network, start netgraph.NodeID, atom intervalmap.AtomID) 
 // total cost is O(atoms × nodes). At most one loop is reported per atom
 // per distinct cycle entry.
 func FindLoopsAll(n *core.Network) []Loop {
-	return findLoops(n, nil)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	return findLoops(n, nil, sc)
+}
+
+// FindLoopsAllScratch is FindLoopsAll over caller-owned scratch.
+func FindLoopsAllScratch(n *core.Network, sc *Scratch) []Loop {
+	return findLoops(n, nil, sc)
 }
 
 // FindLoopsAtoms is FindLoopsAll restricted to a candidate atom set: it
@@ -92,73 +112,89 @@ func FindLoopsAll(n *core.Network) []Loop {
 // lifted to atom granularity), so re-walking that candidate set is a
 // complete re-check while scanning a fraction of the atom space.
 func FindLoopsAtoms(n *core.Network, atoms *bitset.Set) []Loop {
-	if atoms == nil {
-		return findLoops(n, nil)
-	}
-	return findLoops(n, atoms.Contains)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	return FindLoopsAtomsScratch(n, atoms, sc)
 }
 
+// FindLoopsAtomsScratch is FindLoopsAtoms over caller-owned scratch.
+func FindLoopsAtomsScratch(n *core.Network, atoms *bitset.Set, sc *Scratch) []Loop {
+	if atoms == nil {
+		return findLoops(n, nil, sc)
+	}
+	return findLoops(n, atoms.Contains, sc)
+}
+
+// Node classifications of the memoized loop scan. loopUnknown must be
+// zero: Scratch.verdictAt returns it for unstamped entries.
+const (
+	loopUnknown uint8 = iota
+	loopSafe
+	loopLooping
+)
+
 // findLoops runs the memoized per-atom functional-graph loop scan over
-// every atom for which include returns true (nil = all atoms).
-func findLoops(n *core.Network, include func(int) bool) []Loop {
+// every atom for which include returns true (nil = all atoms). Per-atom
+// state (node verdicts, walk positions) lives in sc's epoch-stamped
+// arrays, so moving to the next atom is a counter bump instead of the
+// former O(NumNodes) verdict rewrite.
+func findLoops(n *core.Network, include func(int) bool, sc *Scratch) []Loop {
 	g := n.Graph()
+	sc.growNodes(g.NumNodes())
 	var loops []Loop
-	const (
-		unknown uint8 = iota
-		safe
-		looping
-	)
-	verdict := make([]uint8, g.NumNodes())
-	var starts []netgraph.NodeID
 	for atom := 0; atom < n.MaxAtomID(); atom++ {
 		if include != nil && !include(atom) {
 			continue
 		}
 		a := intervalmap.AtomID(atom)
 		// Start points: sources of links carrying the atom.
-		starts = starts[:0]
+		sc.starts = sc.starts[:0]
 		for _, l := range g.Links() {
 			if n.Label(l.ID).Contains(atom) {
-				starts = append(starts, l.Src)
+				sc.starts = append(sc.starts, l.Src)
 			}
 		}
-		if len(starts) == 0 {
+		if len(sc.starts) == 0 {
 			continue
 		}
-		for i := range verdict {
-			verdict[i] = unknown
-		}
-		for _, start := range starts {
-			if verdict[start] != unknown {
+		sc.beginVerdicts()
+		// One walk epoch serves the whole atom: every node stamped with a
+		// position also receives a verdict when its walk ends, and the
+		// verdict check precedes the position check, so stale positions
+		// from an earlier start's walk are never consulted.
+		sc.beginWalk()
+		for _, start := range sc.starts {
+			if sc.verdictAt(start) != loopUnknown {
 				continue
 			}
-			pos := map[netgraph.NodeID]int{}
-			var path []netgraph.NodeID
+			sc.path = sc.path[:0]
 			v := start
-			result := safe
+			result := loopSafe
 			for {
-				if verdict[v] != unknown {
-					result = verdict[v]
+				if verdict := sc.verdictAt(v); verdict != loopUnknown {
+					result = verdict
 					break
 				}
-				if p, ok := pos[v]; ok {
+				if sc.posGen[v] == sc.walkGen {
 					// Cycle: path[p:] revisits v.
-					cycle := append(append([]netgraph.NodeID(nil), path[p:]...), v)
+					p := sc.pos[v]
+					cycle := append(append([]netgraph.NodeID(nil), sc.path[p:]...), v)
 					loops = append(loops, Loop{Atom: a, Nodes: cycle})
-					result = looping
+					result = loopLooping
 					break
 				}
-				pos[v] = len(path)
-				path = append(path, v)
+				sc.posGen[v] = sc.walkGen
+				sc.pos[v] = int32(len(sc.path))
+				sc.path = append(sc.path, v)
 				next := n.ForwardLink(v, a)
 				if next == netgraph.NoLink || g.IsDropLink(next) {
-					result = safe
+					result = loopSafe
 					break
 				}
 				v = g.Link(next).Dst
 			}
-			for _, u := range path {
-				verdict[u] = result
+			for _, u := range sc.path {
+				sc.setVerdict(u, result)
 			}
 		}
 	}

@@ -106,6 +106,17 @@ func FindLoopsDeltaAuto(n *core.Network, d *core.Delta, workers int) []Loop {
 	return FindLoopsDeltaParallel(n, d, workers)
 }
 
+// FindLoopsDeltaAutoScratch is FindLoopsDeltaAuto with caller-owned
+// scratch for the serial path (the steady-state case). The parallel path
+// fans out over goroutines, which need one scratch each, so it draws from
+// the package pool instead of sc.
+func FindLoopsDeltaAutoScratch(n *core.Network, d *core.Delta, workers int, sc *Scratch) []Loop {
+	if d == nil || len(d.Added) < parallelDeltaThreshold {
+		return FindLoopsDeltaScratch(n, d, sc)
+	}
+	return FindLoopsDeltaParallel(n, d, workers)
+}
+
 // FindLoopsDeltaParallel is FindLoopsDelta with the per-atom walks fanned
 // out over goroutines — the paper's §6 observation that "the main loops
 // over atoms in Algorithm 1 and 2 are highly parallelizable" applies to
@@ -136,7 +147,9 @@ func FindLoopsDeltaParallel(n *core.Network, d *core.Delta, workers int) []Loop 
 	RunParallel(workers, len(jobs), func(i int) {
 		la := jobs[i]
 		l := g.Link(la.Link)
-		if loop, ok := traceLoop(n, l.Src, la.Atom); ok {
+		sc := GetScratch()
+		defer PutScratch(sc)
+		if loop, ok := traceLoop(n, l.Src, la.Atom, sc); ok {
 			mu.Lock()
 			loops = append(loops, loop)
 			mu.Unlock()

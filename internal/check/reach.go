@@ -1,7 +1,7 @@
 package check
 
 import (
-	"sort"
+	"slices"
 
 	"deltanet/internal/bitset"
 	"deltanet/internal/core"
@@ -39,21 +39,28 @@ type fixpoint struct {
 // vector: reach[v] is the set of atoms that can arrive at v starting from
 // from (nil where nothing arrives). Injection at from is unrestricted (all
 // atoms), so reach[from] is conceptually the full space.
-func (o fixpoint) run(n *core.Network, from netgraph.NodeID) []*bitset.Set {
+//
+// The vector and its sets alias sc and stay valid only until sc's next
+// use; callers that outlive the scratch must clone what they keep. The
+// worklist is a head-index ring over sc's retained backing array — the
+// former `queue = queue[1:]` idiom allocated a fresh worklist per run
+// and bled capacity at the front on every pop, re-copying on append
+// once it ran out (O(n²)-prone on long relaxation chains; see
+// BenchmarkReachSummaryScratch for the regression guard).
+func (o fixpoint) run(n *core.Network, from netgraph.NodeID, sc *Scratch) []*bitset.Set {
 	g := n.Graph()
-	reach := make([]*bitset.Set, g.NumNodes())
-	inQueue := make([]bool, g.NumNodes())
-	queue := []netgraph.NodeID{from}
-	inQueue[from] = true
+	reach := sc.beginFix(g.NumNodes())
+	sc.queue = append(sc.queue, from)
+	sc.inq[from] = sc.fixGen
 	if o.visited != nil {
 		*o.visited = append(*o.visited, from)
 	}
-	scratch := bitset.New(0) // reused per hop; UnionWith below copies out of it
+	scratch := sc.hop // reused per hop; UnionWith below copies out of it
 
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		inQueue[v] = false
+	for sc.head < len(sc.queue) {
+		v := sc.queue[sc.head]
+		sc.head++
+		sc.inq[v] = 0
 		if v == o.avoid {
 			continue // flows must not pass through
 		}
@@ -81,28 +88,30 @@ func (o fixpoint) run(n *core.Network, from netgraph.NodeID) []*bitset.Set {
 			}
 			w := g.Link(lid).Dst
 			if reach[w] == nil {
-				reach[w] = bitset.New(n.MaxAtomID())
+				reach[w] = sc.reachSet(w, n.MaxAtomID())
 				if o.visited != nil && w != from {
 					*o.visited = append(*o.visited, w)
 				}
 			}
 			before := reach[w].Len()
 			reach[w].UnionWith(contribution)
-			if reach[w].Len() != before && !inQueue[w] && w != from {
-				queue = append(queue, w)
-				inQueue[w] = true
+			if reach[w].Len() != before && sc.inq[w] != sc.fixGen && w != from {
+				sc.queue = append(sc.queue, w)
+				sc.inq[w] = sc.fixGen
 			}
 		}
 	}
 	return reach
 }
 
-// at extracts one entry of a reach vector, never returning nil.
-func at(reach []*bitset.Set, to netgraph.NodeID) *bitset.Set {
+// cloneAt extracts one entry of a scratch-aliased reach vector as an
+// independent set, never returning nil — what the one-shot entry points
+// hand out after releasing their pooled scratch.
+func cloneAt(reach []*bitset.Set, to netgraph.NodeID) *bitset.Set {
 	if reach[to] == nil {
 		return bitset.New(0)
 	}
-	return reach[to]
+	return reach[to].Clone()
 }
 
 // Reachable computes the set of atoms (packets) that can flow from node
@@ -110,7 +119,9 @@ func at(reach []*bitset.Set, to netgraph.NodeID) *bitset.Set {
 // "efficiently find all packets that can reach a node B from A" in one
 // query rather than one SAT call per witness.
 func Reachable(n *core.Network, from, to netgraph.NodeID) *bitset.Set {
-	return at(fixpoint{avoid: netgraph.NoNode}.run(n, from), to)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	return cloneAt(fixpoint{avoid: netgraph.NoNode}.run(n, from, sc), to)
 }
 
 // ReachableDeps is Reachable with dependency recording: every link the
@@ -118,15 +129,18 @@ func Reachable(n *core.Network, from, to netgraph.NodeID) *bitset.Set {
 // deps cannot change the result, which is what lets the monitor subsystem
 // skip re-evaluation (see fixpoint.deps).
 func ReachableDeps(n *core.Network, from, to netgraph.NodeID, deps *bitset.Set) *bitset.Set {
-	return at(fixpoint{avoid: netgraph.NoNode, deps: deps}.run(n, from), to)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	return cloneAt(fixpoint{avoid: netgraph.NoNode, deps: deps}.run(n, from, sc), to)
 }
 
 // ReachFrom computes the full single-source reach vector (reach[v] may be
 // nil where nothing arrives), recording examined links into deps when it
 // is non-nil. Group queries such as isolation evaluate one fixpoint per
-// source instead of one per pair.
+// source instead of one per pair. The vector is backed by a scratch
+// private to this call, so the caller owns it outright.
 func ReachFrom(n *core.Network, from netgraph.NodeID, deps *bitset.Set) []*bitset.Set {
-	return fixpoint{avoid: netgraph.NoNode, deps: deps}.run(n, from)
+	return fixpoint{avoid: netgraph.NoNode, deps: deps}.run(n, from, NewScratch())
 }
 
 // LinkSketch pairs a dep link with the coarse sketch of atom ids whose
@@ -167,14 +181,18 @@ type DepRanges []LinkSketch
 // that existed at evaluation time — consumers must pair them with
 // core.Network.AtomAllocSeq and conservatively treat younger atoms as
 // hits.
-func ReachSummary(n *core.Network, from, avoid netgraph.NodeID, deps *bitset.Set) ([]*bitset.Set, DepRanges) {
-	visited := make([]netgraph.NodeID, 0, 16)
-	reach := fixpoint{avoid: avoid, deps: deps, visited: &visited}.run(n, from)
+//
+// The reach vector aliases sc and is valid only until sc's next use —
+// read the verdict off it before reusing the scratch. The DepRanges is
+// independently allocated and may be retained.
+func ReachSummary(n *core.Network, from, avoid netgraph.NodeID, deps *bitset.Set, sc *Scratch) ([]*bitset.Set, DepRanges) {
+	reach := fixpoint{avoid: avoid, deps: deps, visited: &sc.visited}.run(n, from, sc)
+	visited := sc.visited
 
 	g := n.Graph()
 	maxAtoms := n.MaxAtomID()
 	out := make(DepRanges, 0, deps.Len())
-	var scratch intervalmap.RangeSet
+	scratch := &sc.rs
 	var sk intervalmap.Sketch
 	for _, v := range visited {
 		if v == from || v == avoid {
@@ -190,7 +208,7 @@ func ReachSummary(n *core.Network, from, avoid netgraph.NodeID, deps *bitset.Set
 		if scratch.CoversAll(maxAtoms) {
 			continue // no more selective than link-level tracking
 		}
-		sk.SetFrom(&scratch)
+		sk.SetFrom(scratch)
 		for _, l := range g.Out(v) {
 			if deps.Contains(int(l)) {
 				out = append(out, LinkSketch{Link: l, Sketch: sk})
@@ -198,8 +216,10 @@ func ReachSummary(n *core.Network, from, avoid netgraph.NodeID, deps *bitset.Set
 		}
 	}
 	// Visited order is discovery order; consumers merge against the
-	// ascending deps bitset, so order by link id.
-	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	// ascending deps bitset, so order by link id. (slices.SortFunc, not
+	// sort.Slice: the reflection-based sort costs three allocations per
+	// call, which would dominate a warmed-scratch evaluation.)
+	slices.SortFunc(out, func(a, b LinkSketch) int { return int(a.Link) - int(b.Link) })
 	return reach, out
 }
 
@@ -286,6 +306,8 @@ func (s *Subgraph) NumEdges() int { return len(s.Links) }
 func LoopsInSubgraph(n *core.Network, sub *Subgraph) []Loop {
 	var loops []Loop
 	g := n.Graph()
+	sc := GetScratch()
+	defer PutScratch(sc)
 	sub.Affected.ForEach(func(atom int) bool {
 		a := intervalmap.AtomID(atom)
 		// Walk from the source of each subgraph edge carrying the atom.
@@ -293,7 +315,7 @@ func LoopsInSubgraph(n *core.Network, sub *Subgraph) []Loop {
 			if !sub.Labels[i].Contains(atom) {
 				continue
 			}
-			if loop, ok := traceLoop(n, g.Link(lid).Src, a); ok {
+			if loop, ok := traceLoop(n, g.Link(lid).Src, a, sc); ok {
 				loops = append(loops, loop)
 				return true // one loop per atom suffices
 			}
@@ -378,7 +400,9 @@ func Isolated(n *core.Network, groupA, groupB []netgraph.NodeID, atoms *bitset.S
 // nothing must remain reachable. It returns the atoms that bypass the
 // waypoint (empty when the property holds).
 func Waypoint(n *core.Network, from, to, waypoint netgraph.NodeID) *bitset.Set {
-	return at(fixpoint{avoid: waypoint}.run(n, from), to)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	return cloneAt(fixpoint{avoid: waypoint}.run(n, from, sc), to)
 }
 
 // WaypointDeps is Waypoint with dependency recording into deps, as
@@ -386,5 +410,7 @@ func Waypoint(n *core.Network, from, to, waypoint netgraph.NodeID) *bitset.Set {
 // recorded: flows through them traverse the waypoint by definition, so
 // changes there cannot alter the bypass set.
 func WaypointDeps(n *core.Network, from, to, waypoint netgraph.NodeID, deps *bitset.Set) *bitset.Set {
-	return at(fixpoint{avoid: waypoint, deps: deps}.run(n, from), to)
+	sc := GetScratch()
+	defer PutScratch(sc)
+	return cloneAt(fixpoint{avoid: waypoint, deps: deps}.run(n, from, sc), to)
 }

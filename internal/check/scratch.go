@@ -1,0 +1,227 @@
+package check
+
+// Epoch-stamped query scratch. Every checker in this package used to
+// allocate its working state per call — a fresh reach vector and
+// in-queue bitmap per fixpoint, a fresh visited map per loop walk, a
+// full O(NumNodes) verdict reset per atom in the all-atoms scan. Under
+// the monitor's steady-state churn those allocations dominate the
+// profile, and the O(NumNodes) resets dwarf the O(visited) useful work
+// on sparse queries.
+//
+// Scratch replaces all of it with generation-counted arrays: each array
+// entry is paired with a uint32 stamp, an entry is valid only while its
+// stamp equals the owning generation counter, and "reset" is a counter
+// increment — O(1), with the previous epoch's entries invalidated in
+// place. The arrays are sized to the graph once and reused, so a warmed
+// scratch makes the fixpoint and the loop walks allocation-free.
+//
+// Concurrency: a Scratch is single-goroutine state. Concurrent queries
+// need one Scratch each — the monitor keeps one per evaluation worker
+// (its RunSharded shards), one-shot entry points draw from the package
+// pool.
+
+import (
+	"sync"
+
+	"deltanet/internal/bitset"
+	"deltanet/internal/intervalmap"
+	"deltanet/internal/netgraph"
+)
+
+// Scratch holds the reusable working state of the package's fixpoints
+// (fixpoint.run, ReachSummary, ReachableWithTransforms) and loop walks
+// (traceLoop, findLoops). The zero value is NOT ready; use NewScratch
+// or the Get/PutScratch pool.
+type Scratch struct {
+	// Fixpoint state. reach is the per-run view handed to callers:
+	// reach[v] is non-nil iff v was reached in the current run, and the
+	// sets themselves are pooled per node in sets (allocated on a
+	// node's first-ever touch, cleared and reused after). touched is
+	// the undo list that re-nils the view in O(visited) at the start of
+	// the next run.
+	reach   []*bitset.Set
+	sets    []*bitset.Set
+	touched []netgraph.NodeID
+
+	// fixGen stamps queue membership: inq[v] == fixGen means v is
+	// currently enqueued (dequeue writes 0, which no epoch equals).
+	fixGen uint32
+	inq    []uint32
+
+	// queue is the worklist ring: head indexes the front, push appends.
+	// The backing array is retained across runs, so the old
+	// `queue = queue[1:]` slice shift — O(n²) worst case and a fresh
+	// allocation per run — becomes an index increment.
+	queue []netgraph.NodeID
+	head  int
+
+	// visited collects reached nodes in discovery order for the
+	// dependency-summary builders.
+	visited []netgraph.NodeID
+
+	// hop is the per-hop intersection set of the fixpoint inner loop.
+	hop *bitset.Set
+
+	// Walk state (traceLoop, findLoops): pos[v] is v's index on the
+	// current walk's path while posGen[v] == walkGen.
+	walkGen uint32
+	posGen  []uint32
+	pos     []int32
+	path    []netgraph.NodeID
+
+	// Per-atom node verdicts of the all-atoms loop scan, valid while
+	// verdGen[v] == verdEpoch — the per-atom "reset" that used to
+	// rewrite an O(NumNodes) array now bumps verdEpoch.
+	verdEpoch uint32
+	verdGen   []uint32
+	verd      []uint8
+
+	// Atom-keyed dedup stamps (FindLoopsDelta's seen set).
+	atomEpoch uint32
+	atomGen   []uint32
+
+	// starts and rs serve findLoops and ReachSummary respectively.
+	starts []netgraph.NodeID
+	rs     intervalmap.RangeSet
+}
+
+// NewScratch returns an empty scratch; its arrays grow to the graph on
+// first use and are retained afterwards.
+func NewScratch() *Scratch {
+	return &Scratch{hop: bitset.New(0)}
+}
+
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// GetScratch draws a scratch from the package pool. Callers that run
+// queries in a loop (or per worker) should instead hold their own
+// Scratch so its arrays stay warm.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a scratch to the pool. The caller must not retain
+// any result that aliases it (reach vectors from ReachSummary do; the
+// one-shot entry points clone before releasing).
+func PutScratch(sc *Scratch) { scratchPool.Put(sc) }
+
+// growNodes sizes every node-indexed array to at least n entries. New
+// entries carry stamp 0, which no live epoch equals.
+func (sc *Scratch) growNodes(n int) {
+	if len(sc.reach) >= n {
+		return
+	}
+	sc.reach = append(sc.reach, make([]*bitset.Set, n-len(sc.reach))...)
+	sc.sets = append(sc.sets, make([]*bitset.Set, n-len(sc.sets))...)
+	sc.inq = append(sc.inq, make([]uint32, n-len(sc.inq))...)
+	sc.posGen = append(sc.posGen, make([]uint32, n-len(sc.posGen))...)
+	sc.pos = append(sc.pos, make([]int32, n-len(sc.pos))...)
+	sc.verdGen = append(sc.verdGen, make([]uint32, n-len(sc.verdGen))...)
+	sc.verd = append(sc.verd, make([]uint8, n-len(sc.verd))...)
+}
+
+// growAtoms sizes the atom-stamp array to at least n entries.
+func (sc *Scratch) growAtoms(n int) {
+	if len(sc.atomGen) < n {
+		sc.atomGen = append(sc.atomGen, make([]uint32, n-len(sc.atomGen))...)
+	}
+}
+
+// beginFix opens a fixpoint epoch: the reach view from the previous run
+// is un-published (O(previous visited)), the queue ring rewinds, and
+// queue-membership stamps roll over. Returns the reach view sized to
+// numNodes.
+func (sc *Scratch) beginFix(numNodes int) []*bitset.Set {
+	sc.growNodes(numNodes)
+	for _, v := range sc.touched {
+		sc.reach[v] = nil
+	}
+	sc.touched = sc.touched[:0]
+	sc.visited = sc.visited[:0]
+	sc.queue = sc.queue[:0]
+	sc.head = 0
+	sc.fixGen++
+	if sc.fixGen == 0 { // uint32 wraparound: stamps from 2³² runs ago could alias
+		for i := range sc.inq {
+			sc.inq[i] = 0
+		}
+		sc.fixGen = 1
+	}
+	return sc.reach[:numNodes]
+}
+
+// reachSet publishes node w in the reach view, reusing w's pooled set
+// (cleared) or allocating it on first-ever touch with capacity for
+// maxAtom bits.
+func (sc *Scratch) reachSet(w netgraph.NodeID, maxAtom int) *bitset.Set {
+	s := sc.sets[w]
+	if s == nil {
+		s = bitset.New(maxAtom)
+		sc.sets[w] = s
+	} else {
+		s.Clear()
+	}
+	sc.reach[w] = s
+	sc.touched = append(sc.touched, w)
+	return s
+}
+
+// beginWalk opens a walk epoch (invalidating pos stamps) and resets the
+// path.
+func (sc *Scratch) beginWalk() {
+	sc.walkGen++
+	if sc.walkGen == 0 {
+		for i := range sc.posGen {
+			sc.posGen[i] = 0
+		}
+		sc.walkGen = 1
+	}
+	sc.path = sc.path[:0]
+}
+
+// beginVerdicts opens a verdict epoch: every node's loop-scan verdict
+// reverts to unknown in O(1).
+func (sc *Scratch) beginVerdicts() {
+	sc.verdEpoch++
+	if sc.verdEpoch == 0 {
+		for i := range sc.verdGen {
+			sc.verdGen[i] = 0
+		}
+		sc.verdEpoch = 1
+	}
+}
+
+// verdictAt returns v's verdict in the current epoch (unknown if
+// unstamped).
+func (sc *Scratch) verdictAt(v netgraph.NodeID) uint8 {
+	if sc.verdGen[v] == sc.verdEpoch {
+		return sc.verd[v]
+	}
+	return loopUnknown
+}
+
+// setVerdict stamps v's verdict for the current epoch.
+func (sc *Scratch) setVerdict(v netgraph.NodeID, verdict uint8) {
+	sc.verd[v] = verdict
+	sc.verdGen[v] = sc.verdEpoch
+}
+
+// beginAtoms opens an atom-dedup epoch over maxAtom ids.
+func (sc *Scratch) beginAtoms(maxAtom int) {
+	sc.growAtoms(maxAtom)
+	sc.atomEpoch++
+	if sc.atomEpoch == 0 {
+		for i := range sc.atomGen {
+			sc.atomGen[i] = 0
+		}
+		sc.atomEpoch = 1
+	}
+}
+
+// markAtom stamps an atom id, reporting whether it was already stamped
+// this epoch.
+func (sc *Scratch) markAtom(a intervalmap.AtomID) bool {
+	if sc.atomGen[a] == sc.atomEpoch {
+		return true
+	}
+	sc.atomGen[a] = sc.atomEpoch
+	return false
+}

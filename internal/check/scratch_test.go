@@ -1,0 +1,220 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"deltanet/internal/bitset"
+	"deltanet/internal/core"
+	"deltanet/internal/netgraph"
+)
+
+// scratchNet builds a ring network with overlapping rules so different
+// sources reach different atom sets — enough structural variety that a
+// stale reach entry, queue stamp, or verdict leaking across scratch
+// epochs would change some query's answer.
+func scratchNet(t *testing.T) (*core.Network, []netgraph.NodeID) {
+	t.Helper()
+	g, nodes, links := ring(8)
+	n := core.NewNetwork(g, core.Options{})
+	id := core.RuleID(1)
+	for i := range nodes {
+		// Every node forwards a window that shifts around the ring, so
+		// reachability narrows with distance and differs per source.
+		lo := uint64(i * 10)
+		hi := lo + 60
+		mustInsert(t, n, core.Rule{ID: id, Source: nodes[i], Link: links[i],
+			Match: iv(lo, hi), Priority: 1})
+		id++
+	}
+	// A couple of higher-priority overrides to exercise owner maxima.
+	mustInsert(t, n, core.Rule{ID: id, Source: nodes[2], Link: links[2],
+		Match: iv(15, 35), Priority: 9})
+	id++
+	mustInsert(t, n, core.Rule{ID: id, Source: nodes[5], Link: links[5],
+		Match: iv(40, 90), Priority: 9})
+	return n, nodes
+}
+
+// TestScratchEpochIsolation runs many summaries and loop scans over
+// per-worker scratches via RunSharded — the monitor's exact fan-out
+// shape — and checks every result against a fresh-scratch ground truth.
+// Under -race this also proves the per-worker scratches never share
+// state across shards.
+func TestScratchEpochIsolation(t *testing.T) {
+	n, nodes := scratchNet(t)
+	V := len(nodes)
+
+	// Ground truth per source, computed with throwaway scratches.
+	truth := make([][]*bitset.Set, V)
+	for i, from := range nodes {
+		truth[i] = make([]*bitset.Set, V)
+		for j, to := range nodes {
+			truth[i][j] = Reachable(n, from, to)
+		}
+	}
+	wantLoops := len(FindLoopsAll(n))
+
+	const workers = 4
+	scs := make([]*Scratch, workers)
+	for w := range scs {
+		scs[w] = NewScratch()
+	}
+	jobs := 64 * V
+	errs := make([]error, jobs)
+	RunSharded(workers, jobs, func(w, i int) {
+		sc := scs[w]
+		from := nodes[i%V]
+		deps := bitset.New(n.Graph().NumLinks())
+		reach, _ := ReachSummary(n, from, netgraph.NoNode, deps, sc)
+		for j, to := range nodes {
+			got := reach[to]
+			if got == nil {
+				got = bitset.New(0)
+			}
+			if !got.Equal(truth[i%V][j]) {
+				errs[i] = fmt.Errorf("job %d: reach %d->%d = %v, want %v", i, from, to, got, truth[i%V][j])
+				return
+			}
+		}
+		// Interleave a full loop scan on the same scratch so walk and
+		// verdict epochs churn between fixpoint runs.
+		if i%7 == 0 {
+			if got := len(FindLoopsAllScratch(n, sc)); got != wantLoops {
+				errs[i] = fmt.Errorf("job %d: FindLoopsAll = %d loops, want %d", i, got, wantLoops)
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestScratchGenerationWraparound forces every epoch counter to the
+// uint32 edge and checks queries stay correct across the rollover (the
+// rollover path zeroes the stamp arrays so ancient stamps cannot alias
+// the new epoch).
+func TestScratchGenerationWraparound(t *testing.T) {
+	n, nodes := scratchNet(t)
+	sc := NewScratch()
+
+	deps := bitset.New(n.Graph().NumLinks())
+	reach, _ := ReachSummary(n, nodes[0], netgraph.NoNode, deps, sc)
+	want := make([]*bitset.Set, len(nodes))
+	for j, to := range nodes {
+		if reach[to] != nil {
+			want[j] = reach[to].Clone()
+		}
+	}
+	wantLoops := len(FindLoopsAllScratch(n, sc))
+
+	sc.fixGen = ^uint32(0) - 1
+	sc.walkGen = ^uint32(0) - 1
+	sc.verdEpoch = ^uint32(0) - 1
+	sc.atomEpoch = ^uint32(0) - 1
+	for round := 0; round < 4; round++ { // crosses the wrap mid-loop
+		deps.Clear()
+		reach, _ := ReachSummary(n, nodes[0], netgraph.NoNode, deps, sc)
+		for j, to := range nodes {
+			got, want := reach[to], want[j]
+			switch {
+			case (got == nil) != (want == nil):
+				t.Fatalf("round %d: reach[%d] nil-ness flipped", round, to)
+			case got != nil && !got.Equal(want):
+				t.Fatalf("round %d: reach[%d] = %v, want %v", round, to, got, want)
+			}
+		}
+		if got := len(FindLoopsAllScratch(n, sc)); got != wantLoops {
+			t.Fatalf("round %d: FindLoopsAll = %d loops, want %d", round, got, wantLoops)
+		}
+	}
+}
+
+// TestReachSummaryScratchAllocs pins the steady-state allocation cost of
+// the monitor's hot query: with a warmed scratch, one ReachSummary may
+// allocate only its returned DepRanges and the sort it ships with —
+// everything else (reach sets, worklist, visited list, range builder)
+// must come from the scratch.
+func TestReachSummaryScratchAllocs(t *testing.T) {
+	n, nodes := scratchNet(t)
+	sc := NewScratch()
+	deps := bitset.New(n.Graph().NumLinks())
+	for i := 0; i < 4; i++ { // warm the scratch and the deps set
+		deps.Clear()
+		ReachSummary(n, nodes[0], netgraph.NoNode, deps, sc)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		deps.Clear()
+		ReachSummary(n, nodes[0], netgraph.NoNode, deps, sc)
+	})
+	// Exactly one make for the returned DepRanges; everything else
+	// (reach sets, worklist, visited list, range builder, the sort)
+	// must be allocation-free. A regression in scratch reuse shows up
+	// as per-node or per-hop allocations far above this.
+	if allocs != 1 {
+		t.Fatalf("ReachSummary allocates %.1f objects/op with warmed scratch, want exactly 1", allocs)
+	}
+}
+
+// TestLoopScanScratchAllocs pins the loop checkers at zero allocations
+// when nothing loops — the common steady-state outcome.
+func TestLoopScanScratchAllocs(t *testing.T) {
+	g := netgraph.New()
+	nodes := make([]netgraph.NodeID, 6)
+	for i := range nodes {
+		nodes[i] = g.AddNode(fmt.Sprintf("n%d", i))
+	}
+	links := make([]netgraph.LinkID, 5)
+	for i := range links { // a line: no loop possible
+		links[i] = g.AddLink(nodes[i], nodes[i+1])
+	}
+	n := core.NewNetwork(g, core.Options{})
+	for i, l := range links {
+		mustInsert(t, n, core.Rule{ID: core.RuleID(i + 1), Source: nodes[i], Link: l,
+			Match: iv(0, 100), Priority: 1})
+	}
+	sc := NewScratch()
+	FindLoopsAllScratch(n, sc) // warm
+	if allocs := testing.AllocsPerRun(100, func() {
+		if loops := FindLoopsAllScratch(n, sc); loops != nil {
+			t.Fatalf("unexpected loops: %v", loops)
+		}
+	}); allocs != 0 {
+		t.Fatalf("loop-free full scan allocates %.1f objects/op with warmed scratch, want 0", allocs)
+	}
+}
+
+// BenchmarkReachSummaryScratch is the regression guard for the worklist
+// and scratch conversion: a long relaxation chain that the old
+// `queue = queue[1:]` worklist and per-run reach allocations made both
+// slow and allocation-heavy. Run with -benchmem; the interesting number
+// is allocs/op, which must stay O(1) in chain length.
+func BenchmarkReachSummaryScratch(b *testing.B) {
+	const chain = 512
+	g := netgraph.New()
+	nodes := make([]netgraph.NodeID, chain)
+	for i := range nodes {
+		nodes[i] = g.AddNode(fmt.Sprintf("n%d", i))
+	}
+	links := make([]netgraph.LinkID, chain-1)
+	for i := range links {
+		links[i] = g.AddLink(nodes[i], nodes[i+1])
+	}
+	n := core.NewNetwork(g, core.Options{})
+	for i, l := range links {
+		if _, err := n.InsertRule(core.Rule{ID: core.RuleID(i + 1), Source: nodes[i], Link: l,
+			Match: iv(0, 1<<16), Priority: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sc := NewScratch()
+	deps := bitset.New(g.NumLinks())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deps.Clear()
+		ReachSummary(n, nodes[0], netgraph.NoNode, deps, sc)
+	}
+}

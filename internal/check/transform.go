@@ -135,15 +135,20 @@ func transformAtomSet(n *core.Network, atoms *bitset.Set, rw Rewrite) *bitset.Se
 // transforms the iteration is still monotone — each step only adds atoms —
 // so it terminates.
 func ReachableWithTransforms(n *core.Network, tf *Transforms, from, to netgraph.NodeID) *bitset.Set {
+	sc := GetScratch()
+	defer PutScratch(sc)
 	g := n.Graph()
-	reach := make([]*bitset.Set, g.NumNodes())
-	inQueue := make([]bool, g.NumNodes())
-	queue := []netgraph.NodeID{from}
-	inQueue[from] = true
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		inQueue[v] = false
+	reach := sc.beginFix(g.NumNodes())
+	sc.queue = append(sc.queue, from)
+	sc.inq[from] = sc.fixGen
+	// Head-index ring over the scratch's retained worklist array; the
+	// former `queue = queue[1:]` idiom bled capacity at the front on
+	// every pop and re-copied on append once it ran out — O(n²)-prone
+	// on long relaxation chains.
+	for sc.head < len(sc.queue) {
+		v := sc.queue[sc.head]
+		sc.head++
+		sc.inq[v] = 0
 		for _, lid := range g.Out(v) {
 			label := n.Label(lid)
 			if label.Empty() {
@@ -151,30 +156,31 @@ func ReachableWithTransforms(n *core.Network, tf *Transforms, from, to netgraph.
 			}
 			var crossing *bitset.Set
 			if v == from {
-				crossing = label.Clone()
+				crossing = label
 			} else {
-				crossing = bitset.Intersect(reach[v], label)
-				if crossing.Empty() {
+				sc.hop.AndOf(reach[v], label)
+				if sc.hop.Empty() {
 					continue
 				}
+				crossing = sc.hop
 			}
 			if rw, ok := tf.Get(lid); ok {
 				crossing = transformAtomSet(n, crossing, rw)
 			}
 			w := g.Link(lid).Dst
 			if reach[w] == nil {
-				reach[w] = bitset.New(n.MaxAtomID())
+				reach[w] = sc.reachSet(w, n.MaxAtomID())
 			}
 			before := reach[w].Len()
 			reach[w].UnionWith(crossing)
-			if reach[w].Len() != before && !inQueue[w] && w != from {
-				queue = append(queue, w)
-				inQueue[w] = true
+			if reach[w].Len() != before && sc.inq[w] != sc.fixGen && w != from {
+				sc.queue = append(sc.queue, w)
+				sc.inq[w] = sc.fixGen
 			}
 		}
 	}
 	if reach[to] == nil {
 		return bitset.New(0)
 	}
-	return reach[to]
+	return reach[to].Clone()
 }

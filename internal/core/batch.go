@@ -28,8 +28,9 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"deltanet/internal/intervalmap"
 	"deltanet/internal/netgraph"
@@ -50,11 +51,17 @@ func InsertOp(r Rule) BatchOp { return BatchOp{Insert: true, Rule: r} }
 // RemoveOp returns a BatchOp removing the rule with the given id.
 func RemoveOp(id RuleID) BatchOp { return BatchOp{Rule: Rule{ID: id}} }
 
-// batchItem is a validated operation: rule is fully resolved (for removals
-// it points at the live rule being removed, so Match is authoritative).
+// batchItem is a validated operation: rule is fully resolved by value
+// (for removals it is a copy of the rule being removed, so Match is
+// authoritative even after the rule's arena slot is recycled). slot is
+// the rule-store slot — assigned after validation for inserts, and for
+// removals of rules inserted earlier in the same batch, resolved via ref
+// (the index of that insert item) once its slot exists.
 type batchItem struct {
 	insert bool
-	rule   *Rule
+	slot   int32
+	ref    int32 // insert-item index a removal refers to, or -1
+	rule   Rule
 }
 
 // ApplyBatch applies ops in order as one atomic update, writing the net
@@ -86,22 +93,40 @@ func (n *Network) ApplyBatch(ops []BatchOp, d *Delta, workers int) error {
 		return err
 	}
 
+	// Allocate arena slots for every insertion before any other phase
+	// runs: all allocations precede all releases (which happen in phase
+	// 5), so no slot is recycled mid-batch, and the rule arena is
+	// read-only while phase 4's workers run. Removals of rules inserted
+	// earlier in this batch pick up the slot their insert item received.
+	for i := range items {
+		if items[i].insert {
+			items[i].slot = n.store.alloc(items[i].rule)
+		}
+	}
+	for i := range items {
+		if !items[i].insert && items[i].ref >= 0 {
+			items[i].slot = items[items[i].ref].slot
+		}
+	}
+
 	// Phase 2: create every atom the batch needs (serial; splits mutate M)
 	// and clone owner state for split atoms exactly as Algorithm 1 does.
 	for _, it := range items {
 		if !it.insert {
 			continue
 		}
-		split := n.m.CreateAtoms(it.rule.Match)
+		n.splitBuf = n.m.CreateAtomsInto(it.rule.Match, n.splitBuf[:0])
+		split := n.splitBuf
 		d.NewAtoms = append(d.NewAtoms, split...)
 		n.splits += int64(len(split))
 		for _, sp := range split {
-			oldOwner := n.owner[sp.Old]
-			newOwner := n.ownerOf(sp.New)
-			for source, bst := range oldOwner {
-				newOwner[source] = bst.Clone()
-				top := bst.Max().Value
-				n.labelOf(top.Link).Add(int(sp.New))
+			newOwner := n.ownerAt(sp.New) // may grow the directory: take first
+			oldOwner := &n.owner[sp.Old]
+			newOwner.cloneFrom(oldOwner)
+			for i := range oldOwner.cells {
+				c := oldOwner.cells[i]
+				top := oldOwner.slab[c.off+c.n-1]
+				n.labelOf(n.store.recs[top].Link).Add(int(sp.New))
 			}
 		}
 	}
@@ -109,12 +134,15 @@ func (n *Network) ApplyBatch(ops []BatchOp, d *Delta, workers int) error {
 	// Phase 3: expand every operation over the final partition and group
 	// by atom, preserving operation order within each atom's list. Each
 	// interval is expanded once; overlapping rules share per-atom jobs.
-	perAtom := map[intervalmap.AtomID][]int32{}
+	// Grouping is a sort over retained (atom, item) pairs rather than a
+	// map of slices: churn batches run this path constantly, and the map
+	// allocated one bucket slice per touched atom per call.
+	n.batchPairs = n.batchPairs[:0]
 	maxAtom := intervalmap.AtomID(0)
 	for i, it := range items {
 		n.atomBuf = n.m.Atoms(it.rule.Match, n.atomBuf[:0])
 		for _, alpha := range n.atomBuf {
-			perAtom[alpha] = append(perAtom[alpha], int32(i))
+			n.batchPairs = append(n.batchPairs, atomOp{atom: alpha, item: int32(i)})
 			if alpha > maxAtom {
 				maxAtom = alpha
 			}
@@ -123,42 +151,66 @@ func (n *Network) ApplyBatch(ops []BatchOp, d *Delta, workers int) error {
 	// Pre-grow the owner slice so workers only ever write their own
 	// element and never resize shared state.
 	for int(maxAtom) >= len(n.owner) {
-		n.owner = append(n.owner, nil)
+		n.owner = append(n.owner, ownerAtom{})
 	}
 
-	atoms := make([]intervalmap.AtomID, 0, len(perAtom))
-	for alpha := range perAtom {
-		atoms = append(atoms, alpha)
+	// Sorting by (atom, item) groups each atom's operations contiguously
+	// in operation order and makes phase 5 deterministic (ascending atom
+	// order), exactly as the former per-atom map + sorted key slice did.
+	pairs := n.batchPairs
+	slices.SortFunc(pairs, func(a, b atomOp) int {
+		if a.atom != b.atom {
+			return int(a.atom) - int(b.atom)
+		}
+		return int(a.item) - int(b.item)
+	})
+	n.batchRuns = n.batchRuns[:0]
+	for i := range pairs {
+		if i == 0 || pairs[i].atom != pairs[i-1].atom {
+			n.batchRuns = append(n.batchRuns, int32(i))
+		}
 	}
-	sort.Slice(atoms, func(i, j int) bool { return atoms[i] < atoms[j] })
+	n.batchRuns = append(n.batchRuns, int32(len(pairs)))
+	numAtoms := len(n.batchRuns) - 1
 
 	// Phase 4: replay each atom's operations in parallel. Jobs write only
 	// owner[α] for their own α and emit net label changes into their own
-	// result slot, so the pool needs no locks.
-	results := make([]atomResult, len(atoms))
+	// result slot, so the pool needs no locks. Result slots are retained
+	// across batches and reset by truncation.
+	for len(n.batchResults) < numAtoms {
+		n.batchResults = append(n.batchResults, atomResult{})
+	}
+	results := n.batchResults[:numAtoms]
+	for i := range results {
+		results[i].added = results[i].added[:0]
+		results[i].removed = results[i].removed[:0]
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(atoms) {
-		workers = len(atoms)
+	if workers > numAtoms {
+		workers = numAtoms
 	}
 	if workers <= 1 {
-		for i, alpha := range atoms {
-			n.replayAtom(alpha, items, perAtom[alpha], &results[i])
+		for i := 0; i < numAtoms; i++ {
+			run := pairs[n.batchRuns[i]:n.batchRuns[i+1]]
+			n.replayAtom(run[0].atom, items, run, &results[i], &n.replayTmp)
 		}
 	} else {
 		var wg sync.WaitGroup
-		next := make(chan int, len(atoms))
-		for i := range atoms {
-			next <- i
-		}
-		close(next)
+		var cursor atomic.Int64
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				for i := range next {
-					n.replayAtom(atoms[i], items, perAtom[atoms[i]], &results[i])
+				var rs replayScratch
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= numAtoms {
+						return
+					}
+					run := pairs[n.batchRuns[i]:n.batchRuns[i+1]]
+					n.replayAtom(run[0].atom, items, run, &results[i], &rs)
 				}
 			}()
 		}
@@ -186,13 +238,13 @@ func (n *Network) ApplyBatch(ops []BatchOp, d *Delta, workers int) error {
 	var deadBounds []uint64
 	for _, it := range items {
 		if it.insert {
-			n.rules[it.rule.ID] = it.rule
+			// The id→slot index entry was written by alloc above.
 			if n.gc {
 				n.bounds[it.rule.Match.Lo]++
 				n.bounds[it.rule.Match.Hi]++
 			}
 		} else {
-			delete(n.rules, it.rule.ID)
+			n.store.releaseSlot(it.rule.ID, it.slot)
 			if n.gc {
 				for _, b := range [2]uint64{it.rule.Match.Lo, it.rule.Match.Hi} {
 					n.bounds[b]--
@@ -219,19 +271,24 @@ func (n *Network) ApplyBatch(ops []BatchOp, d *Delta, workers int) error {
 // and drop links for insertions. It mutates nothing but the graph's lazy
 // drop links.
 func (n *Network) validateBatch(ops []BatchOp) ([]batchItem, error) {
-	items := make([]batchItem, 0, len(ops))
-	// pending tracks ids touched by the batch: the rule while live, nil
-	// after an intra-batch removal.
-	pending := make(map[RuleID]*Rule, len(ops))
+	items := n.batchItems[:0]
+	defer func() { n.batchItems = items[:0] }() // retain grown capacity
+	// pending tracks ids touched by the batch: the item index of the
+	// live pending insert, or -1 after an intra-batch removal.
+	if n.batchPending == nil {
+		n.batchPending = make(map[RuleID]int32, len(ops))
+	}
+	clear(n.batchPending)
+	pending := n.batchPending
 	for i, op := range ops {
 		if op.Insert {
 			r := op.Rule
-			live, touched := pending[r.ID]
-			if touched && live != nil {
+			idx, touched := pending[r.ID]
+			if touched && idx >= 0 {
 				return nil, fmt.Errorf("%w: %d (op %d)", ErrDuplicateRule, r.ID, i)
 			}
 			if !touched {
-				if _, dup := n.rules[r.ID]; dup {
+				if _, dup := n.store.slotOf(r.ID); dup {
 					return nil, fmt.Errorf("%w: %d (op %d)", ErrDuplicateRule, r.ID, i)
 				}
 			}
@@ -247,25 +304,26 @@ func (n *Network) validateBatch(ops []BatchOp) ([]batchItem, error) {
 				return nil, fmt.Errorf("%w: rule %d source %d link %d (op %d)",
 					ErrBadLink, r.ID, r.Source, r.Link, i)
 			}
-			rp := &r
-			pending[r.ID] = rp
-			items = append(items, batchItem{insert: true, rule: rp})
+			pending[r.ID] = int32(len(items))
+			items = append(items, batchItem{insert: true, ref: -1, rule: r})
 		} else {
 			id := op.Rule.ID
-			rp, touched := pending[id]
+			idx, touched := pending[id]
+			var it batchItem
 			if touched {
-				if rp == nil {
+				if idx < 0 {
 					return nil, fmt.Errorf("%w: %d (op %d)", ErrUnknownRule, id, i)
 				}
+				it = batchItem{ref: idx, rule: items[idx].rule}
 			} else {
-				var ok bool
-				rp, ok = n.rules[id]
+				slot, ok := n.store.slotOf(id)
 				if !ok {
 					return nil, fmt.Errorf("%w: %d (op %d)", ErrUnknownRule, id, i)
 				}
+				it = batchItem{ref: -1, slot: slot, rule: n.store.recs[slot]}
 			}
-			pending[id] = nil
-			items = append(items, batchItem{rule: rp})
+			pending[id] = -1
+			items = append(items, it)
 		}
 	}
 	return items, nil
@@ -277,69 +335,71 @@ type atomResult struct {
 	removed []LinkAtom
 }
 
+// atomOp is one (atom, operation) incidence from phase 3's interval
+// expansion; sorting these by (atom, item) groups each atom's operations
+// contiguously while keeping them in operation order.
+type atomOp struct {
+	atom intervalmap.AtomID
+	item int32
+}
+
+// replayScratch holds replayAtom's per-call source bookkeeping so a worker
+// can replay many atoms without allocating.
+type replayScratch struct {
+	touched []netgraph.NodeID
+	prev    []int32
+}
+
 // replayAtom replays the batch operations covering atom alpha against its
 // owner BSTs and records the net forwarding change per touched source: one
 // Removed entry when the source's pre-batch out-link lost the atom, one
 // Added entry when a new out-link gained it. Sources whose owning rule
 // changed but whose out-link did not produce no entries — forwarding is
 // unchanged, so no downstream check needs to look at them.
-func (n *Network) replayAtom(alpha intervalmap.AtomID, items []batchItem, idxs []int32, res *atomResult) {
-	ow := n.owner[alpha]
-	if ow == nil {
-		ow = map[netgraph.NodeID]*prioTree{}
-		n.owner[alpha] = ow
-	}
-	// touched preserves first-touch order; prev is parallel to it. Batches
-	// rarely touch more than a handful of sources per atom, so a linear
-	// scan beats a map.
-	var touched []netgraph.NodeID
-	var prev []*Rule
+func (n *Network) replayAtom(alpha intervalmap.AtomID, items []batchItem, run []atomOp, res *atomResult, rs *replayScratch) {
+	oa := &n.owner[alpha]
+	// touched preserves first-touch order; prev is parallel to it (the
+	// pre-batch owning slot per source, noSlot for none). Batches rarely
+	// touch more than a handful of sources per atom, so a linear scan
+	// beats a map. The rule arena is read-only during phase 4, so slot
+	// dereferences here race with nothing.
+	touched := rs.touched[:0]
+	prev := rs.prev[:0]
 	recordPrev := func(s netgraph.NodeID) {
 		for _, t := range touched {
 			if t == s {
 				return
 			}
 		}
-		var top *Rule
-		if bst := ow[s]; bst != nil && !bst.Empty() {
-			top = bst.Max().Value
-		}
 		touched = append(touched, s)
-		prev = append(prev, top)
+		prev = append(prev, oa.top(s))
 	}
-	for _, i := range idxs {
-		it := items[i]
+	for _, op := range run {
+		it := &items[op.item]
 		s := it.rule.Source
 		recordPrev(s)
 		if it.insert {
-			bst := ow[s]
-			if bst == nil {
-				bst = newPrioTree()
-				ow[s] = bst
-			}
-			bst.Insert(it.rule.key(), it.rule)
-		} else if bst := ow[s]; bst != nil {
-			bst.Delete(it.rule.key())
-			if bst.Empty() {
-				delete(ow, s)
-			}
+			oa.insert(&n.store, s, it.slot, it.rule.key())
+		} else {
+			oa.remove(&n.store, s, it.rule.key())
 		}
 	}
 	for i, s := range touched {
-		var after *Rule
-		if bst := ow[s]; bst != nil && !bst.Empty() {
-			after = bst.Max().Value
-		}
+		after := oa.top(s)
 		p := prev[i]
 		switch {
-		case p == nil && after == nil:
-		case p == nil:
-			res.added = append(res.added, LinkAtom{Link: after.Link, Atom: alpha})
-		case after == nil:
-			res.removed = append(res.removed, LinkAtom{Link: p.Link, Atom: alpha})
-		case p.Link != after.Link:
-			res.removed = append(res.removed, LinkAtom{Link: p.Link, Atom: alpha})
-			res.added = append(res.added, LinkAtom{Link: after.Link, Atom: alpha})
+		case p == noSlot && after == noSlot:
+		case p == noSlot:
+			res.added = append(res.added, LinkAtom{Link: n.store.recs[after].Link, Atom: alpha})
+		case after == noSlot:
+			res.removed = append(res.removed, LinkAtom{Link: n.store.recs[p].Link, Atom: alpha})
+		default:
+			pl, al := n.store.recs[p].Link, n.store.recs[after].Link
+			if pl != al {
+				res.removed = append(res.removed, LinkAtom{Link: pl, Atom: alpha})
+				res.added = append(res.added, LinkAtom{Link: al, Atom: alpha})
+			}
 		}
 	}
+	rs.touched, rs.prev = touched, prev // hand grown capacity back
 }

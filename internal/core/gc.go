@@ -43,14 +43,15 @@ func (n *Network) releaseBound(bound uint64) {
 	}
 	n.merges++
 	// Clear the dead atom's label bits: for each source with rules
-	// containing the atom, the owner's link carried the bit.
-	if int(id) < len(n.owner) && n.owner[id] != nil {
-		for _, bst := range n.owner[id] {
-			if !bst.Empty() {
-				top := bst.Max().Value
-				n.labelOf(top.Link).Remove(int(id))
-			}
+	// containing the atom, the owner's link carried the bit. The owner
+	// table keeps its backing arrays for the id's next incarnation.
+	if int(id) < len(n.owner) {
+		oa := &n.owner[id]
+		for i := range oa.cells {
+			c := oa.cells[i]
+			top := oa.slab[c.off+c.n-1]
+			n.labelOf(n.store.recs[top].Link).Remove(int(id))
 		}
-		n.owner[id] = nil
+		oa.reset()
 	}
 }

@@ -8,14 +8,7 @@ import (
 	"deltanet/internal/intervalmap"
 	"deltanet/internal/ipnet"
 	"deltanet/internal/netgraph"
-	"deltanet/internal/rbtree"
 )
-
-// prioTree is one owner BST: the rules at a single source node whose
-// interval contains a particular atom, ordered by priority.
-type prioTree = rbtree.Tree[prioKey, *Rule]
-
-func newPrioTree() *prioTree { return rbtree.New[prioKey, *Rule](cmpPrioKey) }
 
 // Options configure a Network.
 type Options struct {
@@ -39,12 +32,23 @@ type Network struct {
 	gc    bool
 
 	m      *intervalmap.Map
-	labels []*bitset.Set                   // indexed by LinkID
-	owner  []map[netgraph.NodeID]*prioTree // indexed by AtomID
-	rules  map[RuleID]*Rule
+	labels []*bitset.Set  // indexed by LinkID
+	owner  []ownerAtom    // indexed by AtomID; flat SoA tables, see owner.go
+	store  ruleStore      // dense slot-indexed rule arena
 	bounds map[uint64]int // boundary refcounts, only populated when gc
 
-	atomBuf []intervalmap.AtomID // scratch for ⟦interval(r)⟧ expansions
+	atomBuf  []intervalmap.AtomID    // scratch for ⟦interval(r)⟧ expansions
+	splitBuf []intervalmap.SplitPair // scratch for CREATE_ATOMS+ split pairs
+
+	// Batch-pipeline scratch, retained across ApplyBatch calls (the
+	// engine is single-writer, so one set per network suffices). See
+	// batch.go for the phase each buffer serves.
+	batchItems   []batchItem
+	batchPending map[RuleID]int32
+	batchPairs   []atomOp
+	batchRuns    []int32
+	batchResults []atomResult
+	replayTmp    replayScratch
 
 	// statistics
 	splits int64 // total atom splits performed
@@ -64,13 +68,13 @@ func NewNetwork(g *netgraph.Graph, opts Options) *Network {
 		space: space,
 		gc:    opts.GC,
 		m:     intervalmap.New(space),
-		rules: map[RuleID]*Rule{},
+		store: newRuleStore(),
 	}
 	if n.gc {
 		n.bounds = map[uint64]int{}
 	}
 	// Atom 0 (the full space) exists from the start.
-	n.owner = append(n.owner, nil)
+	n.owner = append(n.owner, ownerAtom{})
 	return n
 }
 
@@ -81,7 +85,7 @@ func (n *Network) Graph() *netgraph.Graph { return n.graph }
 func (n *Network) Space() ipnet.Space { return n.space }
 
 // NumRules returns the number of live rules.
-func (n *Network) NumRules() int { return len(n.rules) }
+func (n *Network) NumRules() int { return n.store.len() }
 
 // NumAtoms returns the current number of atoms.
 func (n *Network) NumAtoms() int { return n.m.NumAtoms() }
@@ -107,17 +111,23 @@ func (n *Network) AtomBornSeq(id intervalmap.AtomID) int64 { return n.m.BornSeq(
 // Merges returns the cumulative number of atom merges performed by GC.
 func (n *Network) Merges() int64 { return n.merges }
 
-// Rule returns the live rule with the given id.
+// Rule returns the live rule with the given id. The pointer aims into
+// the engine's dense rule arena: it is valid for reading until the next
+// mutation and must not be retained across one.
 func (n *Network) Rule(id RuleID) (*Rule, bool) {
-	r, ok := n.rules[id]
-	return r, ok
+	slot, ok := n.store.slotOf(id)
+	if !ok {
+		return nil, false
+	}
+	return &n.store.recs[slot], true
 }
 
 // Rules calls fn for every live rule until fn returns false. Iteration
-// order is unspecified.
+// order is unspecified. The pointer passed to fn is only valid for the
+// duration of the call (see Rule).
 func (n *Network) Rules(fn func(r *Rule) bool) {
-	for _, r := range n.rules {
-		if !fn(r) {
+	for _, slot := range n.store.byID {
+		if !fn(&n.store.recs[slot]) {
 			return
 		}
 	}
@@ -147,14 +157,14 @@ func (n *Network) labelOf(link netgraph.LinkID) *bitset.Set {
 	return n.labels[link]
 }
 
-func (n *Network) ownerOf(atom intervalmap.AtomID) map[netgraph.NodeID]*prioTree {
+// ownerAt returns the atom's owner table, growing the table directory as
+// needed. The returned pointer is invalidated by a later ownerAt call
+// that grows the directory — derive it fresh after any growth point.
+func (n *Network) ownerAt(atom intervalmap.AtomID) *ownerAtom {
 	for int(atom) >= len(n.owner) {
-		n.owner = append(n.owner, nil)
+		n.owner = append(n.owner, ownerAtom{})
 	}
-	if n.owner[atom] == nil {
-		n.owner[atom] = map[netgraph.NodeID]*prioTree{}
-	}
-	return n.owner[atom]
+	return &n.owner[atom]
 }
 
 // AtomInterval returns the half-closed interval currently denoted by an
@@ -182,26 +192,27 @@ func (n *Network) ForEachAtom(fn func(id intervalmap.AtomID, iv ipnet.Interval) 
 // netgraph.NoLink if no rule at v matches. Forwarding is deterministic:
 // there is at most one such link per (node, atom).
 func (n *Network) ForwardLink(v netgraph.NodeID, atom intervalmap.AtomID) netgraph.LinkID {
-	if int(atom) >= len(n.owner) || n.owner[atom] == nil {
+	if int(atom) >= len(n.owner) {
 		return netgraph.NoLink
 	}
-	bst := n.owner[atom][v]
-	if bst == nil || bst.Empty() {
+	slot := n.owner[atom].top(v)
+	if slot == noSlot {
 		return netgraph.NoLink
 	}
-	return bst.Max().Value.Link
+	return n.store.recs[slot].Link
 }
 
-// OwnerRule returns the rule owning atom α at node v, if any.
+// OwnerRule returns the rule owning atom α at node v, if any. The
+// pointer is only valid until the next mutation (see Rule).
 func (n *Network) OwnerRule(v netgraph.NodeID, atom intervalmap.AtomID) (*Rule, bool) {
-	if int(atom) >= len(n.owner) || n.owner[atom] == nil {
+	if int(atom) >= len(n.owner) {
 		return nil, false
 	}
-	bst := n.owner[atom][v]
-	if bst == nil || bst.Empty() {
+	slot := n.owner[atom].top(v)
+	if slot == noSlot {
 		return nil, false
 	}
-	return bst.Max().Value, true
+	return &n.store.recs[slot], true
 }
 
 // Errors returned by the mutation API.
@@ -236,7 +247,7 @@ func (n *Network) InsertRuleInto(r Rule, d *Delta) error {
 
 func (n *Network) insertRule(r Rule, d *Delta) error {
 	d.reset(r.ID, OpInsert)
-	if _, dup := n.rules[r.ID]; dup {
+	if _, dup := n.store.slotOf(r.ID); dup {
 		return fmt.Errorf("%w: %d", ErrDuplicateRule, r.ID)
 	}
 	if r.Match.Empty() {
@@ -250,22 +261,25 @@ func (n *Network) insertRule(r Rule, d *Delta) error {
 	} else if n.graph.Link(r.Link).Src != r.Source {
 		return fmt.Errorf("%w: rule %d source %d link %d", ErrBadLink, r.ID, r.Source, r.Link)
 	}
-	rp := &r
+	slot := n.store.alloc(r)
+	k := r.key()
 
 	// Step 1: CREATE_ATOMS+ (Algorithm 1, line 2). |Δ| ≤ 2.
-	split := n.m.CreateAtoms(r.Match)
+	n.splitBuf = n.m.CreateAtomsInto(r.Match, n.splitBuf[:0])
+	split := n.splitBuf
 	d.NewAtoms = append(d.NewAtoms, split...)
 	n.splits += int64(len(split))
 
 	// Step 2: atom splitting (lines 3–9). The new atom α′ inherits α's
 	// owner state; every link that carried α also carries α′.
 	for _, sp := range split {
-		oldOwner := n.owner[sp.Old] // may be nil: atom with no rules yet
-		newOwner := n.ownerOf(sp.New)
-		for source, bst := range oldOwner {
-			newOwner[source] = bst.Clone()
-			top := bst.Max().Value
-			n.labelOf(top.Link).Add(int(sp.New))
+		newOwner := n.ownerAt(sp.New) // may grow the directory: take first
+		oldOwner := &n.owner[sp.Old]
+		newOwner.cloneFrom(oldOwner)
+		for i := range oldOwner.cells {
+			c := oldOwner.cells[i]
+			top := oldOwner.slab[c.off+c.n-1]
+			n.labelOf(n.store.recs[top].Link).Add(int(sp.New))
 		}
 	}
 
@@ -273,28 +287,21 @@ func (n *Network) insertRule(r Rule, d *Delta) error {
 	n.atomBuf = n.m.Atoms(r.Match, n.atomBuf[:0])
 	newLabel := n.labelOf(r.Link)
 	for _, alpha := range n.atomBuf {
-		ow := n.ownerOf(alpha)
-		bst := ow[r.Source]
-		if bst == nil {
-			bst = newPrioTree()
-			ow[r.Source] = bst
-		}
-		var prev *Rule
-		if !bst.Empty() {
-			prev = bst.Max().Value
-		}
-		if prev == nil || cmpPrioKey(prev.key(), rp.key()) < 0 {
+		oa := n.ownerAt(alpha)
+		prev := oa.top(r.Source)
+		if prev == noSlot || cmpPrioKey(n.store.keyOf(prev), k) < 0 {
 			newLabel.Add(int(alpha))
 			d.Added = append(d.Added, LinkAtom{Link: r.Link, Atom: alpha})
-			if prev != nil && prev.Link != r.Link {
-				n.labelOf(prev.Link).Remove(int(alpha))
-				d.Removed = append(d.Removed, LinkAtom{Link: prev.Link, Atom: alpha})
+			if prev != noSlot {
+				if prevLink := n.store.recs[prev].Link; prevLink != r.Link {
+					n.labelOf(prevLink).Remove(int(alpha))
+					d.Removed = append(d.Removed, LinkAtom{Link: prevLink, Atom: alpha})
+				}
 			}
 		}
-		bst.Insert(rp.key(), rp)
+		oa.insert(&n.store, r.Source, slot, k)
 	}
 
-	n.rules[r.ID] = rp
 	if n.gc {
 		n.bounds[r.Match.Lo]++
 		n.bounds[r.Match.Hi]++
@@ -321,33 +328,31 @@ func (n *Network) RemoveRuleInto(id RuleID, d *Delta) error {
 
 func (n *Network) removeRule(id RuleID, d *Delta) error {
 	d.reset(id, OpRemove)
-	r, ok := n.rules[id]
+	slot, ok := n.store.slotOf(id)
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownRule, id)
 	}
+	r := n.store.recs[slot] // value copy: survives the release below
+	k := r.key()
 
 	n.atomBuf = n.m.Atoms(r.Match, n.atomBuf[:0])
 	ownLabel := n.labelOf(r.Link)
 	for _, alpha := range n.atomBuf {
-		ow := n.owner[alpha]
-		bst := ow[r.Source]
-		top := bst.Max().Value
-		bst.Delete(r.key())
-		if top == r {
+		oa := &n.owner[alpha]
+		top := oa.top(r.Source)
+		oa.remove(&n.store, r.Source, k)
+		if top == slot {
 			ownLabel.Remove(int(alpha))
 			d.Removed = append(d.Removed, LinkAtom{Link: r.Link, Atom: alpha})
-			if !bst.Empty() {
-				next := bst.Max().Value
-				n.labelOf(next.Link).Add(int(alpha))
-				d.Added = append(d.Added, LinkAtom{Link: next.Link, Atom: alpha})
+			if next := oa.top(r.Source); next != noSlot {
+				nextLink := n.store.recs[next].Link
+				n.labelOf(nextLink).Add(int(alpha))
+				d.Added = append(d.Added, LinkAtom{Link: nextLink, Atom: alpha})
 			}
-		}
-		if bst.Empty() {
-			delete(ow, r.Source)
 		}
 	}
 
-	delete(n.rules, id)
+	n.store.release(id)
 	if n.gc {
 		n.collectBound(r.Match.Lo)
 		n.collectBound(r.Match.Hi)
@@ -360,18 +365,32 @@ func (n *Network) removeRule(id RuleID, d *Delta) error {
 // integrity. It is O(atoms × nodes) and intended for tests. It returns ""
 // when all invariants hold, else a description of the first violation.
 func (n *Network) CheckInvariants() string {
-	// Every live rule is in the owner BST of every atom of its interval.
-	for _, r := range n.rules {
+	// Every live rule is in the owner table of every atom of its interval.
+	for id, slot := range n.store.byID {
+		r := n.store.recs[slot]
+		if r.ID != id {
+			return fmt.Sprintf("rule store slot %d holds id %d, index says %d", slot, r.ID, id)
+		}
 		for _, alpha := range n.m.Atoms(r.Match, nil) {
-			if int(alpha) >= len(n.owner) || n.owner[alpha] == nil {
-				return fmt.Sprintf("atom %d of %v has no owner map", alpha, r)
+			if int(alpha) >= len(n.owner) {
+				return fmt.Sprintf("atom %d of %v has no owner table", alpha, r)
 			}
-			bst := n.owner[alpha][r.Source]
-			if bst == nil {
-				return fmt.Sprintf("atom %d of %v has no owner tree", alpha, r)
-			}
-			if got, ok := bst.Get(r.key()); !ok || got != r {
+			if got := n.owner[alpha].get(&n.store, r.Source, r.key()); got != slot {
 				return fmt.Sprintf("owner invariant broken for %v atom %d", r, alpha)
+			}
+		}
+	}
+	// Owner tables are structurally sound and hold only rules at their
+	// own source node.
+	for i := range n.owner {
+		if msg := n.owner[i].checkInvariants(&n.store); msg != "" {
+			return fmt.Sprintf("atom %d: %s", i, msg)
+		}
+		for _, c := range n.owner[i].cells {
+			for _, slot := range n.owner[i].slab[c.off : c.off+c.n] {
+				if n.store.recs[slot].Source != c.node {
+					panic("owner cell holds foreign rule")
+				}
 			}
 		}
 	}
@@ -380,18 +399,14 @@ func (n *Network) CheckInvariants() string {
 	want := map[LinkAtom]bool{}
 	total := 0
 	n.m.ForEachAtom(func(alpha intervalmap.AtomID, _ ipnet.Interval) bool {
-		if int(alpha) >= len(n.owner) || n.owner[alpha] == nil {
+		if int(alpha) >= len(n.owner) {
 			return true
 		}
-		for src, bst := range n.owner[alpha] {
-			if bst.Empty() {
-				return true
-			}
-			top := bst.Max().Value
-			if top.Source != src {
-				panic("owner tree holds foreign rule")
-			}
-			want[LinkAtom{Link: top.Link, Atom: alpha}] = true
+		oa := &n.owner[alpha]
+		for i := range oa.cells {
+			c := oa.cells[i]
+			top := oa.slab[c.off+c.n-1]
+			want[LinkAtom{Link: n.store.recs[top].Link, Atom: alpha}] = true
 			total++
 		}
 		return true
@@ -424,8 +439,8 @@ func (n *Network) CheckInvariants() string {
 			live[id] = true
 			return true
 		})
-		for id, ow := range n.owner {
-			if ow != nil && len(ow) > 0 && !live[intervalmap.AtomID(id)] {
+		for id := range n.owner {
+			if !n.owner[id].empty() && !live[intervalmap.AtomID(id)] {
 				return fmt.Sprintf("dead atom %d still owns rules", id)
 			}
 		}
@@ -434,9 +449,9 @@ func (n *Network) CheckInvariants() string {
 }
 
 // MemoryBytes estimates the engine's heap footprint in bytes: label words,
-// owner tree nodes, rule records and the boundary map. It is the
-// self-accounting used by the Appendix D memory experiment; the harness
-// additionally reports runtime.MemStats deltas.
+// owner cell directories and slabs, the rule arena and the boundary map.
+// It is the self-accounting used by the Appendix D memory experiment; the
+// harness additionally reports runtime.MemStats deltas.
 func (n *Network) MemoryBytes() int64 {
 	var b int64
 	for _, l := range n.labels {
@@ -444,18 +459,14 @@ func (n *Network) MemoryBytes() int64 {
 			b += int64(l.WordBytes()) + 24
 		}
 	}
-	const nodeSize = 64 // key+value+3 pointers+color, rounded
-	for _, ow := range n.owner {
-		if ow == nil {
-			continue
-		}
-		b += 48 // map header
-		for _, bst := range ow {
-			b += 32 + int64(bst.Len())*nodeSize
-		}
+	const cellSize = 12 // node + off + n
+	for i := range n.owner {
+		oa := &n.owner[i]
+		b += int64(cap(oa.cells))*cellSize + int64(cap(oa.slab))*4 + 48
 	}
-	b += int64(len(n.rules)) * (48 + 8)
-	b += int64(n.m.NumAtoms()+1) * nodeSize // boundary tree
+	b += int64(cap(n.store.recs))*48 + int64(cap(n.store.free))*4
+	b += int64(len(n.store.byID)) * 24
+	b += int64(n.m.NumAtoms()+1) * 32 // arena boundary-tree nodes
 	if n.bounds != nil {
 		b += int64(len(n.bounds)) * 24
 	}

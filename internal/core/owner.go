@@ -1,0 +1,270 @@
+package core
+
+// Flat owner storage. The paper's owner[α][source] is a balanced BST of
+// rules per (atom, source); transcribing that literally cost one Go map
+// per atom plus one heap-allocated tree node per (atom, source, rule) —
+// pointer-chasing on every ownership reassignment and a large
+// GC-scannable object graph. This file replaces it with struct-of-arrays
+// storage:
+//
+//   - ruleStore: every live rule lives in one dense slot-indexed []Rule
+//     arena (pointer-free records), with a LIFO free list so steady-state
+//     churn recycles slots instead of allocating;
+//   - ownerAtom: one atom's whole owner table — a sorted cell directory
+//     (one pointer-free ownerCell per source node) plus a single packed
+//     []int32 slab of rule slots, priority-sorted per cell, the cell's
+//     maximum (= the paper's bst.Max()) being its last slab entry.
+//
+// Ownership operations become binary searches plus int32 memmoves over
+// contiguous memory. Slabs and cell directories retain capacity across
+// delete/insert cycles and atom death (GC merge), so a steady-state
+// insert/remove workload performs no allocation at all in the owner
+// structures. Batch replay keeps its lock-freedom: phase 4 workers touch
+// only their own atom's ownerAtom, which shares storage with no other
+// atom.
+
+import (
+	"sort"
+
+	"deltanet/internal/netgraph"
+)
+
+// noSlot marks "no rule" in prev/top comparisons.
+const noSlot int32 = -1
+
+// ruleStore is the dense arena of live rules. Slots are recycled LIFO;
+// byID maps rule ids to slots. recs is contiguous and pointer-free, so
+// the garbage collector never scans rule storage, and key comparisons
+// during owner-list searches index a flat array instead of chasing a
+// heap pointer per rule.
+type ruleStore struct {
+	recs []Rule
+	free []int32
+	byID map[RuleID]int32
+}
+
+func newRuleStore() ruleStore {
+	return ruleStore{byID: map[RuleID]int32{}}
+}
+
+// alloc stores r and returns its slot. Pointers into recs obtained
+// before an alloc are invalidated by growth; callers must re-derive.
+func (s *ruleStore) alloc(r Rule) int32 {
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.recs[slot] = r
+	} else {
+		slot = int32(len(s.recs))
+		s.recs = append(s.recs, r)
+	}
+	s.byID[r.ID] = slot
+	return slot
+}
+
+// release frees the slot holding rule id.
+func (s *ruleStore) release(id RuleID) {
+	slot, ok := s.byID[id]
+	if !ok {
+		return
+	}
+	delete(s.byID, id)
+	s.recs[slot] = Rule{}
+	s.free = append(s.free, slot)
+}
+
+// releaseSlot frees a specific slot. The id→slot index entry is only
+// removed when it still names this slot — a batch that removes a rule
+// and re-inserts its id has already repointed the index at the new slot.
+func (s *ruleStore) releaseSlot(id RuleID, slot int32) {
+	if cur, ok := s.byID[id]; ok && cur == slot {
+		delete(s.byID, id)
+	}
+	s.recs[slot] = Rule{}
+	s.free = append(s.free, slot)
+}
+
+func (s *ruleStore) slotOf(id RuleID) (int32, bool) {
+	slot, ok := s.byID[id]
+	return slot, ok
+}
+
+func (s *ruleStore) keyOf(slot int32) prioKey { return s.recs[slot].key() }
+
+func (s *ruleStore) len() int { return len(s.byID) }
+
+// ownerCell is one (atom, source) entry in an atom's cell directory: the
+// cell's rule slots occupy slab[off : off+n], sorted by priority key
+// ascending (the owner — bst.Max() in the paper — is the last entry).
+//
+//deltanet:pointerfree
+type ownerCell struct {
+	node netgraph.NodeID
+	off  int32
+	n    int32
+}
+
+// ownerAtom is one atom's owner table. cells is sorted by node for
+// binary search; the cells' slab windows are contiguous, ascending, and
+// exactly cover slab. Both backing arrays hold no pointers, and both
+// retain capacity across mutations and atom death, so churn over a
+// warmed atom allocates nothing.
+type ownerAtom struct {
+	cells []ownerCell
+	slab  []int32
+}
+
+// findCell returns the index of node's cell, or (insertion point, false).
+func (oa *ownerAtom) findCell(node netgraph.NodeID) (int, bool) {
+	lo, hi := 0, len(oa.cells)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if oa.cells[mid].node < node {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(oa.cells) && oa.cells[lo].node == node
+}
+
+// top returns the owning rule's slot at node (the highest-priority
+// entry), or noSlot.
+func (oa *ownerAtom) top(node netgraph.NodeID) int32 {
+	i, ok := oa.findCell(node)
+	if !ok {
+		return noSlot
+	}
+	c := &oa.cells[i]
+	return oa.slab[c.off+c.n-1]
+}
+
+// empty reports whether the atom has no owner state at all.
+func (oa *ownerAtom) empty() bool { return len(oa.cells) == 0 }
+
+// reset drops all owner state, retaining capacity for reuse (atom ids
+// are recycled by GC; the storage is, too).
+func (oa *ownerAtom) reset() {
+	oa.cells = oa.cells[:0]
+	oa.slab = oa.slab[:0]
+}
+
+// cloneFrom makes oa an independent copy of src (the owner[α′] ← owner[α]
+// split copy of Algorithm 1, line 4), reusing oa's retained capacity.
+func (oa *ownerAtom) cloneFrom(src *ownerAtom) {
+	oa.cells = append(oa.cells[:0], src.cells...)
+	oa.slab = append(oa.slab[:0], src.slab...)
+}
+
+// insert adds rule slot (with key k) to node's cell, keeping the cell's
+// window priority-sorted. Duplicate keys must not occur (rule ids are
+// unique among live rules).
+func (oa *ownerAtom) insert(s *ruleStore, node netgraph.NodeID, slot int32, k prioKey) {
+	ci, ok := oa.findCell(node)
+	if !ok {
+		off := int32(len(oa.slab))
+		if ci < len(oa.cells) {
+			off = oa.cells[ci].off
+		}
+		oa.cells = append(oa.cells, ownerCell{})
+		copy(oa.cells[ci+1:], oa.cells[ci:])
+		oa.cells[ci] = ownerCell{node: node, off: off, n: 0}
+	}
+	c := &oa.cells[ci]
+	// Binary search for the insertion point within the cell's window.
+	lo, hi := int(c.off), int(c.off+c.n)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cmpPrioKey(s.keyOf(oa.slab[mid]), k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	oa.slab = append(oa.slab, 0)
+	copy(oa.slab[lo+1:], oa.slab[lo:])
+	oa.slab[lo] = slot
+	c.n++
+	for i := ci + 1; i < len(oa.cells); i++ {
+		oa.cells[i].off++
+	}
+}
+
+// remove deletes the entry with key k from node's cell, returning the
+// removed rule slot (noSlot if absent). Empty cells leave the directory.
+func (oa *ownerAtom) remove(s *ruleStore, node netgraph.NodeID, k prioKey) int32 {
+	ci, ok := oa.findCell(node)
+	if !ok {
+		return noSlot
+	}
+	c := &oa.cells[ci]
+	lo, hi := int(c.off), int(c.off+c.n)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cmpPrioKey(s.keyOf(oa.slab[mid]), k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= int(c.off+c.n) || cmpPrioKey(s.keyOf(oa.slab[lo]), k) != 0 {
+		return noSlot
+	}
+	slot := oa.slab[lo]
+	copy(oa.slab[lo:], oa.slab[lo+1:])
+	oa.slab = oa.slab[:len(oa.slab)-1]
+	c.n--
+	for i := ci + 1; i < len(oa.cells); i++ {
+		oa.cells[i].off--
+	}
+	if c.n == 0 {
+		copy(oa.cells[ci:], oa.cells[ci+1:])
+		oa.cells = oa.cells[:len(oa.cells)-1]
+	}
+	return slot
+}
+
+// get returns the slot stored under (node, k), or noSlot.
+func (oa *ownerAtom) get(s *ruleStore, node netgraph.NodeID, k prioKey) int32 {
+	ci, ok := oa.findCell(node)
+	if !ok {
+		return noSlot
+	}
+	c := &oa.cells[ci]
+	for _, slot := range oa.slab[c.off : c.off+c.n] {
+		if cmpPrioKey(s.keyOf(slot), k) == 0 {
+			return slot
+		}
+	}
+	return noSlot
+}
+
+// checkInvariants validates the cell directory and slab layout: sorted
+// unique cells, contiguous ascending windows exactly covering the slab,
+// and priority-sorted windows. Tests only.
+func (oa *ownerAtom) checkInvariants(s *ruleStore) string {
+	want := int32(0)
+	for i := range oa.cells {
+		c := oa.cells[i]
+		if i > 0 && oa.cells[i-1].node >= c.node {
+			return "owner cells out of order"
+		}
+		if c.off != want {
+			return "owner cell windows not contiguous"
+		}
+		if c.n <= 0 {
+			return "empty owner cell retained"
+		}
+		want += c.n
+		if !sort.SliceIsSorted(oa.slab[c.off:c.off+c.n], func(a, b int) bool {
+			return cmpPrioKey(s.keyOf(oa.slab[int(c.off)+a]), s.keyOf(oa.slab[int(c.off)+b])) < 0
+		}) {
+			return "owner cell window not priority-sorted"
+		}
+	}
+	if int(want) != len(oa.slab) {
+		return "owner slab length mismatch"
+	}
+	return ""
+}

@@ -10,9 +10,13 @@
 //   - label[link], a dynamic bitset of atoms per directed link: the atoms a
 //     packet's designated header field may fall in for the packet to be
 //     forwarded along the link (internal/bitset);
-//   - owner[α][source], a balanced BST of the rules at source whose interval
-//     contains atom α, ordered by priority (internal/rbtree); the maximum is
-//     the rule that "owns" α at that node.
+//   - owner[α][source], the rules at source whose interval contains atom
+//     α, ordered by priority; the maximum is the rule that "owns" α at
+//     that node. The paper prescribes a balanced BST per (atom, source);
+//     this engine stores the same ordered sets flat — a sorted cell
+//     directory plus packed rule-slot slab per atom (owner.go) — which
+//     preserves the logarithmic search bound and removes the per-node
+//     heap allocations.
 //
 // Each rule insertion or removal yields a Delta — the delta-graph of §3.3 —
 // from which property checkers (internal/check) verify invariants such as

@@ -14,9 +14,9 @@ import (
 // same graph reproduces identical forwarding behaviour (though atom ids
 // may differ, since they depend on insertion history — §3.1).
 func (n *Network) Snapshot() []Rule {
-	out := make([]Rule, 0, len(n.rules))
-	for _, r := range n.rules {
-		out = append(out, *r)
+	out := make([]Rule, 0, n.store.len())
+	for _, slot := range n.store.byID {
+		out = append(out, n.store.recs[slot])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

@@ -14,7 +14,6 @@ package intervalmap
 
 import (
 	"deltanet/internal/ipnet"
-	"deltanet/internal/rbtree"
 )
 
 // AtomID identifies one atom: a half-closed interval in the current
@@ -33,9 +32,15 @@ type SplitPair struct {
 }
 
 // Map is the boundary map M. It is not safe for concurrent mutation.
+//
+// The backing store is an arena-backed red-black tree (see arena.go):
+// index-addressed nodes in one contiguous pointer-free slice, so the
+// boundary map costs the garbage collector nothing no matter how many
+// bounds it holds. internal/rbtree remains only as the differential
+// oracle this implementation is fuzzed against.
 type Map struct {
 	space ipnet.Space
-	tree  *rbtree.Tree[uint64, AtomID]
+	tree  arenaTree
 	next  AtomID
 	free  []AtomID // recycled ids when garbage collection is enabled
 
@@ -49,23 +54,12 @@ type Map struct {
 	born     []int64
 }
 
-func cmpU64(a, b uint64) int {
-	switch {
-	case a < b:
-		return -1
-	case a > b:
-		return 1
-	default:
-		return 0
-	}
-}
-
 // New returns a Map over the given space, pre-seeded with MIN ↦ α₀ and
 // MAX ↦ α∞ as §3.1 prescribes.
 func New(space ipnet.Space) *Map {
-	m := &Map{space: space, tree: rbtree.New[uint64, AtomID](cmpU64)}
-	m.tree.Insert(0, m.alloc())
-	m.tree.Insert(space.Max(), Infinity)
+	m := &Map{space: space, tree: newArenaTree()}
+	m.tree.insert(0, m.alloc())
+	m.tree.insert(space.Max(), Infinity)
 	return m
 }
 
@@ -108,7 +102,7 @@ func (m *Map) BornSeq(id AtomID) int64 {
 func (m *Map) Space() ipnet.Space { return m.space }
 
 // NumAtoms returns the current number of atoms (len(M) − 1).
-func (m *Map) NumAtoms() int { return m.tree.Len() - 1 }
+func (m *Map) NumAtoms() int { return m.tree.len() - 1 }
 
 // MaxID returns one past the largest atom id ever allocated; slices indexed
 // by AtomID need this capacity. With GC enabled this can exceed NumAtoms.
@@ -120,17 +114,23 @@ func (m *Map) MaxID() int { return int(m.next) }
 // pair. The set of atoms that results is independent of insertion order,
 // though the identifier values are not (§3.1).
 func (m *Map) CreateAtoms(iv ipnet.Interval) []SplitPair {
-	var delta []SplitPair
+	return m.CreateAtomsInto(iv, nil)
+}
+
+// CreateAtomsInto is CreateAtoms appending into dst — the allocation-free
+// form for hot update paths that keep a reusable split buffer.
+func (m *Map) CreateAtomsInto(iv ipnet.Interval, dst []SplitPair) []SplitPair {
+	delta := dst
 	for _, bound := range [2]uint64{iv.Lo, iv.Hi} {
-		if m.tree.Has(bound) {
+		if m.tree.has(bound) {
 			continue
 		}
-		prev := m.tree.Lower(bound)
+		prev := m.tree.lower(bound)
 		// prev always exists: MIN=0 is a key and bound > 0 here
-		// (bound == 0 would have hit the Has check).
-		old := prev.Value
+		// (bound == 0 would have hit the has check).
+		old := m.tree.nodes[prev].val
 		id := m.alloc()
-		m.tree.Insert(bound, id)
+		m.tree.insert(bound, id)
 		delta = append(delta, SplitPair{Old: old, New: id})
 	}
 	return delta
@@ -146,11 +146,11 @@ func (m *Map) ReleaseBound(bound uint64) (AtomID, bool) {
 	if bound == 0 || bound == m.space.Max() {
 		return 0, false
 	}
-	v, ok := m.tree.Get(bound)
+	v, ok := m.tree.get(bound)
 	if !ok {
 		return 0, false
 	}
-	m.tree.Delete(bound)
+	m.tree.delete(bound)
 	m.free = append(m.free, v)
 	return v, true
 }
@@ -159,7 +159,7 @@ func (m *Map) ReleaseBound(bound uint64) (AtomID, bool) {
 // paper's ⟦interval(r)⟧ — assuming both bounds of iv are keys (call
 // CreateAtoms first). Atoms are produced in ascending address order.
 func (m *Map) Atoms(iv ipnet.Interval, dst []AtomID) []AtomID {
-	m.tree.AscendRange(iv.Lo, iv.Hi, func(_ uint64, id AtomID) bool {
+	m.tree.ascendRange(iv.Lo, iv.Hi, func(_ uint64, id AtomID) bool {
 		dst = append(dst, id)
 		return true
 	})
@@ -173,10 +173,10 @@ func (m *Map) AtomsOverlapping(iv ipnet.Interval, dst []AtomID) []AtomID {
 	if iv.Empty() {
 		return dst
 	}
-	if n := m.tree.Floor(iv.Lo); n != nil && n.Value != Infinity && n.Key < iv.Lo {
-		dst = append(dst, n.Value)
+	if n := m.tree.floor(iv.Lo); n != nilNode && m.tree.nodes[n].val != Infinity && m.tree.nodes[n].key < iv.Lo {
+		dst = append(dst, m.tree.nodes[n].val)
 	}
-	m.tree.AscendRange(iv.Lo, iv.Hi, func(k uint64, id AtomID) bool {
+	m.tree.ascendRange(iv.Lo, iv.Hi, func(k uint64, id AtomID) bool {
 		if id != Infinity {
 			dst = append(dst, id)
 		}
@@ -187,8 +187,7 @@ func (m *Map) AtomsOverlapping(iv ipnet.Interval, dst []AtomID) []AtomID {
 
 // AtomOf returns the atom containing the address, which always exists.
 func (m *Map) AtomOf(addr uint64) AtomID {
-	n := m.tree.Floor(addr)
-	return n.Value
+	return m.tree.nodes[m.tree.floor(addr)].val
 }
 
 // IntervalOf returns the half-closed interval currently denoted by the atom.
@@ -200,7 +199,7 @@ func (m *Map) IntervalOf(id AtomID) (ipnet.Interval, bool) {
 	var prevKey uint64
 	var prevID AtomID = Infinity
 	first := true
-	m.tree.Ascend(func(k uint64, v AtomID) bool {
+	m.tree.ascend(func(k uint64, v AtomID) bool {
 		if !first && prevID == id {
 			out = ipnet.Interval{Lo: prevKey, Hi: k}
 			found = true
@@ -215,14 +214,21 @@ func (m *Map) IntervalOf(id AtomID) (ipnet.Interval, bool) {
 
 // Bounds returns all boundary keys in ascending order (including MIN and
 // MAX). Intended for tests and reporting.
-func (m *Map) Bounds() []uint64 { return m.tree.Keys() }
+func (m *Map) Bounds() []uint64 {
+	out := make([]uint64, 0, m.tree.len())
+	m.tree.ascend(func(k uint64, _ AtomID) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
 
 // ForEachAtom calls fn for every atom with its interval, in address order.
 func (m *Map) ForEachAtom(fn func(id AtomID, iv ipnet.Interval) bool) {
 	var prevKey uint64
 	var prevID AtomID = Infinity
 	first := true
-	m.tree.Ascend(func(k uint64, v AtomID) bool {
+	m.tree.ascend(func(k uint64, v AtomID) bool {
 		if !first {
 			if !fn(prevID, ipnet.Interval{Lo: prevKey, Hi: k}) {
 				return false
@@ -235,4 +241,9 @@ func (m *Map) ForEachAtom(fn func(id AtomID, iv ipnet.Interval) bool) {
 }
 
 // HasBound reports whether n is currently a boundary key.
-func (m *Map) HasBound(n uint64) bool { return m.tree.Has(n) }
+func (m *Map) HasBound(n uint64) bool { return m.tree.has(n) }
+
+// CheckInvariants verifies the backing tree's red-black properties, key
+// ordering, and arena slot accounting, returning a description of the
+// first violation (empty string when valid). Tests and tooling only.
+func (m *Map) CheckInvariants() string { return m.tree.checkInvariants() }

@@ -1,0 +1,102 @@
+package intervalmap
+
+// The rbtree-backed boundary map that shipped before the arena rewrite,
+// kept verbatim as a differential oracle. Differential tests and
+// FuzzIntervalMapFlat drive identical operation sequences against this
+// and the arena-backed Map and require bit-identical observable state:
+// atoms, split pairs, bounds, allocation stamps, and free-list recycling
+// order. internal/rbtree exists only to back this oracle now.
+
+import (
+	"deltanet/internal/ipnet"
+	"deltanet/internal/rbtree"
+)
+
+type oracleMap struct {
+	space    ipnet.Space
+	tree     *rbtree.Tree[uint64, AtomID]
+	next     AtomID
+	free     []AtomID
+	allocSeq int64
+	born     []int64
+}
+
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func newOracle(space ipnet.Space) *oracleMap {
+	m := &oracleMap{space: space, tree: rbtree.New[uint64, AtomID](cmpU64)}
+	m.tree.Insert(0, m.alloc())
+	m.tree.Insert(space.Max(), Infinity)
+	return m
+}
+
+func (m *oracleMap) alloc() AtomID {
+	var id AtomID
+	if n := len(m.free); n > 0 {
+		id = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		id = m.next
+		m.next++
+	}
+	m.allocSeq++
+	for int(id) >= len(m.born) {
+		m.born = append(m.born, 0)
+	}
+	m.born[id] = m.allocSeq
+	return id
+}
+
+func (m *oracleMap) AllocSeq() int64 { return m.allocSeq }
+
+func (m *oracleMap) BornSeq(id AtomID) int64 {
+	if int(id) < 0 || int(id) >= len(m.born) {
+		return 0
+	}
+	return m.born[id]
+}
+
+func (m *oracleMap) NumAtoms() int { return m.tree.Len() - 1 }
+func (m *oracleMap) MaxID() int    { return int(m.next) }
+
+func (m *oracleMap) CreateAtoms(iv ipnet.Interval) []SplitPair {
+	var delta []SplitPair
+	for _, bound := range [2]uint64{iv.Lo, iv.Hi} {
+		if m.tree.Has(bound) {
+			continue
+		}
+		old := m.tree.Lower(bound).Value
+		id := m.alloc()
+		m.tree.Insert(bound, id)
+		delta = append(delta, SplitPair{Old: old, New: id})
+	}
+	return delta
+}
+
+func (m *oracleMap) ReleaseBound(bound uint64) (AtomID, bool) {
+	if bound == 0 || bound == m.space.Max() {
+		return 0, false
+	}
+	v, ok := m.tree.Get(bound)
+	if !ok {
+		return 0, false
+	}
+	m.tree.Delete(bound)
+	m.free = append(m.free, v)
+	return v, true
+}
+
+func (m *oracleMap) AtomOf(addr uint64) AtomID { return m.tree.Floor(addr).Value }
+
+func (m *oracleMap) Bounds() []uint64 { return m.tree.Keys() }
+
+func (m *oracleMap) Values() []AtomID { return m.tree.Values() }

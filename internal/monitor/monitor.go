@@ -39,6 +39,7 @@ package monitor
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -214,6 +215,14 @@ type Monitor struct {
 	scratchRanges  core.DeltaRanges
 	scratchOuts    []evalOutcome
 
+	// evalScratch holds one check.Scratch per evaluation worker, reused
+	// across passes under applyMu: RunSharded gives each worker a stable
+	// identity, so worker w always evaluates with evalScratch[w] and the
+	// epoch-stamped arrays stay warm — and race-clean — across the
+	// monitor's lifetime. (Registration-time evaluations run outside
+	// applyMu and draw from the check package's pool instead.)
+	evalScratch []*check.Scratch
+
 	// regMu guards the structural registration state: the dedup map, the
 	// slot table, and the slot classification bitmaps. It is never held
 	// during an evaluation.
@@ -352,7 +361,9 @@ func (m *Monitor) Register(s Spec) (ID, Status) {
 	// The expensive part — the initial evaluation — runs under inv.mu
 	// only, so it stalls neither Apply's evaluation pass nor other
 	// registrations.
-	v := inv.spec.eval(m.net, nil, &inv.st)
+	sc := check.GetScratch()
+	v := inv.spec.eval(m.net, nil, &inv.st, sc)
+	check.PutScratch(sc)
 	inv.st.status = statusOf(v)
 	inv.st.detail = v.detail
 	numLinks := m.net.Graph().NumLinks()
@@ -755,8 +766,20 @@ func (m *Monitor) evaluatePass(cands []*invariant, ctx *applyCtx, updFirst, updL
 	for i := range outs {
 		outs[i] = evalOutcome{}
 	}
+	// Resolve the worker count the same way RunSharded will, so every
+	// worker index maps to a dedicated, warmed scratch.
+	nw := m.workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(cands) {
+		nw = len(cands)
+	}
+	for len(m.evalScratch) < nw {
+		m.evalScratch = append(m.evalScratch, check.NewScratch())
+	}
 	var evaluated atomic.Uint64
-	check.RunSharded(m.workers, len(cands), func(_, i int) {
+	check.RunSharded(nw, len(cands), func(w, i int) {
 		inv := cands[i]
 		inv.mu.Lock()
 		defer inv.mu.Unlock()
@@ -766,7 +789,7 @@ func (m *Monitor) evaluatePass(cands []*invariant, ctx *applyCtx, updFirst, updL
 		oldDeps, oldUpTo := inv.st.deps, inv.st.linksAtEval
 		oldRanges, oldAtomSeq := inv.st.ranges, inv.st.atomSeq
 		was := inv.st.status
-		v := inv.spec.eval(m.net, ctx, &inv.st)
+		v := inv.spec.eval(m.net, ctx, &inv.st, m.evalScratch[w])
 		inv.st.status = statusOf(v)
 		inv.st.detail = v.detail
 		inv.st.linksAtEval = numLinks

@@ -34,8 +34,11 @@ type Spec interface {
 	// delta plus any results the caller already computed from it; nil
 	// means a full evaluation (registration, RecheckAll). eval runs
 	// concurrently with evals of OTHER invariants, so it must only read
-	// the network and write its own st.
-	eval(n *core.Network, ctx *applyCtx, st *state) verdict
+	// the network and write its own st. sc is the caller's query
+	// scratch — one per evaluation worker, so its epoch-stamped state is
+	// single-goroutine within a call — and anything read off it must be
+	// consumed before eval returns.
+	eval(n *core.Network, ctx *applyCtx, st *state, sc *check.Scratch) verdict
 }
 
 // specKey is the canonical identity registrations are refcounted by:
@@ -133,9 +136,9 @@ func (r Reachable) dirty(st *state, _ *core.Delta, changed *bitset.Set) bool {
 	return depsHit(st, changed)
 }
 
-func (r Reachable) eval(n *core.Network, _ *applyCtx, st *state) verdict {
+func (r Reachable) eval(n *core.Network, _ *applyCtx, st *state, sc *check.Scratch) verdict {
 	deps := bitset.New(n.Graph().NumLinks())
-	reach, ranges := check.ReachSummary(n, r.From, netgraph.NoNode, deps)
+	reach, ranges := check.ReachSummary(n, r.From, netgraph.NoNode, deps, sc)
 	st.deps = deps
 	st.ranges = ranges
 	st.atomSeq = n.AtomAllocSeq()
@@ -158,9 +161,9 @@ func (w Waypoint) dirty(st *state, _ *core.Delta, changed *bitset.Set) bool {
 	return depsHit(st, changed)
 }
 
-func (w Waypoint) eval(n *core.Network, _ *applyCtx, st *state) verdict {
+func (w Waypoint) eval(n *core.Network, _ *applyCtx, st *state, sc *check.Scratch) verdict {
 	deps := bitset.New(n.Graph().NumLinks())
-	reach, ranges := check.ReachSummary(n, w.From, w.Via, deps)
+	reach, ranges := check.ReachSummary(n, w.From, w.Via, deps, sc)
 	st.deps = deps
 	st.ranges = ranges
 	st.atomSeq = n.AtomAllocSeq()
@@ -200,17 +203,17 @@ func (i Isolated) dirty(st *state, _ *core.Delta, changed *bitset.Set) bool {
 // touches a recorded link. On success deps covers every pair. The atom
 // sketches merge across sources (a shared link keeps the union of the
 // atoms relevant to each source's fixpoint).
-func (i Isolated) eval(n *core.Network, _ *applyCtx, st *state) verdict {
+func (i Isolated) eval(n *core.Network, _ *applyCtx, st *state, sc *check.Scratch) verdict {
 	total := bitset.New(n.Graph().NumLinks())
 	st.deps = total
 	st.ranges = nil
 	st.atomSeq = n.AtomAllocSeq()
-	scratch := bitset.New(n.Graph().NumLinks()) // per-source deps, reused
+	srcDeps := bitset.New(n.Graph().NumLinks()) // per-source deps, reused
 	for _, a := range i.GroupA {
-		scratch.Clear()
-		reach, ranges := check.ReachSummary(n, a, netgraph.NoNode, scratch)
-		st.ranges = check.MergeDepRanges(st.ranges, total, ranges, scratch)
-		total.UnionWith(scratch)
+		srcDeps.Clear()
+		reach, ranges := check.ReachSummary(n, a, netgraph.NoNode, srcDeps, sc)
+		st.ranges = check.MergeDepRanges(st.ranges, total, ranges, srcDeps)
+		total.UnionWith(srcDeps)
 		for _, b := range i.GroupB {
 			if int(b) < len(reach) && reach[b] != nil && !reach[b].Empty() {
 				return verdict{
@@ -254,7 +257,7 @@ func (LoopFree) dirty(st *state, d *core.Delta, _ *bitset.Set) bool {
 // that candidate set is re-walked. Evaluations with no delta context
 // (registration, RecheckAll, restored state) still run the full scan,
 // which also (re)establishes the base case of the induction.
-func (LoopFree) eval(n *core.Network, ctx *applyCtx, st *state) verdict {
+func (LoopFree) eval(n *core.Network, ctx *applyCtx, st *state, sc *check.Scratch) verdict {
 	st.deps = nil // dirtiness is decided structurally, not by link set
 	st.ranges = nil
 	var loops []check.Loop
@@ -262,15 +265,15 @@ func (LoopFree) eval(n *core.Network, ctx *applyCtx, st *state) verdict {
 	case ctx != nil && st.status == Holds && ctx.loopsKnown:
 		loops = ctx.loops
 	case ctx != nil && st.status == Holds:
-		loops = check.FindLoopsDeltaAuto(n, ctx.d, 0)
+		loops = check.FindLoopsDeltaAutoScratch(n, ctx.d, 0, sc)
 	case ctx != nil && ctx.d != nil && st.status == Violated && st.loopAtoms != nil:
 		cand := loopFreeCandidates(n, ctx.d, st)
 		if ctx.rescans != nil {
 			ctx.rescans.Add(uint64(cand.Len()))
 		}
-		loops = check.FindLoopsAtoms(n, cand)
+		loops = check.FindLoopsAtomsScratch(n, cand, sc)
 	default:
-		loops = check.FindLoopsAll(n)
+		loops = check.FindLoopsAllScratch(n, sc)
 	}
 	if len(loops) > 0 {
 		if st.loopAtoms == nil {
@@ -324,7 +327,7 @@ func (BlackHoleFree) String() string { return "blackholefree" }
 // those endpoints plus previously violating nodes.
 func (BlackHoleFree) dirty(*state, *core.Delta, *bitset.Set) bool { return true }
 
-func (b BlackHoleFree) eval(n *core.Network, ctx *applyCtx, st *state) verdict {
+func (b BlackHoleFree) eval(n *core.Network, ctx *applyCtx, st *state, _ *check.Scratch) verdict {
 	g := n.Graph()
 	st.deps = nil
 	st.ranges = nil
