@@ -1,0 +1,132 @@
+package client
+
+// This file is the client half of the binary batch protocol
+// (internal/binproto): Binary upgrades a line connection with the
+// "dnbin 1" handshake, Send frames packed updates, and Sync is the
+// applied-barrier round trip. The server's replies stay text lines, so
+// errors and backpressure ("busy depth=<n>") surface through the same
+// scanner the line protocol uses.
+
+import (
+	"fmt"
+	"strings"
+
+	"deltanet/internal/binproto"
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+)
+
+// Update is one rule operation for the binary batch path — the wire's
+// view of an insert or removal, kept free of engine types so the public
+// client surface stays self-contained.
+type Update struct {
+	Insert   bool
+	RuleID   int64
+	Source   int32  // insert only: source node id
+	Link     int32  // insert only: forwarding link id, -1 = drop
+	Lo, Hi   uint64 // insert only: matched address interval
+	Priority int32  // insert only
+}
+
+// Insert builds an insert update.
+func Insert(ruleID int64, source, link int32, lo, hi uint64, prio int32) Update {
+	return Update{Insert: true, RuleID: ruleID, Source: source, Link: link,
+		Lo: lo, Hi: hi, Priority: prio}
+}
+
+// Remove builds a removal update.
+func Remove(ruleID int64) Update { return Update{RuleID: ruleID} }
+
+func (u Update) op() core.BatchOp {
+	if !u.Insert {
+		return core.RemoveOp(core.RuleID(u.RuleID))
+	}
+	return core.InsertOp(core.Rule{
+		ID:       core.RuleID(u.RuleID),
+		Source:   netgraph.NodeID(u.Source),
+		Link:     netgraph.LinkID(u.Link),
+		Match:    ipnet.Interval{Lo: u.Lo, Hi: u.Hi},
+		Priority: core.Priority(u.Priority),
+	})
+}
+
+// BinaryConn is a connection upgraded to the binary batch protocol.
+// Send frames updates without waiting for acknowledgement; Sync is the
+// barrier that bounds the outstanding window. After the upgrade the
+// underlying Client belongs to the binary session — do not interleave
+// Do calls.
+type BinaryConn struct {
+	c     *Client
+	buf   []byte
+	ops   []core.BatchOp
+	token uint64
+	busy  uint64
+}
+
+// Binary upgrades the connection with the "dnbin 1" handshake.
+func (c *Client) Binary() (*BinaryConn, error) {
+	resp, err := c.Do(fmt.Sprintf("dnbin %d", binproto.Version))
+	if err != nil {
+		return nil, err
+	}
+	if resp != fmt.Sprintf("ok dnbin %d", binproto.Version) {
+		return nil, fmt.Errorf("dnserve: bad dnbin handshake response %q", resp)
+	}
+	return &BinaryConn{c: c}, nil
+}
+
+// Send frames updates and writes them without waiting for a reply —
+// the pipelining that makes the binary path fast. Frame-level errors
+// (a bad id the server's validation rejects) surface on the next Sync.
+func (b *BinaryConn) Send(updates []Update) error {
+	b.ops = b.ops[:0]
+	for _, u := range updates {
+		b.ops = append(b.ops, u.op())
+	}
+	b.buf = binproto.AppendOps(b.buf[:0], b.ops)
+	b.c.mu.Lock()
+	defer b.c.mu.Unlock()
+	_, err := b.c.conn.Write(b.buf)
+	return err
+}
+
+// Sync sends a barrier frame and blocks until the server confirms that
+// every update framed before it has been applied, returning the
+// server's total applied count. Backpressure notices ("busy") and
+// frame rejections ("err ...") queued on the connection are consumed
+// here: busy lines are counted (see Busy), the first err line is
+// returned as a *ProtocolError.
+func (b *BinaryConn) Sync() (applied uint64, err error) {
+	b.c.mu.Lock()
+	defer b.c.mu.Unlock()
+	b.token++
+	b.buf = binproto.AppendSync(b.buf[:0], b.token)
+	if _, err := b.c.conn.Write(b.buf); err != nil {
+		return 0, err
+	}
+	want := fmt.Sprintf("ok sync %d ", b.token)
+	for {
+		line, err := b.c.readLineLocked("sync")
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case strings.HasPrefix(line, "busy"):
+			b.busy++
+		case strings.HasPrefix(line, want):
+			if _, err := fmt.Sscanf(line[len(want):], "applied=%d", &applied); err != nil {
+				return 0, fmt.Errorf("dnserve: bad sync response %q", line)
+			}
+			return applied, nil
+		case strings.HasPrefix(line, "err"):
+			return 0, &ProtocolError{Req: "sync", Resp: line}
+		default:
+			return 0, fmt.Errorf("dnserve: unexpected line %q awaiting sync", line)
+		}
+	}
+}
+
+// Busy reports how many backpressure notices the server has sent this
+// session (each marks a moment the ingest ring was full).
+func (b *BinaryConn) Busy() uint64 { return b.busy }

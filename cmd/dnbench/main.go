@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	dnbench [-scale f] [-queries n] [-batch n] table2|table3|figure8|table4|table5|appendixC|scaling|batch|all
+//	dnbench [-scale f] [-queries n] [-batch n] [-conns n] [-addr host:port]
+//	        table2|table3|figure8|table4|table5|appendixC|scaling|batch|ingest|all
 //
 // Scale 1.0 is the laptop default (see internal/datasets); pass a larger
 // scale to approach the paper's sizes given enough time and memory. The
@@ -12,6 +13,15 @@
 // of merging per-atom work and checking once per batch, plus the
 // per-flush update+check latency percentiles (p50/p99) for both arms —
 // the tail latency batching trades against.
+//
+// The ingest experiment measures the server's front ends on the same
+// BGP flap-churn workload: the line protocol in its verdict-per-update
+// mode (one round trip per update, the synchronous check-before-commit
+// loop) and in pipelined B batches, versus the binary batch protocol
+// over -conns connections feeding the ingest ring. With -addr it
+// instead replays the binary arm against an already-running dnserve
+// (the CI ingest smoke test's entry point) and prints the sustained
+// rate.
 package main
 
 import (
@@ -29,7 +39,9 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = laptop default)")
 	queries := flag.Int("queries", 0, "max what-if queries per dataset for table4 (0 = all links)")
-	batchSize := flag.Int("batch", 256, "batch size for the batch experiment")
+	batchSize := flag.Int("batch", 256, "batch size for the batch and ingest experiments")
+	conns := flag.Int("conns", 4, "binary-protocol connections for the ingest experiment")
+	addr := flag.String("addr", "", "run the ingest experiment's binary arm against this dnserve instead of in-process")
 	flag.Parse()
 	if *batchSize < 1 {
 		fmt.Fprintf(os.Stderr, "-batch must be >= 1, got %d\n", *batchSize)
@@ -60,9 +72,10 @@ func main() {
 	run("appendixC", func() error { return appendixC(*scale) })
 	run("scaling", func() error { return scaling(*scale) })
 	run("batch", func() error { return batch(*scale, *batchSize) })
+	run("ingest", func() error { return ingest(*scale, *batchSize, *conns, *addr) })
 
 	switch which {
-	case "all", "table2", "table3", "figure8", "table4", "table5", "appendixC", "scaling", "batch":
+	case "all", "table2", "table3", "figure8", "table4", "table5", "appendixC", "scaling", "batch", "ingest":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
@@ -211,6 +224,37 @@ func batch(scale float64, size int) error {
 	fmt.Print(experiments.FormatTable(
 		[]string{"Data set", "Ops", "batch-1 ops/s", fmt.Sprintf("batch-%d ops/s", size), "Speedup",
 			"b1 p50", "b1 p99", fmt.Sprintf("b%d p50", size), fmt.Sprintf("b%d p99", size)}, cells))
+	return nil
+}
+
+func ingest(scale float64, batch, conns int, addr string) error {
+	updates := int(65536 * scale)
+	if updates < 8192 {
+		updates = 8192
+	}
+	if addr != "" {
+		res, err := experiments.RunIngestRemote(addr, updates, batch, conns, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("binary ingest against %s: %d updates over %d conns (batch %d): %.0f updates/s, busy=%d, applied=%d\n",
+			addr, res.Updates, conns, batch, res.Rate, res.Busy, res.Applied)
+		return nil
+	}
+	row, err := experiments.RunIngest(updates, batch, conns, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatTable(
+		[]string{"Updates", "Batch", "Conns", "line/sync ups/s", "line/batch ups/s", "binary ups/s",
+			"vs sync", "vs batch", "Busy"},
+		[][]string{{
+			strconv.Itoa(row.Updates), strconv.Itoa(row.Batch), strconv.Itoa(row.Conns),
+			fmt.Sprintf("%.0f", row.LineSyncRate), fmt.Sprintf("%.0f", row.LineBatchRate),
+			fmt.Sprintf("%.0f", row.BinRate),
+			fmt.Sprintf("%.2fx", row.RatioSync), fmt.Sprintf("%.2fx", row.RatioBatch),
+			strconv.FormatUint(row.Busy, 10),
+		}}))
 	return nil
 }
 

@@ -1,0 +1,202 @@
+// feed.go wires the repo's feed generators into dnserve as live replay
+// sources: -feed builds an update stream from one of the substrate
+// packages (internal/bgp churn, internal/sdnip controller traces,
+// internal/openflow recorded op streams) and replays it through the
+// same ingest ring the binary batch protocol uses (Server.IngestOps),
+// so a single flag turns the service into a sustained-rate harness —
+// backpressure, coalescing, journaling, and watch evaluation all
+// exercised exactly as a remote binary client would.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"deltanet/internal/bgp"
+	"deltanet/internal/core"
+	"deltanet/internal/datasets"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+	"deltanet/internal/openflow"
+	"deltanet/internal/server"
+)
+
+// feedUsage documents the -feed grammar (also in the flag help).
+const feedUsage = "bgp:<updates>[:<seed>], sdnip:<airtel1|airtel2|4switch>[:<scale>], or openflow:<file>"
+
+// feedChunk is how many ops each IngestOps call carries: large enough
+// to amortize the per-call validation read lock, small enough that the
+// ring's backpressure granularity stays fine.
+const feedChunk = 256
+
+// feedSource is a built feed: a name for logging, the op stream, and —
+// for sources that define their own network — the topology that must be
+// rebuilt into the server before replay.
+type feedSource struct {
+	name  string
+	ops   []core.BatchOp
+	graph *netgraph.Graph // nil: replay against the topology already loaded
+}
+
+// buildFeed parses a -feed spec and materializes the op stream. It does
+// not touch the server; installFeedTopology does that after the caller
+// has settled -trace/-state loading.
+func buildFeed(spec string) (*feedSource, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "bgp":
+		nStr, seedStr, haveSeed := strings.Cut(rest, ":")
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-feed %q: want bgp:<updates>[:<seed>] with a positive update count", spec)
+		}
+		seed := int64(1)
+		if haveSeed {
+			seed, err = strconv.ParseInt(seedStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-feed %q: bad seed %q", spec, seedStr)
+			}
+		}
+		g, ops := bgpFeed(n, seed)
+		return &feedSource{name: spec, ops: ops, graph: g}, nil
+	case "sdnip":
+		name, scaleStr, haveScale := strings.Cut(rest, ":")
+		scale := 1.0
+		if haveScale {
+			var err error
+			scale, err = strconv.ParseFloat(scaleStr, 64)
+			if err != nil || scale <= 0 {
+				return nil, fmt.Errorf("-feed %q: bad scale %q", spec, scaleStr)
+			}
+		}
+		switch name {
+		case "airtel1", "airtel2", "4switch":
+		default:
+			return nil, fmt.Errorf("-feed %q: unknown sdnip trace %q (want airtel1, airtel2, or 4switch)", spec, name)
+		}
+		tr, err := datasets.Build(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		ops := make([]core.BatchOp, len(tr.Ops))
+		for i, op := range tr.Ops {
+			ops[i] = core.BatchOp{Insert: op.Insert, Rule: op.Rule}
+		}
+		return &feedSource{name: spec, ops: ops, graph: tr.Graph}, nil
+	case "openflow":
+		if rest == "" {
+			return nil, fmt.Errorf("-feed %q: want openflow:<file>", spec)
+		}
+		f, err := os.Open(rest)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		trOps, err := openflow.DecodeOps(f)
+		if err != nil {
+			return nil, fmt.Errorf("-feed %q: %v", spec, err)
+		}
+		ops := make([]core.BatchOp, len(trOps))
+		for i, op := range trOps {
+			ops[i] = core.BatchOp{Insert: op.Insert, Rule: op.Rule}
+		}
+		// An openflow stream is ops only — it replays against whatever
+		// topology -trace/-state loaded (graph stays nil).
+		return &feedSource{name: spec, ops: ops}, nil
+	default:
+		return nil, fmt.Errorf("-feed %q: unknown source (want %s)", spec, feedUsage)
+	}
+}
+
+// bgpFeed converts n synthetic BGP updates into rule churn on a minimal
+// gateway topology: one ingress switch forwarding every announced prefix
+// over its single uplink. Announcements insert a rule for the prefix
+// (priority = prefix length, longest-match style), withdrawals remove
+// it, and a re-announcement of a live prefix flaps it (remove + insert)
+// — the working-set churn shape real RIB replay produces.
+func bgpFeed(n int, seed int64) (*netgraph.Graph, []core.BatchOp) {
+	g := netgraph.New()
+	ingress := g.AddNode("ingress")
+	peer := g.AddNode("peer")
+	uplink := g.AddLink(ingress, peer)
+	feed := bgp.NewFeed(seed, 0.3)
+	live := make(map[ipnet.Prefix]core.RuleID)
+	next := core.RuleID(1)
+	ops := make([]core.BatchOp, 0, n)
+	for _, u := range feed.Updates(n) {
+		id, known := live[u.Prefix]
+		switch u.Kind {
+		case bgp.Announce:
+			if known {
+				ops = append(ops, core.RemoveOp(id)) // flap
+			} else {
+				id = next
+				next++
+				live[u.Prefix] = id
+			}
+			iv := u.Prefix.Interval()
+			ops = append(ops, core.InsertOp(core.Rule{
+				ID: id, Source: ingress, Link: uplink,
+				Match: iv, Priority: core.Priority(u.Prefix.Len),
+			}))
+		case bgp.Withdraw:
+			if known {
+				ops = append(ops, core.RemoveOp(id))
+				delete(live, u.Prefix)
+			}
+		}
+	}
+	return g, ops
+}
+
+// installFeedTopology rebuilds a feed's own topology into the server's
+// graph (protocol ids match the feed's), refusing to mix with a
+// topology that is already loaded — the feed's node/link ids would
+// collide with it.
+func installFeedTopology(s *server.Server, fs *feedSource) error {
+	if fs.graph == nil {
+		if s.Graph().NumNodes() == 0 {
+			return fmt.Errorf("-feed %s: an openflow stream carries no topology; load one with -trace or -state", fs.name)
+		}
+		return nil
+	}
+	if s.Graph().NumNodes() != 0 {
+		return fmt.Errorf("-feed %s: the feed defines its own topology; it cannot be combined with -trace or an existing -state", fs.name)
+	}
+	for v := netgraph.NodeID(0); int(v) < fs.graph.NumNodes(); v++ {
+		s.Graph().AddNode(fs.graph.NodeName(v))
+	}
+	for _, l := range fs.graph.Links() {
+		s.Graph().AddLink(l.Src, l.Dst)
+	}
+	return nil
+}
+
+// replayFeed streams the feed through the ingest ring and logs the
+// sustained rate. IngestOps blocks under backpressure (the ring bounds
+// buffered memory) and reports false when the server is shutting down
+// or the stream references unknown topology — either way the replay
+// stops; it never takes the server down.
+func replayFeed(s *server.Server, fs *feedSource) {
+	start := time.Now()
+	n := 0
+	for n < len(fs.ops) {
+		end := n + feedChunk
+		if end > len(fs.ops) {
+			end = len(fs.ops)
+		}
+		if !s.IngestOps(fs.ops[n:end]) {
+			fmt.Fprintf(os.Stderr, "dnserve: feed %s stopped after %d/%d ops (shutdown or refused chunk)\n",
+				fs.name, n, len(fs.ops))
+			return
+		}
+		n = end
+	}
+	s.IngestBarrier()
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "dnserve: feed %s replayed %d ops in %v (%.0f updates/s)\n",
+		fs.name, n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+}

@@ -8,7 +8,7 @@
 //	        [-burst-deltas n] [-burst-age d] [-state file]
 //	        [-checkpoint <interval|Nu>] [-admin host:port]
 //	        [-slow-update d] [-journal file] [-journal-sync none|always]
-//	        [-replica-of host:port]
+//	        [-replica-of host:port] [-feed spec]
 //
 // With -trace, the topology and insertions of the trace are preloaded
 // before serving; -batch n applies the preload as atomic batches of n
@@ -53,6 +53,14 @@
 // to the crash, slower); the default none leaves flushing to the OS.
 // The journal is also the replication feed: replicas stream it with
 // the protocol's "journal since <offset>" command.
+//
+// -feed replays a live update stream through the binary ingest ring
+// after boot: "bgp:<updates>[:<seed>]" synthesizes RIB-style churn on a
+// minimal gateway topology, "sdnip:<name>[:<scale>]" replays an SDN-IP
+// controller trace (airtel1, airtel2, 4switch) with its own topology,
+// and "openflow:<file>" replays a recorded op stream against the
+// topology loaded with -trace/-state. The sustained updates/sec rate is
+// logged when the replay drains. See the README's Ingestion section.
 //
 // -replica-of boots a read replica: it fetches the primary's
 // checkpoint, streams its journal tail, applies every update into its
@@ -100,6 +108,7 @@ func main() {
 	journalFile := flag.String("journal", "", "append every applied update to this journal file (recovery + replication feed)")
 	journalSync := flag.String("journal-sync", "none", "journal fsync policy: none (OS-buffered) or always (fsync per append)")
 	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary at this address (refuses mutations)")
+	feedSpec := flag.String("feed", "", "replay a live update feed through the ingest ring after boot: "+feedUsage)
 	flag.Parse()
 	if *batch < 1 {
 		fatal(fmt.Errorf("-batch must be >= 1, got %d", *batch))
@@ -119,6 +128,7 @@ func main() {
 			"-trace": *traceFile != "", "-state": *stateFile != "",
 			"-checkpoint": *checkpoint != "", "-journal": *journalFile != "",
 			"-burst-deltas": *burstDeltas != 0, "-burst-age": *burstAge != 0,
+			"-feed": *feedSpec != "",
 		} {
 			if set {
 				fatal(fmt.Errorf("-replica-of is incompatible with %s: the replica's state, journal cursor, and burst policy come from the primary", flagName))
@@ -128,6 +138,12 @@ func main() {
 	syncPolicy, err := journal.ParseSyncPolicy(*journalSync)
 	if err != nil {
 		fatal(err)
+	}
+	var feed *feedSource
+	if *feedSpec != "" {
+		if feed, err = buildFeed(*feedSpec); err != nil {
+			fatal(err)
+		}
 	}
 
 	opts := []server.Option{server.WithEngine(core.Options{GC: *gc})}
@@ -249,6 +265,12 @@ func main() {
 			tr.Name, s.Network().NumRules(), s.Network().NumAtoms())
 	}
 
+	if feed != nil {
+		if err := installFeedTopology(s, feed); err != nil {
+			fatal(err)
+		}
+	}
+
 	var adminSrv *http.Server
 	if *adminAddr != "" {
 		al, err := net.Listen("tcp", *adminAddr)
@@ -297,6 +319,14 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "dnserve listening on %s\n", l.Addr())
+	if feed != nil {
+		// Start the ring while the server is certainly live (the empty
+		// barrier returns immediately), so the replay goroutine's lazy
+		// start can never race a shutdown's final teardown.
+		s.IngestBarrier()
+		fmt.Fprintf(os.Stderr, "dnserve: replaying feed %s (%d ops)\n", feed.name, len(feed.ops))
+		go replayFeed(s, feed)
+	}
 	if err := s.Serve(l); err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,244 @@
+// Package binproto is the length-prefixed binary batch framing of the
+// high-rate ingestion front end. A client upgrades a line-protocol
+// connection with the "dnbin 1" handshake verb; from then on the
+// client→server direction carries binary frames of packed rule
+// operations while server→client replies stay text lines ("ok sync
+// ...", "busy depth=...", "err frame ..."), so the server's guarded
+// single-writer funnel is unchanged.
+//
+// Frame layout (all multi-byte integers little-endian or unsigned
+// varint as noted):
+//
+//	u32 length   — payload byte count, ≤ MaxFrame
+//	u8  kind     — KindOps or KindSync
+//	payload body
+//
+// KindOps body: uvarint op count, then count packed ops. Each op opens
+// with a u8 tag (TagInsert / TagRemove):
+//
+//	TagInsert: uvarint ruleID, uvarint srcNode, uvarint link+1
+//	           (0 encodes the -1 drop link), uvarint lo,
+//	           uvarint hi-lo, uvarint priority
+//	TagRemove: uvarint ruleID
+//
+// KindSync body: uvarint token. A sync frame is a barrier: the server
+// replies "ok sync <token> applied=<n>" once every op framed before it
+// has been applied to the data plane, which is how a feeder bounds its
+// outstanding window and how tests and benchmarks get a quiesce point.
+//
+// The varint packing is what makes the format fast, not clever: a
+// typical insert is ~15 bytes against ~40 for its text line, and
+// decoding is a handful of branch-predictable byte loads with no
+// allocation, so parsing moves off the engine lock entirely (the
+// server decodes frames on the connection goroutine and hands finished
+// ops to the ingest ring).
+package binproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"deltanet/internal/core"
+	"deltanet/internal/ipnet"
+	"deltanet/internal/netgraph"
+)
+
+// Version is the only handshake version this package speaks; the
+// "dnbin 1" verb names it.
+const Version = 1
+
+// MaxFrame bounds one frame's payload so a bad length prefix cannot
+// make the server buffer unbounded input (mirrors the line protocol's
+// maxLine).
+const MaxFrame = 1 << 20
+
+// Frame kinds.
+const (
+	KindOps  = 1 // packed rule operations
+	KindSync = 2 // barrier: reply when everything before it is applied
+)
+
+// Op tags inside a KindOps frame.
+const (
+	TagInsert = 0
+	TagRemove = 1
+)
+
+// maxOpsPerFrame bounds the op count a frame may declare: a minimal
+// remove is 2 bytes, so MaxFrame/2 is the most ops a well-formed
+// payload can hold, and a count above it is rejected before any
+// allocation sized by it.
+const maxOpsPerFrame = MaxFrame / 2
+
+// Bounds for the wire's narrowing casts: rule ids are int64, node/link
+// ids and priorities int32 (links shifted by one for the -1 drop link).
+const (
+	maxInt63 = 1<<63 - 1
+	maxInt31 = 1<<31 - 1
+)
+
+// AppendOps appends one KindOps frame carrying ops to dst and returns
+// the extended slice. Ops must satisfy the wire's ranges: non-negative
+// rule ids, sources, priorities, and links ≥ -1 (the caller owns
+// semantic validation against a topology).
+func AppendOps(dst []byte, ops []core.BatchOp) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, KindOps)
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	for i := range ops {
+		dst = appendOp(dst, &ops[i])
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+// AppendSync appends one KindSync barrier frame carrying token.
+func AppendSync(dst []byte, token uint64) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, KindSync)
+	dst = binary.AppendUvarint(dst, token)
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
+}
+
+func appendOp(dst []byte, op *core.BatchOp) []byte {
+	if !op.Insert {
+		dst = append(dst, TagRemove)
+		return binary.AppendUvarint(dst, uint64(op.Rule.ID))
+	}
+	dst = append(dst, TagInsert)
+	dst = binary.AppendUvarint(dst, uint64(op.Rule.ID))
+	dst = binary.AppendUvarint(dst, uint64(op.Rule.Source))
+	dst = binary.AppendUvarint(dst, uint64(op.Rule.Link+1))
+	dst = binary.AppendUvarint(dst, op.Rule.Match.Lo)
+	dst = binary.AppendUvarint(dst, op.Rule.Match.Hi-op.Rule.Match.Lo)
+	return binary.AppendUvarint(dst, uint64(op.Rule.Priority))
+}
+
+// Frame is one decoded client→server frame: either Ops (KindOps) or a
+// sync barrier (KindSync, Token set).
+type Frame struct {
+	Kind  uint8
+	Token uint64
+	Ops   []core.BatchOp
+}
+
+// Reader decodes frames from a byte stream. It reuses its payload and
+// op buffers across frames, so a returned Frame (and its Ops slice) is
+// only valid until the next Read — the decode loop hands ops onward
+// before reading again.
+type Reader struct {
+	r    io.Reader
+	head [5]byte // length prefix + kind
+	buf  []byte
+	ops  []core.BatchOp
+}
+
+// NewReader returns a frame decoder over r. The server passes the
+// connection's buffered reader so bytes buffered before the handshake
+// upgrade are not lost.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Read decodes the next frame. io.EOF means a clean end of stream at a
+// frame boundary; any other error (including io.ErrUnexpectedEOF for a
+// truncated frame) means the stream is corrupt or dead.
+func (fr *Reader) Read() (Frame, error) {
+	if _, err := io.ReadFull(fr.r, fr.head[:4]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF // a clean close can land mid-prefix read on some transports
+		}
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(fr.head[:4])
+	if n < 1 || n > MaxFrame {
+		return Frame{}, fmt.Errorf("frame length %d outside 1..%d", n, MaxFrame)
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return fr.decodePayload(fr.buf)
+}
+
+func (fr *Reader) decodePayload(p []byte) (Frame, error) {
+	kind, p := p[0], p[1:]
+	switch kind {
+	case KindSync:
+		token, sz := binary.Uvarint(p)
+		if sz <= 0 || sz != len(p) {
+			return Frame{}, fmt.Errorf("malformed sync frame")
+		}
+		return Frame{Kind: KindSync, Token: token}, nil
+	case KindOps:
+		count, sz := binary.Uvarint(p)
+		if sz <= 0 || count > maxOpsPerFrame {
+			return Frame{}, fmt.Errorf("bad op count in frame")
+		}
+		p = p[sz:]
+		fr.ops = fr.ops[:0]
+		for i := uint64(0); i < count; i++ {
+			op, rest, err := decodeOp(p)
+			if err != nil {
+				return Frame{}, fmt.Errorf("op %d: %v", i, err)
+			}
+			fr.ops = append(fr.ops, op)
+			p = rest
+		}
+		if len(p) != 0 {
+			return Frame{}, fmt.Errorf("%d trailing bytes after %d ops", len(p), count)
+		}
+		return Frame{Kind: KindOps, Ops: fr.ops}, nil
+	default:
+		return Frame{}, fmt.Errorf("unknown frame kind %d", kind)
+	}
+}
+
+func decodeOp(p []byte) (core.BatchOp, []byte, error) {
+	if len(p) == 0 {
+		return core.BatchOp{}, nil, fmt.Errorf("missing tag")
+	}
+	tag, p := p[0], p[1:]
+	switch tag {
+	case TagRemove:
+		id, sz := binary.Uvarint(p)
+		if sz <= 0 || id > maxInt63 {
+			return core.BatchOp{}, nil, fmt.Errorf("bad rule id")
+		}
+		return core.RemoveOp(core.RuleID(id)), p[sz:], nil
+	case TagInsert:
+		var v [6]uint64
+		for i := range v {
+			x, sz := binary.Uvarint(p)
+			if sz <= 0 {
+				return core.BatchOp{}, nil, fmt.Errorf("truncated insert field %d", i)
+			}
+			v[i] = x
+			p = p[sz:]
+		}
+		// Range checks keep the narrowing casts below honest: a huge
+		// varint must not alias into a valid id through truncation.
+		if v[0] > maxInt63 || v[1] > maxInt31 || v[2] > maxInt31 || v[5] > maxInt31 {
+			return core.BatchOp{}, nil, fmt.Errorf("insert field out of range")
+		}
+		lo, span := v[3], v[4]
+		if lo+span < lo {
+			return core.BatchOp{}, nil, fmt.Errorf("interval overflows")
+		}
+		return core.InsertOp(core.Rule{
+			ID:       core.RuleID(v[0]),
+			Source:   netgraph.NodeID(v[1]),
+			Link:     netgraph.LinkID(int32(v[2]) - 1),
+			Match:    ipnet.Interval{Lo: lo, Hi: lo + span},
+			Priority: core.Priority(v[5]),
+		}), p, nil
+	default:
+		return core.BatchOp{}, nil, fmt.Errorf("unknown op tag %d", tag)
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import "testing"
+
+// BenchmarkSustainedIngest is the benchstat artifact behind the
+// ingestion acceptance gate: each sub-benchmark drives one front-end
+// arm of the sustained-ingest experiment (see ingest.go for the arm
+// semantics) and reports its updates/s. Compare line-sync against
+// binary-b256 for the gate ratio; line-b256 shows where blind batching
+// converges on the engine ceiling.
+func BenchmarkSustainedIngest(b *testing.B) {
+	const (
+		seed  = 1
+		batch = 256
+		conns = 4
+	)
+	static, flap := ingestWorkingRules(ingestWorkingSet, seed)
+	b.Run("line-sync", func(b *testing.B) {
+		const updates = 2 * ingestWorkingSet // round-trip bound; keep iterations short
+		var rate float64
+		for i := 0; i < b.N; i++ {
+			r, err := runIngestLineArm(static, flap, updates, batch, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rate = r
+		}
+		b.ReportMetric(rate, "updates/s")
+	})
+	b.Run("line-b256", func(b *testing.B) {
+		const updates = 16 * ingestWorkingSet
+		var rate float64
+		for i := 0; i < b.N; i++ {
+			r, err := runIngestLineArm(static, flap, updates, batch, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rate = r
+		}
+		b.ReportMetric(rate, "updates/s")
+	})
+	b.Run("binary-b256", func(b *testing.B) {
+		const updates = 16 * ingestWorkingSet
+		var rate float64
+		for i := 0; i < b.N; i++ {
+			r, _, _, err := runIngestBinaryArm("", static, flap, updates, batch, conns)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rate = r
+		}
+		b.ReportMetric(rate, "updates/s")
+	})
+}

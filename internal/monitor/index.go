@@ -317,3 +317,20 @@ func (ix *depIndex) removeSlot(slot int, deps *bitset.Set, depsUpTo int) {
 		ix.clear(l, slot)
 	}
 }
+
+// linkDeps unions into dst the slot bitmap of one link (no sketch
+// refinement — the caller wants "could any invariant care about this
+// link", the coarse signal the ingest coalescer's adaptive flush
+// trigger keys on). Links the index does not cover yet contribute
+// nothing.
+func (ix *depIndex) linkDeps(link int, dst *bitset.Set) {
+	if link < 0 || int64(link) >= ix.upTo.Load() {
+		return
+	}
+	sh := &ix.shards[link%indexShards]
+	sh.mu.RLock()
+	if i := link / indexShards; i < len(sh.byLink) && sh.byLink[i] != nil {
+		dst.UnionWith(sh.byLink[i])
+	}
+	sh.mu.RUnlock()
+}

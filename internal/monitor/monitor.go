@@ -485,6 +485,13 @@ func (m *Monitor) Invariants() []InvariantInfo {
 // NumRegistered returns the current number of standing invariants.
 func (m *Monitor) NumRegistered() int { return int(m.regd.Load()) }
 
+// LinkDepsInto unions into dst the slots of invariants whose last
+// evaluation depended on link. It is the coarse "would this op dirty an
+// invariant someone else already dirtied" signal the ingest coalescer's
+// adaptive flush trigger keys on; links the index does not cover yet
+// contribute nothing.
+func (m *Monitor) LinkDepsInto(link int, dst *bitset.Set) { m.index.linkDeps(link, dst) }
+
 // sortedByID gathers every registered invariant from the stripes, sorted
 // by id — which is registration order, since ids are assigned
 // monotonically and never reused.

@@ -34,6 +34,9 @@ func FuzzDispatch(f *testing.F) {
 		"trace\ntrace bogus\ntrace last\ntrace last x\ntrace last -1\ntrace on extra\n",
 		"checkpoint\nI 1 0 0 0 100 1\ncheckpoint extra\n",
 		"journal since 0\njournal\njournal since\njournal since x\njournal since 18446744073709551615\n",
+		"dnbin 1\n",
+		"dnbin\ndnbin 2\ndnbin 1 extra\nstats\n",
+		"busy\nbusy depth=3\n",
 		"\n\n  \n",
 		"node\nlink\nI\nR\nreach\nwhatif\nstats extra\nW\nunwatch\n",
 		"quit\nI 1 0 0 0 100 1\n",

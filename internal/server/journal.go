@@ -274,7 +274,7 @@ func (s *Server) applyJournalLocked(payload string, seq uint64) string {
 		s.mon.ResumeUpdates(seq)
 		return ""
 	case "I":
-		op, errmsg := s.parseUpdate(fields)
+		op, errmsg := s.parseUpdateLine(lines[0])
 		if errmsg != "" {
 			return errmsg
 		}
@@ -285,7 +285,7 @@ func (s *Server) applyJournalLocked(payload string, seq uint64) string {
 		s.mon.ApplyReplay(&s.delta, loops, true, seq)
 		return ""
 	case "R":
-		op, errmsg := s.parseUpdate(fields)
+		op, errmsg := s.parseUpdateLine(lines[0])
 		if errmsg != "" {
 			return errmsg
 		}
@@ -297,7 +297,7 @@ func (s *Server) applyJournalLocked(payload string, seq uint64) string {
 	case "B":
 		ops := make([]core.BatchOp, 0, len(lines)-1)
 		for _, l := range lines[1:] {
-			op, errmsg := s.parseUpdate(strings.Fields(l))
+			op, errmsg := s.parseUpdateLine(l)
 			if errmsg != "" {
 				return errmsg
 			}

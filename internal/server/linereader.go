@@ -1,0 +1,64 @@
+package server
+
+import (
+	"bufio"
+	"io"
+)
+
+// lineReader is the connection's line tokenizer. It replaces
+// bufio.Scanner with the same Scan/Text/Err surface for one reason the
+// Scanner cannot provide: its underlying *bufio.Reader (br) stays
+// reachable, so when a "dnbin" handshake upgrades the connection to the
+// binary protocol, any bytes the client pipelined behind the handshake
+// line are already sitting in br and flow straight into the frame
+// decoder instead of being lost inside a Scanner's private buffer.
+//
+// Semantics match the Scanner configuration it replaced: lines are
+// '\n'-delimited, a final unterminated line is returned, a line longer
+// than maxLine fails the scan with bufio.ErrTooLong, and Err is nil
+// after a clean EOF.
+type lineReader struct {
+	br  *bufio.Reader
+	buf []byte // current line, valid until the next Scan
+	err error
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	return &lineReader{br: bufio.NewReaderSize(r, 4096)}
+}
+
+// Scan advances to the next line, reporting false at end of stream or on
+// error (distinguish via Err).
+func (lr *lineReader) Scan() bool {
+	if lr.err != nil {
+		return false
+	}
+	lr.buf = lr.buf[:0]
+	for {
+		frag, err := lr.br.ReadSlice('\n')
+		lr.buf = append(lr.buf, frag...)
+		if len(lr.buf) > maxLine {
+			lr.err = bufio.ErrTooLong
+			return false
+		}
+		switch err {
+		case nil:
+			lr.buf = lr.buf[:len(lr.buf)-1] // drop the '\n'
+			return true
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			return len(lr.buf) > 0 // final unterminated line, then clean end
+		default:
+			lr.err = err
+			return false
+		}
+	}
+}
+
+// Text returns the current line (without its terminator).
+func (lr *lineReader) Text() string { return string(lr.buf) }
+
+// Err returns the first non-EOF error encountered, mirroring
+// bufio.Scanner.Err.
+func (lr *lineReader) Err() error { return lr.err }

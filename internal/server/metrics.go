@@ -132,6 +132,36 @@ func (s *Server) enableMetrics(reg *metrics.Registry) {
 		return float64(s.tr.slows())
 	})
 
+	// Binary ingestion front end (ingest.go). Registered unconditionally
+	// — the ring starts lazily on the first dnbin handshake, so the
+	// funcs guard on it; a flat-zero series is the "no binary clients
+	// yet" signal, and the depth gauge draining to zero is the smoke
+	// test's quiesce check.
+	reg.GaugeFunc("dn_ingest_ring_depth", "Ops queued in the ingest ring awaiting the coalescer.", func() float64 {
+		if r := s.ing.ring.Load(); r != nil {
+			return float64(r.Depth())
+		}
+		return 0
+	})
+	reg.CounterFunc("dn_ingest_frames_total", "Binary protocol frames decoded.", func() float64 {
+		return float64(s.ing.frames.Load())
+	})
+	reg.CounterFunc("dn_ingest_ops_total", "Ops accepted into the ingest ring.", func() float64 {
+		return float64(s.ing.ops.Load())
+	})
+	reg.CounterFunc("dn_ingest_busy_total", "Busy frames sent to binary clients (ring-full backpressure events).", func() float64 {
+		return float64(s.ing.busy.Load())
+	})
+	reg.CounterFunc("dn_ingest_batches_total", "Coalesced batches applied by the ingest consumer.", func() float64 {
+		return float64(s.ing.batches.Load())
+	})
+	reg.CounterFunc("dn_ingest_adaptive_flushes_total", "Batches cut early because the next op's dirty-invariant set was disjoint.", func() float64 {
+		return float64(s.ing.adaptive.Load())
+	})
+	reg.CounterFunc("dn_ingest_rejected_ops_total", "Ingested ops dropped at apply (bad ids, duplicates).", func() float64 {
+		return float64(s.ing.rejected.Load())
+	})
+
 	// Replication surface: journal position/errors on a journaling
 	// primary, lag gauges on a replica.
 	if s.jrnl != nil {

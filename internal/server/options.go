@@ -31,6 +31,7 @@ type options struct {
 	slowLog   io.Writer
 	jrnl      *journal.Journal
 	replicaOf string
+	ingCap    int
 	reg       *metrics.Registry
 }
 
@@ -80,6 +81,14 @@ func WithJournal(j *journal.Journal) Option {
 // serve locally from the replicated state. See replica.go.
 func WithReplicaOf(addr string) Option {
 	return func(o *options) { o.replicaOf = addr }
+}
+
+// WithIngestRing sets the binary-ingest ring capacity (rounded up to a
+// power of two; the default is generous for sustained feeds). The ring
+// is the ingestion path's backpressure boundary: when it fills, binary
+// connections get a "busy" line and block until the coalescer drains.
+func WithIngestRing(capacity int) Option {
+	return func(o *options) { o.ingCap = capacity }
 }
 
 // WithMetrics registers the server's full metric surface with reg (the

@@ -231,6 +231,11 @@ type Server struct {
 	// command (pipeline.go); it has its own mutex.
 	tr tracer
 
+	// ing is the binary-protocol ingest state (ingest.go): the MPSC
+	// ring between connection decoders and the coalescer goroutine,
+	// started lazily by the first dnbin handshake or feed push.
+	ing ingestState
+
 	// met holds the hot-path metric handles once EnableMetrics has run
 	// (nil before; metrics.go). Set before Serve, then read-only.
 	met *serverMetrics
@@ -274,6 +279,7 @@ func New(opts ...Option) *Server {
 	}
 	s.jrnl = o.jrnl
 	s.replicaOf = o.replicaOf
+	s.ing.capacity = o.ingCap
 	if s.replicaOf == "" && (o.burst.MaxDeltas >= 2 || o.burst.MaxAge > 0) {
 		// Replicas force burst off: coalescing on a replica would flush on
 		// different boundaries than the primary and the event streams
@@ -500,8 +506,7 @@ func (r countingReader) Read(p []byte) (int, error) {
 //deltanet:dispatch
 func (s *Server) handle(conn net.Conn) {
 	s.connsTotal.Add(1)
-	sc := bufio.NewScanner(countingReader{conn: conn, n: &s.bytesIn})
-	sc.Buffer(make([]byte, 4096), maxLine)
+	sc := newLineReader(countingReader{conn: conn, n: &s.bytesIn})
 	cw := newConnWriter(conn, &s.bytesOut)
 
 	// owned counts the references this connection holds on each watched
@@ -542,6 +547,14 @@ func (s *Server) handle(conn net.Conn) {
 		case fields[0] == "B":
 			s.countVerb("B")
 			resp, fatal = s.readAndApplyBatch(fields, sc)
+		case fields[0] == "dnbin":
+			s.countVerb("dnbin")
+			// Binary upgrade: on success the rest of the connection is
+			// length-prefixed frames (ingest.go); a refusal keeps the
+			// line loop going.
+			if resp = s.serveBinary(fields, sc, cw); resp == "" {
+				return
+			}
 		case fields[0] == "journal":
 			s.countVerb("journal")
 			// Streaming mode: on success the connection is dedicated to the
@@ -717,7 +730,7 @@ const (
 // server cannot delimit, so continuing would execute the body lines as
 // individual commands. The error response is written, then the connection
 // closes. Errors inside a fully-read body keep the connection open.
-func (s *Server) readAndApplyBatch(fields []string, sc *bufio.Scanner) (resp string, fatal bool) {
+func (s *Server) readAndApplyBatch(fields []string, sc *lineReader) (resp string, fatal bool) {
 	if len(fields) != 2 {
 		return "err usage: B <n> (closing connection: batch body undelimited)", true
 	}
@@ -764,7 +777,7 @@ func (s *Server) readAndApplyBatch(fields []string, sc *bufio.Scanner) (resp str
 	t0 = time.Now()
 	ops := make([]core.BatchOp, 0, count)
 	for i, line := range lines {
-		op, errmsg := s.parseUpdate(strings.Fields(line))
+		op, errmsg := s.parseUpdateLine(line)
 		if errmsg != "" {
 			return fmt.Sprintf("err batch line %d: %s", i+1, errmsg), false
 		}
@@ -793,21 +806,47 @@ func (s *Server) readAndApplyBatch(fields []string, sc *bufio.Scanner) (resp str
 	return b.String(), false
 }
 
-// parseUpdate parses an I or R line into a batch operation, validating ids
-// against the topology. Callers must hold at least the read lock.
-func (s *Server) parseUpdate(fields []string) (core.BatchOp, string) {
-	switch fields[0] {
+// nextField returns the next whitespace-delimited token of line
+// starting at *i, advancing *i past it. Tokens are substrings of line,
+// so scanning a whole update costs zero allocations — this is the
+// batch ingest hot path, where strings.Fields' []string per line used
+// to dominate the parse stage.
+func nextField(line string, i *int) (string, bool) {
+	for *i < len(line) && (line[*i] == ' ' || line[*i] == '\t' || line[*i] == '\r') {
+		*i++
+	}
+	if *i >= len(line) {
+		return "", false
+	}
+	start := *i
+	for *i < len(line) && line[*i] != ' ' && line[*i] != '\t' && line[*i] != '\r' {
+		*i++
+	}
+	return line[start:*i], true
+}
+
+// parseUpdateLine parses an I or R line into a batch operation,
+// validating ids against the topology. The fields are scanned in place
+// (no per-line allocation). Callers must hold at least the read lock.
+func (s *Server) parseUpdateLine(line string) (core.BatchOp, string) {
+	i := 0
+	verb, _ := nextField(line, &i)
+	switch verb {
 	case "I":
-		if len(fields) != 7 {
-			return core.BatchOp{}, "usage: I <ruleID> <srcID> <linkID|-1> <lo> <hi> <prio>"
-		}
 		var nums [6]int64
-		for i := range nums {
-			v, err := strconv.ParseInt(fields[i+1], 10, 64)
-			if err != nil {
-				return core.BatchOp{}, "bad number: " + fields[i+1]
+		for k := range nums {
+			f, ok := nextField(line, &i)
+			if !ok {
+				return core.BatchOp{}, "usage: I <ruleID> <srcID> <linkID|-1> <lo> <hi> <prio>"
 			}
-			nums[i] = v
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return core.BatchOp{}, "bad number: " + f
+			}
+			nums[k] = v
+		}
+		if _, extra := nextField(line, &i); extra {
+			return core.BatchOp{}, "usage: I <ruleID> <srcID> <linkID|-1> <lo> <hi> <prio>"
 		}
 		if !s.validNode(int(nums[1])) {
 			return core.BatchOp{}, "unknown node id"
@@ -823,16 +862,20 @@ func (s *Server) parseUpdate(fields []string) (core.BatchOp, string) {
 			Priority: core.Priority(nums[5]),
 		}), ""
 	case "R":
-		if len(fields) != 2 {
+		f, ok := nextField(line, &i)
+		if !ok {
 			return core.BatchOp{}, "usage: R <ruleID>"
 		}
-		id, err := strconv.ParseInt(fields[1], 10, 64)
+		id, err := strconv.ParseInt(f, 10, 64)
 		if err != nil {
 			return core.BatchOp{}, "bad rule id"
 		}
+		if _, extra := nextField(line, &i); extra {
+			return core.BatchOp{}, "usage: R <ruleID>"
+		}
 		return core.RemoveOp(core.RuleID(id)), ""
 	default:
-		return core.BatchOp{}, "batch lines must be I or R, got " + fields[0]
+		return core.BatchOp{}, "batch lines must be I or R, got " + verb
 	}
 }
 
@@ -844,8 +887,9 @@ func (s *Server) parseUpdate(fields []string) (core.BatchOp, string) {
 //deltanet:dispatch
 var protocolCommands = []string{
 	"B", "I", "R", "W",
-	"burst", "checkpoint", "events", "flush", "journal", "link", "node",
-	"quit", "reach", "stats", "trace", "unwatch", "watch", "whatif",
+	"burst", "busy", "checkpoint", "dnbin", "events", "flush", "journal",
+	"link", "node", "quit", "reach", "stats", "trace", "unwatch", "watch",
+	"whatif",
 }
 
 // errReadOnly is the refusal every mutating command gets on a replica
@@ -907,7 +951,7 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		return fmt.Sprintf("ok link %d", id)
 	case "I":
 		t0 := time.Now()
-		op, errmsg := s.parseUpdate(fields)
+		op, errmsg := s.parseUpdateLine(line)
 		parseNs := time.Since(t0).Nanoseconds()
 		if errmsg != "" {
 			return "err " + errmsg
@@ -925,7 +969,7 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		return s.updateResponse(loops)
 	case "R":
 		t0 := time.Now()
-		op, errmsg := s.parseUpdate(fields)
+		op, errmsg := s.parseUpdateLine(line)
 		parseNs := time.Since(t0).Nanoseconds()
 		if errmsg != "" {
 			return "err " + errmsg
@@ -1062,6 +1106,9 @@ func (s *Server) dispatch(line string, owned map[monitor.ID]int) string {
 		}
 		if s.replicaOf != "" {
 			fmt.Fprintf(&b, " lag=%d", s.replicaLagBytes())
+		}
+		if r := s.ing.ring.Load(); r != nil {
+			fmt.Fprintf(&b, " ring=%d", r.Depth())
 		}
 		return b.String()
 	case "checkpoint":
